@@ -1,0 +1,85 @@
+// Shared setup for the Figure 10 result-analysis benches: the three
+// case-study groups of Section VI-C, one per dataset, detected by
+// GLOBALBOUNDS at k = 49 with L_k = 40 as in the paper.
+#ifndef FAIRTOPK_BENCH_BENCH_FIG10_COMMON_H_
+#define FAIRTOPK_BENCH_BENCH_FIG10_COMMON_H_
+
+#include <algorithm>
+#include <optional>
+
+#include "bench_util.h"
+#include "detect/global_bounds.h"
+#include "explain/group_explainer.h"
+
+namespace fairtopk::bench {
+
+/// One Section VI-C case study: a dataset plus the attribute=value
+/// group the paper analyzes.
+struct CaseStudy {
+  Dataset dataset;
+  std::string group_attribute;
+  /// Dictionary code of the analyzed value within that attribute.
+  int16_t group_code;
+  /// Attribute the ranker is known to consume (excluded from the
+  /// explanation features when opaque; empty otherwise).
+  std::vector<std::string> exclude;
+};
+
+inline std::vector<CaseStudy> CaseStudies() {
+  std::vector<CaseStudy> out;
+  // p1 = {mother's education = primary education} in Student.
+  out.push_back({MakeStudent(), "Medu", 1, {}});
+  // p2 = {age = younger than 35} in COMPAS (age_cat code 0 is the
+  // youngest bucket).
+  out.push_back({MakeCompas(), "age_cat", 0, {}});
+  // p3 = {status of existing account = 0 <= ... < 200 DM} in German.
+  out.push_back({MakeGerman(), "status_checking", 1, {"creditworthiness"}});
+  return out;
+}
+
+/// The pattern for a case study within `space`.
+inline std::optional<Pattern> CasePattern(const CaseStudy& cs,
+                                          const PatternSpace& space) {
+  for (size_t a = 0; a < space.num_attributes(); ++a) {
+    if (space.name(a) == cs.group_attribute) {
+      return Pattern::Empty(space.num_attributes()).With(a, cs.group_code);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Builds the explanation for one case study at k = 49 (L_k = 40 per
+/// the paper). Exits on failure.
+inline GroupExplanation ExplainCase(const CaseStudy& cs) {
+  DetectionInput input = PrepareInput(cs.dataset);
+  auto ranking = cs.dataset.ranker->Rank(cs.dataset.table);
+  if (!ranking.ok()) {
+    std::fprintf(stderr, "ranking failed\n");
+    std::exit(1);
+  }
+  ExplainerOptions options;
+  options.exclude_attributes = cs.exclude;
+  auto explainer =
+      GroupExplainer::Create(cs.dataset.table, *ranking, options);
+  if (!explainer.ok()) {
+    std::fprintf(stderr, "explainer failed: %s\n",
+                 explainer.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto pattern = CasePattern(cs, input.space());
+  if (!pattern.has_value()) {
+    std::fprintf(stderr, "case-study attribute missing\n");
+    std::exit(1);
+  }
+  auto explanation = explainer->Explain(*pattern, input.space(), 49);
+  if (!explanation.ok()) {
+    std::fprintf(stderr, "explanation failed: %s\n",
+                 explanation.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(explanation).value();
+}
+
+}  // namespace fairtopk::bench
+
+#endif  // FAIRTOPK_BENCH_BENCH_FIG10_COMMON_H_

@@ -1,0 +1,68 @@
+// Figure 4 (a-c): running time as a function of the number of
+// attributes — detection with global representation bounds, ITERTD
+// baseline vs the optimized GLOBALBOUNDS, on the three datasets.
+//
+// Paper parameters (Section VI-A): tau_s = 50, k in [10, 49], lower
+// bounds 10/20/30/40 staircase. Attribute counts sweep from 3 upward;
+// like the paper's 10-minute timeout, a per-point time budget stops an
+// algorithm's series once it blows up (printed as "timeout").
+#include "bench_util.h"
+#include "detect/global_bounds.h"
+#include "detect/itertd.h"
+
+namespace fairtopk::bench {
+namespace {
+
+constexpr double kPointBudgetSeconds = 5.0;
+
+void Run() {
+  PrintHeader(
+      "figure,dataset,num_attributes,algorithm,seconds,nodes_visited");
+  DetectionConfig config;
+  config.k_min = 10;
+  config.k_max = 49;
+  config.size_threshold = 50;
+  GlobalBoundSpec bounds = GlobalBoundSpec::PaperDefault(config.k_max);
+
+  for (Dataset& dataset : AllDatasets()) {
+    bool baseline_alive = true;
+    bool optimized_alive = true;
+    const size_t max_attrs = dataset.pattern_attributes.size();
+    for (size_t attrs = 3; attrs <= max_attrs; ++attrs) {
+      if (!baseline_alive && !optimized_alive) break;
+      DetectionInput input = PrepareInput(dataset, attrs);
+      if (baseline_alive) {
+        RunOutcome run = TimedRun(
+            [&] { return DetectGlobalIterTD(input, bounds, config); });
+        std::printf("fig4,%s,%zu,IterTD,%.4f,%llu\n", dataset.name.c_str(),
+                    attrs, run.seconds,
+                    static_cast<unsigned long long>(run.nodes_visited));
+        if (run.seconds > kPointBudgetSeconds) {
+          baseline_alive = false;
+          std::printf("fig4,%s,%zu,IterTD,timeout,-\n", dataset.name.c_str(),
+                      attrs + 1);
+        }
+      }
+      if (optimized_alive) {
+        RunOutcome run = TimedRun(
+            [&] { return DetectGlobalBounds(input, bounds, config); });
+        std::printf("fig4,%s,%zu,GlobalBounds,%.4f,%llu\n",
+                    dataset.name.c_str(), attrs, run.seconds,
+                    static_cast<unsigned long long>(run.nodes_visited));
+        if (run.seconds > kPointBudgetSeconds) {
+          optimized_alive = false;
+          std::printf("fig4,%s,%zu,GlobalBounds,timeout,-\n",
+                      dataset.name.c_str(), attrs + 1);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairtopk::bench
+
+int main() {
+  fairtopk::bench::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Theorem 3.3 demonstration: on the hardness construction the number
+// of most general biased patterns is C(n, n/2) — exponential in the
+// attribute count — so output size (and hence runtime) must grow
+// exponentially for any complete algorithm.
+#include "bench_util.h"
+#include "datagen/hardness.h"
+#include "detect/itertd.h"
+
+namespace fairtopk::bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "n,measure,reported_groups,expected_C(n,n/2),seconds,nodes_visited");
+  for (int n = 4; n <= 16; n += 2) {
+    auto table = HardnessTable(n);
+    if (!table.ok()) {
+      std::fprintf(stderr, "construction failed\n");
+      std::exit(1);
+    }
+    auto input =
+        DetectionInput::PrepareWithRanking(*table, HardnessRanking(n));
+    if (!input.ok()) {
+      std::fprintf(stderr, "input failed\n");
+      std::exit(1);
+    }
+    DetectionConfig config;
+    config.k_min = n;
+    config.k_max = n;
+    config.size_threshold = 2;
+
+    GlobalBoundSpec gbounds;
+    gbounds.lower = StepFunction::Constant(n / 2.0 + 1.0);
+    WallTimer timer;
+    auto global = DetectGlobalIterTD(*input, gbounds, config);
+    const double g_seconds = timer.ElapsedSeconds();
+    if (!global.ok()) {
+      std::fprintf(stderr, "detection failed\n");
+      std::exit(1);
+    }
+    std::printf("%d,global,%zu,%llu,%.4f,%llu\n", n,
+                global->AtK(n).size(),
+                static_cast<unsigned long long>(HardnessExpectedCount(n)),
+                g_seconds,
+                static_cast<unsigned long long>(
+                    global->stats().nodes_visited));
+
+    PropBoundSpec pbounds;
+    pbounds.alpha = (n + 3.0) / (n + 4.0);
+    timer.Restart();
+    auto prop = DetectPropIterTD(*input, pbounds, config);
+    const double p_seconds = timer.ElapsedSeconds();
+    if (!prop.ok()) {
+      std::fprintf(stderr, "detection failed\n");
+      std::exit(1);
+    }
+    std::printf("%d,proportional,%zu,%llu,%.4f,%llu\n", n,
+                prop->AtK(n).size(),
+                static_cast<unsigned long long>(HardnessExpectedCount(n)),
+                p_seconds,
+                static_cast<unsigned long long>(prop->stats().nodes_visited));
+  }
+}
+
+}  // namespace
+}  // namespace fairtopk::bench
+
+int main() {
+  fairtopk::bench::Run();
+  return 0;
+}

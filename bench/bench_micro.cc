@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the hot primitives underneath
+// the detection algorithms: bitmap-index counting, search-tree child
+// generation, result-set maintenance, and ranking.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/compas_like.h"
+#include "detect/detection_result.h"
+#include "detect/itertd.h"
+#include "index/bitmap_index.h"
+#include "pattern/result_set.h"
+#include "pattern/search_tree.h"
+#include "ranking/score_ranker.h"
+
+namespace fairtopk {
+namespace {
+
+const Table& CompasTable() {
+  static const Table table = [] {
+    auto t = CompasLikeTable();
+    if (!t.ok()) std::abort();
+    return std::move(t).value();
+  }();
+  return table;
+}
+
+const DetectionInput& CompasInput() {
+  static const DetectionInput input = [] {
+    auto ranker = CompasRanker();
+    auto in = DetectionInput::Prepare(CompasTable(), *ranker,
+                                      CompasPatternAttributes());
+    if (!in.ok()) std::abort();
+    return std::move(in).value();
+  }();
+  return input;
+}
+
+void BM_BitmapIndexBuild(benchmark::State& state) {
+  auto ranker = CompasRanker();
+  auto ranking = ranker->Rank(CompasTable());
+  auto space = PatternSpace::Create(CompasTable().schema(),
+                                    CompasPatternAttributes());
+  for (auto _ : state) {
+    auto index = BitmapIndex::Build(CompasTable(), *space, *ranking);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_BitmapIndexBuild);
+
+void BM_PatternCount(benchmark::State& state) {
+  const DetectionInput& input = CompasInput();
+  const size_t predicates = static_cast<size_t>(state.range(0));
+  Pattern p = Pattern::Empty(input.space().num_attributes());
+  for (size_t a = 0; a < predicates; ++a) p = p.With(a, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(input.index().PatternCount(p));
+  }
+}
+BENCHMARK(BM_PatternCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_TopKCount(benchmark::State& state) {
+  const DetectionInput& input = CompasInput();
+  Pattern p = Pattern::Empty(input.space().num_attributes())
+                  .With(0, 0)
+                  .With(2, 0);
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(input.index().TopKCount(p, k));
+  }
+}
+BENCHMARK(BM_TopKCount)->Arg(50)->Arg(500)->Arg(5000);
+
+void BM_GenerateChildren(benchmark::State& state) {
+  const DetectionInput& input = CompasInput();
+  Pattern p = Pattern::Empty(input.space().num_attributes()).With(1, 0);
+  std::vector<Pattern> out;
+  for (auto _ : state) {
+    out.clear();
+    AppendChildren(p, input.space(), out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GenerateChildren);
+
+void BM_ResultSetUpdate(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<Pattern> pool;
+  for (int i = 0; i < 64; ++i) {
+    Pattern p = Pattern::Empty(8);
+    for (size_t a = 0; a < 8; ++a) {
+      if (rng.Bernoulli(0.3)) {
+        p = p.With(a, static_cast<int16_t>(rng.UniformUint64(3)));
+      }
+    }
+    if (!p.IsEmpty()) pool.push_back(p);
+  }
+  for (auto _ : state) {
+    MostGeneralResultSet res;
+    for (const Pattern& p : pool) {
+      benchmark::DoNotOptimize(res.Update(p));
+    }
+  }
+}
+BENCHMARK(BM_ResultSetUpdate);
+
+void BM_ScoreRanker(benchmark::State& state) {
+  auto ranker = CompasRanker();
+  for (auto _ : state) {
+    auto ranking = ranker->Rank(CompasTable());
+    benchmark::DoNotOptimize(ranking);
+  }
+}
+BENCHMARK(BM_ScoreRanker);
+
+void BM_DetectGlobalIterTDSmall(benchmark::State& state) {
+  auto ranker = CompasRanker();
+  std::vector<std::string> all = CompasPatternAttributes();
+  std::vector<std::string> attrs(all.begin(), all.begin() + 6);
+  auto input = DetectionInput::Prepare(CompasTable(), *ranker, attrs);
+  if (!input.ok()) std::abort();
+  GlobalBoundSpec bounds = GlobalBoundSpec::PaperDefault(49);
+  DetectionConfig config{10, 49, 50};
+  for (auto _ : state) {
+    auto result = DetectGlobalIterTD(*input, bounds, config);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DetectGlobalIterTDSmall);
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,142 @@
+#include "common/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace fairtopk {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (scopes_.empty()) return;
+  if (scopes_.back() == Scope::kObject) {
+    assert(pending_key_ && "object values require Key() first");
+    pending_key_ = false;
+    return;
+  }
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  scopes_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  out_.push_back('}');
+  scopes_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  scopes_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  out_.push_back(']');
+  scopes_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  assert(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  assert(!pending_key_ && "two consecutive keys");
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+  out_.push_back('"');
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_.push_back('"');
+  out_ += JsonEscape(value);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(long long value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(unsigned long long value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (std::isnan(value) || std::isinf(value)) {
+    out_ += "null";  // JSON has no NaN/Inf literals
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,62 @@
+// Minimal JSON writer for exporting detection reports and explanations
+// to downstream tooling. Write-only by design (the library never needs
+// to parse JSON); supports the subset used by the report types:
+// objects, arrays, strings, numbers, booleans, null.
+#ifndef FAIRTOPK_COMMON_JSON_H_
+#define FAIRTOPK_COMMON_JSON_H_
+
+#include <string>
+#include <vector>
+
+namespace fairtopk {
+
+/// Escapes `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes).
+std::string JsonEscape(const std::string& s);
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("k").Int(49);
+///   w.Key("groups").BeginArray();
+///   ...
+///   w.EndArray();
+///   w.EndObject();
+///   std::string out = w.str();
+/// Begin/End calls must balance; Key() is required before values
+/// inside objects and rejected inside arrays (checked with asserts in
+/// debug builds).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(long long value);
+  JsonWriter& Uint(unsigned long long value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The serialized document so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_COMMON_JSON_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing for the benchmark harness.
+#ifndef FAIRTOPK_COMMON_TIMER_H_
+#define FAIRTOPK_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fairtopk {
+
+/// Measures elapsed wall-clock time from construction (or Restart()).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_COMMON_TIMER_H_

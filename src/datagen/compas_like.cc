@@ -1,0 +1,136 @@
+#include "datagen/compas_like.h"
+
+#include "datagen/synthetic.h"
+#include "ranking/score_ranker.h"
+
+namespace fairtopk {
+
+namespace {
+constexpr size_t kNumRows = 6889;
+}  // namespace
+
+std::vector<std::string> CompasPatternAttributes() {
+  return {"sex",
+          "age_cat",
+          "race",
+          "juv_fel_cat",
+          "juv_misd_cat",
+          "juv_other_cat",
+          "priors_cat",
+          "charge_degree",
+          "two_year_recid",
+          "decile_score_cat",
+          "v_decile_score_cat",
+          "score_text",
+          "custody_cat",
+          "marriage_cat",
+          "supervision_cat",
+          "arrest_cat"};
+}
+
+Result<Table> CompasLikeTable(uint64_t seed) {
+  // Categorical attributes: name, cardinality, sampling skew. Domain
+  // sizes follow the real dataset after the 3-4 bin bucketization of
+  // Section VI-A.
+  std::vector<SyntheticAttribute> attrs = {
+      {"sex", 2, {0.81, 0.19}, {"Male", "Female"}},
+      {"age_cat", 3, {0.22, 0.57, 0.21}, {"<35", "35-45", ">45"}},
+      {"race",
+       6,
+       {0.51, 0.34, 0.08, 0.04, 0.02, 0.01},
+       {"African-American", "Caucasian", "Hispanic", "Other", "Asian",
+        "Native American"}},
+      {"juv_fel_cat", 3, {0.94, 0.04, 0.02}},
+      {"juv_misd_cat", 3, {0.93, 0.05, 0.02}},
+      {"juv_other_cat", 3, {0.90, 0.07, 0.03}},
+      {"priors_cat", 4, {0.34, 0.30, 0.20, 0.16}},
+      {"charge_degree", 2, {0.64, 0.36}, {"F", "M"}},
+      {"two_year_recid", 2, {0.55, 0.45}, {"no", "yes"}},
+      {"decile_score_cat", 4, {0.40, 0.25, 0.20, 0.15}},
+      {"v_decile_score_cat", 4, {0.45, 0.27, 0.17, 0.11}},
+      {"score_text", 3, {0.55, 0.26, 0.19}, {"Low", "Medium", "High"}},
+      {"custody_cat", 3, {0.50, 0.30, 0.20}},
+      {"marriage_cat", 4, {0.44, 0.31, 0.15, 0.10}},
+      {"supervision_cat", 3, {0.60, 0.25, 0.15}},
+      {"arrest_cat", 4, {0.35, 0.30, 0.20, 0.15}},
+  };
+
+  // Numeric scoring attributes (the seven of Section VI-A), correlated
+  // with demographics. Larger effect -> higher raw value.
+  std::vector<SyntheticScore> scores;
+  {
+    SyntheticScore s;
+    s.name = "days_from_compas";
+    s.noise_stddev = 6.0;
+    s.effects = {{"custody_cat", {2.0, 10.0, 25.0}},
+                 {"charge_degree", {4.0, 12.0}}};
+    scores.push_back(s);
+  }
+  {
+    SyntheticScore s;
+    s.name = "juv_other_count";
+    s.noise_stddev = 0.4;
+    s.effects = {{"juv_other_cat", {0.0, 1.0, 3.0}},
+                 {"age_cat", {1.0, 0.3, 0.0}}};
+    scores.push_back(s);
+  }
+  {
+    SyntheticScore s;
+    s.name = "days_b_screening_arrest";
+    s.noise_stddev = 6.0;
+    s.effects = {{"arrest_cat", {0.0, 6.0, 14.0, 28.0}}};
+    scores.push_back(s);
+  }
+  {
+    SyntheticScore s;
+    s.name = "start";
+    s.noise_stddev = 10.0;
+    s.effects = {{"supervision_cat", {5.0, 25.0, 60.0}},
+                 {"two_year_recid", {0.0, 18.0}}};
+    scores.push_back(s);
+  }
+  {
+    SyntheticScore s;
+    s.name = "end";
+    s.noise_stddev = 80.0;
+    s.effects = {{"two_year_recid", {500.0, 120.0}},
+                 {"score_text", {300.0, 120.0, 30.0}},
+                 {"age_cat", {60.0, 140.0, 260.0}}};
+    scores.push_back(s);
+  }
+  {
+    SyntheticScore s;
+    s.name = "age";
+    s.noise_stddev = 3.0;
+    s.effects = {{"age_cat", {22.0, 33.0, 52.0}},
+                 {"marriage_cat", {28.0, 34.0, 40.0, 44.0}}};
+    scores.push_back(s);
+  }
+  {
+    SyntheticScore s;
+    s.name = "priors_count";
+    s.noise_stddev = 1.2;
+    s.effects = {{"priors_cat", {0.0, 2.0, 6.0, 14.0}},
+                 {"race", {2.4, 3.4, 1.5, 1.0, 0.8, 0.8}},
+                 {"sex", {2.2, 1.2}}};
+    scores.push_back(s);
+  }
+
+  return GenerateSynthetic(attrs, scores, kNumRows, seed);
+}
+
+std::unique_ptr<Ranker> CompasRanker() {
+  // Section VI-A: normalized scoring attributes summed; higher values
+  // mean higher scores except for age, which is reversed.
+  return std::make_unique<ScoreRanker>(std::vector<ScoreTerm>{
+      {"days_from_compas", 1.0, true},
+      {"juv_other_count", 1.0, true},
+      {"days_b_screening_arrest", 1.0, true},
+      {"start", 1.0, true},
+      {"end", 1.0, true},
+      {"age", 1.0, false},
+      {"priors_count", 1.0, true},
+  });
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,30 @@
+// COMPAS-shaped synthetic dataset (6,889 tuples, 16 categorical pattern
+// attributes, 7 numeric scoring attributes), replicating the recidivism
+// dataset used in Section VI-A. Scoring attributes are correlated with
+// demographic attributes so that demographic groups are genuinely
+// over/under-represented in the top-k, and ranking follows the paper's
+// normalized-sum scheme with `age` reversed.
+#ifndef FAIRTOPK_DATAGEN_COMPAS_LIKE_H_
+#define FAIRTOPK_DATAGEN_COMPAS_LIKE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "ranking/ranker.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+
+/// Generates the COMPAS-shaped dataset. Deterministic in `seed`.
+Result<Table> CompasLikeTable(uint64_t seed = 20230107);
+
+/// The Section VI-A ranker: descending by the sum of min-max normalized
+/// scoring attributes, with age contributing reversed.
+std::unique_ptr<Ranker> CompasRanker();
+
+/// Names of the 16 categorical pattern attributes, in pattern order.
+std::vector<std::string> CompasPatternAttributes();
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_DATAGEN_COMPAS_LIKE_H_

@@ -1,0 +1,87 @@
+#include "datagen/german_like.h"
+
+#include "datagen/synthetic.h"
+#include "ranking/precomputed_ranker.h"
+
+namespace fairtopk {
+
+namespace {
+constexpr size_t kNumRows = 1000;
+}  // namespace
+
+std::vector<std::string> GermanPatternAttributes() {
+  return {"status_checking", "duration_cat",     "credit_history",
+          "purpose",         "credit_amount_cat", "savings",
+          "employment",      "installment_rate", "personal_status",
+          "other_debtors",   "residence_length", "property",
+          "age_cat",         "other_installment", "housing",
+          "existing_credits", "job",             "num_liable",
+          "telephone",       "foreign_worker"};
+}
+
+Result<Table> GermanLikeTable(uint64_t seed) {
+  std::vector<SyntheticAttribute> attrs = {
+      // Status of existing checking account: <0 DM, 0<=..<200 DM,
+      // >=200 DM, none. The 0<=..<200 DM group drives the Section VI-C
+      // case study.
+      {"status_checking",
+       4,
+       {0.27, 0.27, 0.06, 0.40},
+       {"<0 DM", "0<=...<200 DM", ">=200 DM", "no account"}},
+      {"duration_cat",
+       4,
+       {0.33, 0.34, 0.22, 0.11},
+       {"<=12mo", "13-24mo", "25-36mo", ">36mo"}},
+      {"credit_history", 5, {0.04, 0.05, 0.53, 0.09, 0.29}},
+      {"purpose", 5, {0.28, 0.23, 0.21, 0.18, 0.10}},
+      {"credit_amount_cat",
+       4,
+       {0.37, 0.30, 0.20, 0.13},
+       {"<2000", "2000-5000", "5000-10000", ">10000"}},
+      {"savings", 5, {0.60, 0.10, 0.06, 0.05, 0.19}},
+      {"employment", 5, {0.06, 0.17, 0.34, 0.17, 0.26}},
+      {"installment_rate", 4, {0.14, 0.23, 0.16, 0.47}},
+      {"personal_status",
+       4,
+       {0.05, 0.31, 0.55, 0.09},
+       {"M-div/sep", "F-div/sep/mar", "M-single", "M-mar/wid"}},
+      {"other_debtors", 3, {0.91, 0.04, 0.05}},
+      {"residence_length",
+       4,
+       {0.13, 0.31, 0.15, 0.41},
+       {"<1y", "1-2y", "2-3y", ">=4y"}},
+      {"property", 4, {0.28, 0.23, 0.33, 0.16}},
+      {"age_cat", 4, {0.26, 0.38, 0.22, 0.14}, {"<26", "26-35", "36-50", ">50"}},
+      {"other_installment", 3, {0.14, 0.05, 0.81}},
+      {"housing", 3, {0.18, 0.71, 0.11}, {"rent", "own", "free"}},
+      {"existing_credits", 4, {0.63, 0.33, 0.03, 0.01}},
+      {"job", 4, {0.02, 0.20, 0.63, 0.15}},
+      {"num_liable", 2, {0.84, 0.16}},
+      {"telephone", 2, {0.60, 0.40}, {"none", "yes"}},
+      {"foreign_worker", 2, {0.96, 0.04}, {"yes", "no"}},
+  };
+
+  // Hidden creditworthiness model (the ranker never sees this): driven
+  // chiefly by residence length, loan duration, credit amount and
+  // installment rate, with smaller demographic effects.
+  SyntheticScore score;
+  score.name = "creditworthiness";
+  score.noise_stddev = 0.8;
+  score.effects = {
+      {"residence_length", {-1.8, -0.4, 0.8, 2.2}},
+      {"duration_cat", {2.0, 0.7, -0.8, -2.4}},
+      {"credit_amount_cat", {1.6, 0.5, -0.7, -2.0}},
+      {"installment_rate", {1.2, 0.4, -0.3, -1.1}},
+      {"status_checking", {-1.0, -0.6, 0.8, 0.9}},
+      {"savings", {-0.5, -0.1, 0.3, 0.6, 0.4}},
+      {"age_cat", {-0.4, 0.1, 0.3, 0.2}},
+  };
+
+  return GenerateSynthetic(attrs, {score}, kNumRows, seed);
+}
+
+std::unique_ptr<Ranker> GermanRanker() {
+  return std::make_unique<PrecomputedScoreRanker>("creditworthiness");
+}
+
+}  // namespace fairtopk

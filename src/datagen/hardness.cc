@@ -1,0 +1,46 @@
+#include "datagen/hardness.h"
+
+#include <numeric>
+
+namespace fairtopk {
+
+Result<Table> HardnessTable(int n) {
+  if (n < 2 || n % 2 != 0) {
+    return Status::InvalidArgument(
+        "the hardness construction needs an even n >= 2");
+  }
+  Schema schema;
+  for (int i = 1; i <= n; ++i) {
+    FAIRTOPK_RETURN_IF_ERROR(
+        schema.AddCategorical("A" + std::to_string(i), {"0", "1"}));
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(Table table, Table::Create(std::move(schema)));
+  std::vector<Cell> row(static_cast<size_t>(n));
+  for (int t = 0; t < n + 1; ++t) {
+    for (int a = 0; a < n; ++a) {
+      row[static_cast<size_t>(a)] =
+          Cell::Code(t < n && a == t ? int16_t{1} : int16_t{0});
+    }
+    FAIRTOPK_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+std::vector<uint32_t> HardnessRanking(int n) {
+  std::vector<uint32_t> ranking(static_cast<size_t>(n) + 1);
+  std::iota(ranking.begin(), ranking.end(), 0);
+  return ranking;
+}
+
+uint64_t HardnessExpectedCount(int n) {
+  // C(n, n/2) via the multiplicative formula (exact for the small n the
+  // demonstration uses).
+  uint64_t result = 1;
+  const uint64_t half = static_cast<uint64_t>(n) / 2;
+  for (uint64_t i = 1; i <= half; ++i) {
+    result = result * (static_cast<uint64_t>(n) - half + i) / i;
+  }
+  return result;
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,32 @@
+// The Theorem 3.3 hardness construction: n binary attributes and n+1
+// tuples where tuple i carries 1 exactly in attribute i (tuple n+1 is
+// all zeros), ranked in row order. With k = n and L_k = n/2 + 1 (or
+// alpha = (n+3)/(n+4)), every pattern assigning 0 to exactly n/2
+// attributes is a most general biased pattern, so the result set has
+// C(n, n/2) > sqrt(2)^n members. Used to exhibit the exponential worst
+// case empirically.
+#ifndef FAIRTOPK_DATAGEN_HARDNESS_H_
+#define FAIRTOPK_DATAGEN_HARDNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+
+/// Builds the construction for `n` attributes (n even, n >= 2).
+/// The identity permutation over rows is the ranking of Theorem 3.3.
+Result<Table> HardnessTable(int n);
+
+/// The ranking used by the construction (row order).
+std::vector<uint32_t> HardnessRanking(int n);
+
+/// C(n, n/2): the number of most general biased patterns the
+/// construction induces.
+uint64_t HardnessExpectedCount(int n);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_DATAGEN_HARDNESS_H_

@@ -1,0 +1,51 @@
+#include "datagen/running_example.h"
+
+#include "ranking/attribute_ranker.h"
+
+namespace fairtopk {
+
+Result<Table> RunningExampleTable() {
+  Schema schema;
+  FAIRTOPK_RETURN_IF_ERROR(schema.AddCategorical("Gender", {"F", "M"}));
+  FAIRTOPK_RETURN_IF_ERROR(schema.AddCategorical("School", {"MS", "GP"}));
+  FAIRTOPK_RETURN_IF_ERROR(schema.AddCategorical("Address", {"R", "U"}));
+  FAIRTOPK_RETURN_IF_ERROR(
+      schema.AddCategorical("Failures", {"0", "1", "2"}));
+  FAIRTOPK_RETURN_IF_ERROR(schema.AddNumeric("Grade"));
+  FAIRTOPK_ASSIGN_OR_RETURN(Table table, Table::Create(std::move(schema)));
+
+  struct Row {
+    const char* gender;
+    const char* school;
+    const char* address;
+    int16_t failures;
+    double grade;
+  };
+  // Figure 1, rows 1-16.
+  const Row rows[] = {
+      {"F", "MS", "R", 1, 11}, {"M", "MS", "R", 1, 15},
+      {"M", "GP", "U", 1, 8},  {"M", "GP", "U", 2, 4},
+      {"M", "MS", "R", 0, 19}, {"F", "MS", "U", 1, 4},
+      {"F", "GP", "R", 1, 7},  {"M", "GP", "R", 1, 6},
+      {"F", "MS", "R", 0, 14}, {"F", "MS", "R", 2, 7},
+      {"M", "MS", "R", 2, 13}, {"F", "GP", "U", 0, 20},
+      {"F", "GP", "U", 2, 12}, {"M", "MS", "U", 1, 13},
+      {"F", "GP", "U", 1, 5},  {"M", "GP", "U", 0, 9},
+  };
+  for (const Row& r : rows) {
+    const int16_t gender = r.gender[0] == 'F' ? 0 : 1;
+    const int16_t school = r.school[0] == 'M' ? 0 : 1;
+    const int16_t address = r.address[0] == 'R' ? 0 : 1;
+    FAIRTOPK_RETURN_IF_ERROR(table.AppendRow(
+        {Cell::Code(gender), Cell::Code(school), Cell::Code(address),
+         Cell::Code(r.failures), Cell::Value(r.grade)}));
+  }
+  return table;
+}
+
+std::unique_ptr<Ranker> RunningExampleRanker() {
+  return std::make_unique<AttributeRanker>(std::vector<SortKey>{
+      {"Grade", /*ascending=*/false}, {"Failures", /*ascending=*/true}});
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,29 @@
+// The paper's running example (Figure 1): 16 students from two
+// Portuguese schools, ranked by grade with ties broken by fewer past
+// failures. Used by the quickstart example and as a ground-truth
+// fixture in tests (Examples 2.3-2.5, 4.6 and 4.9 of the paper are
+// checked against it verbatim).
+#ifndef FAIRTOPK_DATAGEN_RUNNING_EXAMPLE_H_
+#define FAIRTOPK_DATAGEN_RUNNING_EXAMPLE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "ranking/ranker.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+
+/// Builds the Figure 1 table with categorical attributes Gender, School,
+/// Address, Failures and numeric attribute Grade. Row order matches the
+/// figure's numbering (row 0 is student #1).
+Result<Table> RunningExampleTable();
+
+/// The ranker of the running example: grade descending, past failures
+/// ascending on ties. Applied to RunningExampleTable() it reproduces the
+/// Rank column of Figure 1 exactly.
+std::unique_ptr<Ranker> RunningExampleRanker();
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_DATAGEN_RUNNING_EXAMPLE_H_

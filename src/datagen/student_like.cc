@@ -1,0 +1,143 @@
+#include "datagen/student_like.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "ranking/precomputed_ranker.h"
+
+namespace fairtopk {
+
+namespace {
+constexpr size_t kNumRows = 395;
+}  // namespace
+
+std::vector<std::string> StudentPatternAttributes() {
+  return {"school",     "sex",        "age_cat",   "address",  "famsize",
+          "Pstatus",    "Medu",       "Fedu",      "Mjob",     "Fjob",
+          "reason",     "guardian",   "traveltime", "studytime", "failures",
+          "schoolsup",  "famsup",     "paid",      "activities", "nursery",
+          "higher",     "internet",   "romantic",  "famrel",   "freetime",
+          "goout",      "Dalc",       "Walc",      "health",   "absences_cat",
+          "G1_cat",     "G2_cat"};
+}
+
+Result<Table> StudentLikeTable(uint64_t seed) {
+  std::vector<SyntheticAttribute> attrs = {
+      {"school", 2, {0.88, 0.12}, {"GP", "MS"}},
+      {"sex", 2, {0.53, 0.47}, {"F", "M"}},
+      {"age_cat", 4, {0.26, 0.40, 0.25, 0.09}, {"15-16", "17", "18", "19+"}},
+      {"address", 2, {0.78, 0.22}, {"U", "R"}},
+      {"famsize", 2, {0.71, 0.29}, {"GT3", "LE3"}},
+      {"Pstatus", 2, {0.90, 0.10}, {"T", "A"}},
+      // Mother's education: none/primary(4th grade)/5th-9th/secondary/
+      // higher. The primary-education group drives the Section VI-C case
+      // study.
+      {"Medu",
+       5,
+       {0.01, 0.15, 0.26, 0.25, 0.33},
+       {"none", "primary(4th)", "5th-9th", "secondary", "higher"}},
+      {"Fedu",
+       5,
+       {0.01, 0.21, 0.29, 0.25, 0.24},
+       {"none", "primary(4th)", "5th-9th", "secondary", "higher"}},
+      {"Mjob",
+       5,
+       {0.15, 0.09, 0.26, 0.37, 0.13},
+       {"at_home", "health", "services", "other", "teacher"}},
+      {"Fjob",
+       5,
+       {0.05, 0.04, 0.28, 0.55, 0.08},
+       {"at_home", "health", "services", "other", "teacher"}},
+      {"reason",
+       4,
+       {0.37, 0.28, 0.25, 0.10},
+       {"course", "home", "reputation", "other"}},
+      {"guardian", 3, {0.69, 0.23, 0.08}, {"mother", "father", "other"}},
+      {"traveltime", 4, {0.65, 0.27, 0.06, 0.02}},
+      {"studytime", 4, {0.27, 0.50, 0.16, 0.07}},
+      {"failures", 4, {0.79, 0.13, 0.04, 0.04}},
+      {"schoolsup", 2, {0.87, 0.13}},
+      {"famsup", 2, {0.39, 0.61}},
+      {"paid", 2, {0.54, 0.46}},
+      {"activities", 2, {0.49, 0.51}},
+      {"nursery", 2, {0.21, 0.79}},
+      {"higher", 2, {0.05, 0.95}},
+      {"internet", 2, {0.17, 0.83}},
+      {"romantic", 2, {0.67, 0.33}},
+      {"famrel", 5, {0.02, 0.05, 0.17, 0.49, 0.27}},
+      {"freetime", 5, {0.05, 0.16, 0.40, 0.29, 0.10}},
+      {"goout", 5, {0.06, 0.26, 0.33, 0.22, 0.13}},
+      {"Dalc", 5, {0.70, 0.19, 0.07, 0.02, 0.02}},
+      {"Walc", 5, {0.38, 0.22, 0.20, 0.13, 0.07}},
+      {"health", 5, {0.12, 0.11, 0.23, 0.17, 0.37}},
+      {"absences_cat", 4, {0.45, 0.30, 0.15, 0.10}},
+  };
+
+  // Final grade G3 on the 0-20 scale, correlated with socio-economic
+  // attributes: mother's education has the strongest effect (so the
+  // Medu=primary group lands low in the ranking), then study time,
+  // failures, school support, and the school itself.
+  SyntheticScore g3;
+  g3.name = "G3";
+  g3.noise_stddev = 2.4;
+  g3.effects = {
+      {"Medu", {7.0, 7.6, 9.6, 11.0, 12.6}},
+      {"studytime", {-1.2, 0.0, 0.9, 1.6}},
+      {"failures", {1.2, -1.6, -2.8, -3.8}},
+      {"schoolsup", {0.4, -1.0}},
+      {"school", {0.3, -0.5}},
+      {"higher", {-1.8, 0.3}},
+  };
+
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      Table base, GenerateSynthetic(attrs, {g3}, kNumRows, seed));
+
+  // Clamp G3 to the exam scale and derive the bucketized period grades
+  // G1_cat/G2_cat as noisy shadows of G3 — the correlation Section
+  // VI-C's Shapley analysis surfaces.
+  Schema schema;
+  for (const auto& a : base.schema().attributes()) {
+    if (a.type == AttributeType::kCategorical) {
+      FAIRTOPK_RETURN_IF_ERROR(schema.AddCategorical(a.name, a.labels));
+    }
+  }
+  FAIRTOPK_RETURN_IF_ERROR(
+      schema.AddCategorical("G1_cat", {"[0,5)", "[5,10)", "[10,15)",
+                                       "[15,20]"}));
+  FAIRTOPK_RETURN_IF_ERROR(
+      schema.AddCategorical("G2_cat", {"[0,5)", "[5,10)", "[10,15)",
+                                       "[15,20]"}));
+  FAIRTOPK_RETURN_IF_ERROR(schema.AddNumeric("G3"));
+  FAIRTOPK_ASSIGN_OR_RETURN(Table table, Table::Create(std::move(schema)));
+
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  const size_t g3_col = *base.schema().IndexOf("G3");
+  const size_t num_cat = base.schema().CategoricalIndices().size();
+  std::vector<Cell> row(num_cat + 3);
+  for (size_t r = 0; r < base.num_rows(); ++r) {
+    for (size_t c = 0; c < num_cat; ++c) {
+      row[c] = Cell::Code(base.CodeAt(r, c));
+    }
+    double grade = std::clamp(base.ValueAt(r, g3_col), 0.0, 20.0);
+    auto bucket = [](double g) {
+      if (g < 5.0) return int16_t{0};
+      if (g < 10.0) return int16_t{1};
+      if (g < 15.0) return int16_t{2};
+      return int16_t{3};
+    };
+    double g1 = std::clamp(grade + rng.Gaussian() * 1.5, 0.0, 20.0);
+    double g2 = std::clamp(grade + rng.Gaussian() * 1.0, 0.0, 20.0);
+    row[num_cat] = Cell::Code(bucket(g1));
+    row[num_cat + 1] = Cell::Code(bucket(g2));
+    row[num_cat + 2] = Cell::Value(grade);
+    FAIRTOPK_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+std::unique_ptr<Ranker> StudentRanker() {
+  return std::make_unique<PrecomputedScoreRanker>("G3");
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,29 @@
+// Student-Performance-shaped synthetic dataset (395 tuples, 32
+// categorical attributes + the numeric final grade G3), replicating the
+// UCI Math fragment used in Section VI-A. G3 is correlated with the
+// mother's-education, study-time and failures attributes, and the
+// period grades G1/G2 are bucketized shadows of G3 — reproducing the
+// correlations the Shapley analysis of Section VI-C relies on.
+#ifndef FAIRTOPK_DATAGEN_STUDENT_LIKE_H_
+#define FAIRTOPK_DATAGEN_STUDENT_LIKE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "ranking/ranker.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+
+/// Generates the Student-shaped dataset. Deterministic in `seed`.
+Result<Table> StudentLikeTable(uint64_t seed = 20052006);
+
+/// The Section VI-A ranker for this dataset: descending by G3.
+std::unique_ptr<Ranker> StudentRanker();
+
+/// Names of the 32 categorical pattern attributes, in pattern order.
+std::vector<std::string> StudentPatternAttributes();
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_DATAGEN_STUDENT_LIKE_H_

@@ -1,0 +1,111 @@
+#include "datagen/synthetic.h"
+
+namespace fairtopk {
+
+Result<Table> GenerateSynthetic(
+    const std::vector<SyntheticAttribute>& attributes,
+    const std::vector<SyntheticScore>& scores, size_t num_rows,
+    uint64_t seed) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("synthetic dataset needs attributes");
+  }
+  if (num_rows == 0) {
+    return Status::InvalidArgument("synthetic dataset needs rows");
+  }
+  Schema schema;
+  for (const auto& attr : attributes) {
+    if (attr.cardinality < 2) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' needs cardinality >= 2");
+    }
+    if (!attr.weights.empty() &&
+        attr.weights.size() != static_cast<size_t>(attr.cardinality)) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' has mismatched weights");
+    }
+    if (!attr.labels.empty() &&
+        attr.labels.size() != static_cast<size_t>(attr.cardinality)) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' has mismatched labels");
+    }
+    std::vector<std::string> labels = attr.labels;
+    if (labels.empty()) {
+      for (int v = 0; v < attr.cardinality; ++v) {
+        labels.push_back("v" + std::to_string(v));
+      }
+    }
+    FAIRTOPK_RETURN_IF_ERROR(schema.AddCategorical(attr.name, labels));
+  }
+  for (const auto& score : scores) {
+    FAIRTOPK_RETURN_IF_ERROR(schema.AddNumeric(score.name));
+  }
+
+  // Resolve score effects to attribute positions up front.
+  struct ResolvedEffect {
+    size_t attribute_pos;
+    const std::vector<double>* effect;
+  };
+  std::vector<std::vector<ResolvedEffect>> resolved(scores.size());
+  for (size_t s = 0; s < scores.size(); ++s) {
+    for (const auto& e : scores[s].effects) {
+      size_t pos = attributes.size();
+      for (size_t a = 0; a < attributes.size(); ++a) {
+        if (attributes[a].name == e.attribute) {
+          pos = a;
+          break;
+        }
+      }
+      if (pos == attributes.size()) {
+        return Status::NotFound("score effect references unknown attribute '" +
+                                e.attribute + "'");
+      }
+      if (e.effect.size() !=
+          static_cast<size_t>(attributes[pos].cardinality)) {
+        return Status::InvalidArgument(
+            "score effect on '" + e.attribute +
+            "' must list one value per domain element");
+      }
+      resolved[s].push_back({pos, &e.effect});
+    }
+  }
+
+  FAIRTOPK_ASSIGN_OR_RETURN(Table table, Table::Create(std::move(schema)));
+  Rng rng(seed);
+  std::vector<Cell> row(attributes.size() + scores.size());
+  std::vector<int16_t> codes(attributes.size());
+  for (size_t r = 0; r < num_rows; ++r) {
+    for (size_t a = 0; a < attributes.size(); ++a) {
+      const auto& attr = attributes[a];
+      int16_t code;
+      if (attr.weights.empty()) {
+        code = static_cast<int16_t>(
+            rng.UniformUint64(static_cast<uint64_t>(attr.cardinality)));
+      } else {
+        code = static_cast<int16_t>(rng.Categorical(attr.weights));
+      }
+      codes[a] = code;
+      row[a] = Cell::Code(code);
+    }
+    for (size_t s = 0; s < scores.size(); ++s) {
+      double value = rng.Gaussian() * scores[s].noise_stddev;
+      for (const auto& e : resolved[s]) {
+        value += (*e.effect)[static_cast<size_t>(codes[e.attribute_pos])];
+      }
+      row[attributes.size() + s] = Cell::Value(value);
+    }
+    FAIRTOPK_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+std::vector<SyntheticAttribute> UniformAttributes(const std::string& prefix,
+                                                  size_t count,
+                                                  int cardinality) {
+  std::vector<SyntheticAttribute> out;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back({prefix + std::to_string(i), cardinality, {}});
+  }
+  return out;
+}
+
+}  // namespace fairtopk

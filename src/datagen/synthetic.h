@@ -1,0 +1,65 @@
+// Generic synthetic dataset generator.
+//
+// The paper evaluates on three real datasets that are not
+// redistributable with this repository. The generators in this module
+// replicate what the detection algorithms actually observe: tuple
+// count, number of categorical pattern attributes, per-attribute
+// cardinalities, value skew, and score attributes correlated with
+// demographic attributes (so that biased groups genuinely exist in the
+// top-k). See DESIGN.md, "Substitutions".
+#ifndef FAIRTOPK_DATAGEN_SYNTHETIC_H_
+#define FAIRTOPK_DATAGEN_SYNTHETIC_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+
+/// One categorical attribute of a synthetic dataset.
+struct SyntheticAttribute {
+  std::string name;
+  int cardinality = 2;
+  /// Unnormalized sampling weights per value; uniform when empty.
+  std::vector<double> weights;
+  /// Human-readable value labels; "v0".."vN-1" when empty. When given,
+  /// must have exactly `cardinality` entries.
+  std::vector<std::string> labels;
+};
+
+/// Additive effect of one categorical attribute on a score column.
+struct ScoreEffect {
+  std::string attribute;
+  /// effect[code] is added to the score when the tuple carries `code`.
+  std::vector<double> effect;
+};
+
+/// A numeric score column derived from the categorical attributes plus
+/// Gaussian noise: score = sum of effects + N(0, noise_stddev).
+struct SyntheticScore {
+  std::string name = "score";
+  double noise_stddev = 1.0;
+  std::vector<ScoreEffect> effects;
+};
+
+/// Samples `num_rows` tuples over `attributes` (independently per
+/// attribute, by weight) and appends one numeric column per entry of
+/// `scores`. Deterministic in `seed`.
+Result<Table> GenerateSynthetic(const std::vector<SyntheticAttribute>& attributes,
+                                const std::vector<SyntheticScore>& scores,
+                                size_t num_rows, uint64_t seed);
+
+/// Convenience: `count` attributes named prefix0..prefixN-1, all with
+/// the same cardinality and uniform weights.
+std::vector<SyntheticAttribute> UniformAttributes(const std::string& prefix,
+                                                  size_t count,
+                                                  int cardinality);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,55 @@
+#include "detect/bounds.h"
+
+namespace fairtopk {
+
+StepFunction StepFunction::Constant(double value) {
+  StepFunction f;
+  f.steps_ = {{0, value}};
+  return f;
+}
+
+Result<StepFunction> StepFunction::FromSteps(
+    std::vector<std::pair<int, double>> steps) {
+  if (steps.empty()) {
+    return Status::InvalidArgument("step function needs at least one step");
+  }
+  for (size_t i = 1; i < steps.size(); ++i) {
+    if (steps[i].first <= steps[i - 1].first) {
+      return Status::InvalidArgument(
+          "step starts must be strictly increasing");
+    }
+  }
+  StepFunction f;
+  f.steps_ = std::move(steps);
+  return f;
+}
+
+double StepFunction::At(int k) const {
+  double value = steps_.front().second;
+  for (const auto& [start, v] : steps_) {
+    if (k >= start) value = v;
+    else break;
+  }
+  return value;
+}
+
+bool StepFunction::IsNonDecreasing() const {
+  for (size_t i = 1; i < steps_.size(); ++i) {
+    if (steps_[i].second < steps_[i - 1].second) return false;
+  }
+  return true;
+}
+
+GlobalBoundSpec GlobalBoundSpec::PaperDefault(int k_max) {
+  std::vector<std::pair<int, double>> steps;
+  for (int start = 10, level = 10; start <= k_max; start += 10, level += 10) {
+    steps.emplace_back(start, static_cast<double>(level));
+  }
+  if (steps.empty()) steps.emplace_back(0, 10.0);
+  GlobalBoundSpec spec;
+  // Construction above guarantees strictly increasing starts.
+  spec.lower = *StepFunction::FromSteps(std::move(steps));
+  return spec;
+}
+
+}  // namespace fairtopk

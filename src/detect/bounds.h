@@ -1,0 +1,83 @@
+// Fairness-bound specifications for the two problem definitions.
+//
+// Problem 3.1 (global representation bounds): per-k lower bounds L_k
+// (and optional upper bounds U_k) applying to every pattern uniformly.
+// Problem 3.2 (proportional representation): per-pattern bounds
+// α·s_D(p)·k/|D| (lower) and β·s_D(p)·k/|D| (upper).
+#ifndef FAIRTOPK_DETECT_BOUNDS_H_
+#define FAIRTOPK_DETECT_BOUNDS_H_
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairtopk {
+
+/// A step function over k: value of the highest step whose start does
+/// not exceed k. Used for the L_k staircases of Section VI-A (e.g.
+/// L = 10 for 10 <= k < 20, 20 for 20 <= k < 30, ...).
+class StepFunction {
+ public:
+  /// Constant function.
+  static StepFunction Constant(double value);
+
+  /// Builds a step function from (start_k, value) pairs. Fails unless
+  /// starts are strictly increasing and at least one step is given.
+  /// For k below the first start, the first value applies.
+  static Result<StepFunction> FromSteps(
+      std::vector<std::pair<int, double>> steps);
+
+  /// Value at `k`.
+  double At(int k) const;
+
+  /// True iff the function never decreases with k (the assumption of
+  /// Section IV-B, footnote 3).
+  bool IsNonDecreasing() const;
+
+  /// True iff At(k) == At(k-1) — i.e. no step boundary at k.
+  bool SameAsPrevious(int k) const { return At(k) == At(k - 1); }
+
+ private:
+  std::vector<std::pair<int, double>> steps_;
+};
+
+/// Bounds for the global-representation problem (Problem 3.1).
+struct GlobalBoundSpec {
+  StepFunction lower = StepFunction::Constant(0.0);
+  /// Defaults to +infinity (lower-bound-only detection, the focus of
+  /// Section IV).
+  StepFunction upper =
+      StepFunction::Constant(std::numeric_limits<double>::infinity());
+
+  /// Paper default for Section VI-A: L = 10/20/30/40 on [10,20), [20,30),
+  /// [30,40), [40,50); beyond 50 the staircase keeps climbing by 10
+  /// every 10 ranks so larger k ranges (Figures 8-9) stay meaningful.
+  static GlobalBoundSpec PaperDefault(int k_max);
+};
+
+/// Bounds for the proportional-representation problem (Problem 3.2).
+struct PropBoundSpec {
+  /// Lower multiplier: biased when s_Rk(p) < alpha * s_D(p) * k / |D|.
+  double alpha = 0.8;
+  /// Upper multiplier (beta > alpha); infinity disables the upper test.
+  double beta = std::numeric_limits<double>::infinity();
+
+  /// The proportional lower bound for a pattern of size `size_d` at `k`
+  /// in a dataset of `n` tuples.
+  double LowerAt(int size_d, int k, size_t n) const {
+    return alpha * static_cast<double>(size_d) * static_cast<double>(k) /
+           static_cast<double>(n);
+  }
+
+  /// The proportional upper bound (infinity when disabled).
+  double UpperAt(int size_d, int k, size_t n) const {
+    return beta * static_cast<double>(size_d) * static_cast<double>(k) /
+           static_cast<double>(n);
+  }
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_DETECT_BOUNDS_H_

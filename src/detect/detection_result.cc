@@ -1,0 +1,65 @@
+#include "detect/detection_result.h"
+
+#include <algorithm>
+
+namespace fairtopk {
+
+std::vector<Pattern> DetectionResult::AllDistinct() const {
+  std::vector<Pattern> all;
+  for (const auto& patterns : per_k_) {
+    all.insert(all.end(), patterns.begin(), patterns.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+size_t DetectionResult::MaxResultSize() const {
+  size_t max_size = 0;
+  for (const auto& patterns : per_k_) {
+    max_size = std::max(max_size, patterns.size());
+  }
+  return max_size;
+}
+
+Result<DetectionInput> DetectionInput::Prepare(
+    const Table& table, const Ranker& ranker,
+    const std::vector<std::string>& pattern_attributes) {
+  FAIRTOPK_ASSIGN_OR_RETURN(std::vector<uint32_t> ranking,
+                            ranker.Rank(table));
+  return PrepareWithRanking(table, std::move(ranking), pattern_attributes);
+}
+
+Result<DetectionInput> DetectionInput::PrepareWithRanking(
+    const Table& table, std::vector<uint32_t> ranking,
+    const std::vector<std::string>& pattern_attributes) {
+  FAIRTOPK_RETURN_IF_ERROR(ValidateRanking(ranking, table.num_rows()));
+  Result<PatternSpace> space =
+      pattern_attributes.empty()
+          ? PatternSpace::CreateAllCategorical(table.schema())
+          : PatternSpace::Create(table.schema(), pattern_attributes);
+  if (!space.ok()) return space.status();
+  FAIRTOPK_ASSIGN_OR_RETURN(BitmapIndex index,
+                            BitmapIndex::Build(table, *space, ranking));
+  return DetectionInput(std::move(index), std::move(ranking));
+}
+
+Status DetectionInput::ValidateConfig(const DetectionConfig& config) const {
+  if (config.k_min < 1) {
+    return Status::InvalidArgument("k_min must be at least 1");
+  }
+  if (config.k_max < config.k_min) {
+    return Status::InvalidArgument("k_max must be >= k_min");
+  }
+  if (static_cast<size_t>(config.k_max) > num_rows()) {
+    return Status::InvalidArgument(
+        "k_max " + std::to_string(config.k_max) + " exceeds dataset size " +
+        std::to_string(num_rows()));
+  }
+  if (config.size_threshold < 1) {
+    return Status::InvalidArgument("size threshold must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,105 @@
+// Shared input/output types for the detection algorithms.
+#ifndef FAIRTOPK_DETECT_DETECTION_RESULT_H_
+#define FAIRTOPK_DETECT_DETECTION_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/bitmap_index.h"
+#include "pattern/pattern.h"
+#include "ranking/ranker.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+
+/// Parameters common to all detection problems.
+struct DetectionConfig {
+  int k_min = 10;
+  int k_max = 49;
+  /// Minimum group size in D (τs). Groups smaller than this are never
+  /// reported (and, by anti-monotonicity, never expanded).
+  int size_threshold = 50;
+};
+
+/// Work counters for the search-space experiments of Section VI-B.
+struct DetectionStats {
+  /// Number of pattern nodes whose representation was evaluated —
+  /// the "patterns examined during the search" count the paper compares.
+  uint64_t nodes_visited = 0;
+  /// Wall-clock seconds spent inside the algorithm.
+  double seconds = 0.0;
+};
+
+/// Per-k most-general biased patterns plus stats.
+class DetectionResult {
+ public:
+  DetectionResult(int k_min, int k_max)
+      : k_min_(k_min), per_k_(static_cast<size_t>(k_max - k_min + 1)) {}
+
+  int k_min() const { return k_min_; }
+  int k_max() const { return k_min_ + static_cast<int>(per_k_.size()) - 1; }
+
+  /// Reported patterns for `k` (sorted, deterministic).
+  const std::vector<Pattern>& AtK(int k) const {
+    return per_k_[static_cast<size_t>(k - k_min_)];
+  }
+
+  /// Mutable accessor used by the algorithms.
+  std::vector<Pattern>& MutableAtK(int k) {
+    return per_k_[static_cast<size_t>(k - k_min_)];
+  }
+
+  /// Distinct patterns reported at any k, sorted.
+  std::vector<Pattern> AllDistinct() const;
+
+  /// Largest per-k result size.
+  size_t MaxResultSize() const;
+
+  DetectionStats& stats() { return stats_; }
+  const DetectionStats& stats() const { return stats_; }
+
+ private:
+  int k_min_;
+  std::vector<std::vector<Pattern>> per_k_;
+  DetectionStats stats_;
+};
+
+/// Validated bundle of everything the algorithms need: the ranked
+/// bitmap index for one (table, ranker, pattern attributes) triple.
+/// Building it once lets benchmark comparisons exclude ranking and
+/// index-construction cost from all algorithms equally.
+class DetectionInput {
+ public:
+  /// Ranks `table` with `ranker`, builds the pattern space over
+  /// `pattern_attributes` (all categorical attributes when empty), and
+  /// indexes the result.
+  static Result<DetectionInput> Prepare(
+      const Table& table, const Ranker& ranker,
+      const std::vector<std::string>& pattern_attributes = {});
+
+  /// As above with an explicit precomputed ranking permutation.
+  static Result<DetectionInput> PrepareWithRanking(
+      const Table& table, std::vector<uint32_t> ranking,
+      const std::vector<std::string>& pattern_attributes = {});
+
+  const BitmapIndex& index() const { return index_; }
+  const PatternSpace& space() const { return index_.space(); }
+  size_t num_rows() const { return index_.num_rows(); }
+  const std::vector<uint32_t>& ranking() const { return ranking_; }
+
+  /// Checks k range and threshold against this input.
+  Status ValidateConfig(const DetectionConfig& config) const;
+
+ private:
+  DetectionInput(BitmapIndex index, std::vector<uint32_t> ranking)
+      : index_(std::move(index)), ranking_(std::move(ranking)) {}
+
+  BitmapIndex index_;
+  std::vector<uint32_t> ranking_;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_DETECT_DETECTION_RESULT_H_

@@ -1,0 +1,144 @@
+#include "detect/global_bounds.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "detect/topdown.h"
+#include "pattern/search_tree.h"
+
+namespace fairtopk {
+
+namespace {
+
+/// Resumes the top-down search below `from` at the current k: `from`
+/// just stopped being biased, so its subtree — never explored while
+/// `from` was a biased leaf — must now be searched (procedure
+/// searchFromNode of Algorithm 2).
+void ExpandFrom(const Pattern& from, const BitmapIndex& index,
+                int size_threshold, int k, double lower,
+                MostGeneralResultSet& res, std::vector<Pattern>& deferred,
+                DetectionStats* stats) {
+  const PatternSpace& space = index.space();
+  std::vector<Pattern> stack;
+  AppendChildren(from, space, stack);
+  while (!stack.empty()) {
+    Pattern p = std::move(stack.back());
+    stack.pop_back();
+    if (stats != nullptr) ++stats->nodes_visited;
+    const size_t size_d = index.PatternCount(p);
+    if (size_d < static_cast<size_t>(size_threshold)) continue;
+    const size_t top_k = index.TopKCount(p, static_cast<size_t>(k));
+    if (static_cast<double>(top_k) < lower) {
+      if (res.HasProperAncestorOf(p)) {
+        deferred.push_back(p);
+      } else {
+        UpdateOutcome update = res.Update(p);
+        for (Pattern& evicted : update.evicted) {
+          deferred.push_back(std::move(evicted));
+        }
+      }
+      continue;
+    }
+    AppendChildren(p, space, stack);
+  }
+}
+
+}  // namespace
+
+Result<DetectionResult> DetectGlobalBounds(const DetectionInput& input,
+                                           const GlobalBoundSpec& bounds,
+                                           const DetectionConfig& config) {
+  FAIRTOPK_RETURN_IF_ERROR(input.ValidateConfig(config));
+  if (!bounds.lower.IsNonDecreasing()) {
+    return Status::InvalidArgument(
+        "GLOBALBOUNDS assumes non-decreasing lower bounds (footnote 3 of "
+        "the paper); use DetectGlobalIterTD for arbitrary bounds");
+  }
+  WallTimer timer;
+  const BitmapIndex& index = input.index();
+  DetectionResult result(config.k_min, config.k_max);
+  DetectionStats* stats = &result.stats();
+
+  MostGeneralResultSet res;
+  std::vector<Pattern> deferred;  // DRes of Algorithm 2.
+
+  // Initial full search at k_min.
+  {
+    const double lower = bounds.lower.At(config.k_min);
+    TopDownOutcome outcome =
+        TopDownSearch(index, config.size_threshold, config.k_min,
+                      [lower](size_t) { return lower; }, stats);
+    res = std::move(outcome.result);
+    deferred = std::move(outcome.deferred);
+    result.MutableAtK(config.k_min) = res.Sorted();
+  }
+
+  for (int k = config.k_min + 1; k <= config.k_max; ++k) {
+    const double lower = bounds.lower.At(k);
+    if (lower != bounds.lower.At(k - 1)) {
+      // Bound stepped up: restart with a fresh search (Algorithm 2,
+      // line 5).
+      TopDownOutcome outcome =
+          TopDownSearch(index, config.size_threshold, k,
+                        [lower](size_t) { return lower; }, stats);
+      res = std::move(outcome.result);
+      deferred = std::move(outcome.deferred);
+      result.MutableAtK(k) = res.Sorted();
+      continue;
+    }
+
+    // The new tuple occupies rank position k-1 (0-based). With a flat
+    // bound, counts only grow, so the only possible transition is
+    // biased -> not biased, and only for patterns the tuple satisfies.
+    const size_t new_pos = static_cast<size_t>(k - 1);
+
+    // Phase 1: members of Res satisfied by the new tuple.
+    std::vector<Pattern> candidates;
+    for (const Pattern& p : res.patterns()) {
+      if (index.RankedRowSatisfies(p, new_pos)) candidates.push_back(p);
+    }
+    for (const Pattern& p : candidates) {
+      if (!res.Contains(p)) continue;  // evicted by an earlier expansion
+      if (stats != nullptr) ++stats->nodes_visited;
+      const size_t top_k = index.TopKCount(p, static_cast<size_t>(k));
+      if (static_cast<double>(top_k) >= lower) {
+        res.Remove(p);
+        ExpandFrom(p, index, config.size_threshold, k, lower, res, deferred,
+                   stats);
+      }
+    }
+
+    // Phase 2: re-examine the deferred set (Algorithm 2, line 8).
+    // Entries may leave (count reached the bound), be promoted into Res
+    // (their subsuming ancestor left), or stay deferred.
+    std::vector<Pattern> pending;
+    pending.swap(deferred);
+    for (Pattern& d : pending) {
+      if (stats != nullptr) ++stats->nodes_visited;
+      const size_t top_k = index.TopKCount(d, static_cast<size_t>(k));
+      if (static_cast<double>(top_k) >= lower) {
+        ExpandFrom(d, index, config.size_threshold, k, lower, res, deferred,
+                   stats);
+        continue;
+      }
+      if (res.HasProperAncestorOf(d)) {
+        deferred.push_back(std::move(d));
+        continue;
+      }
+      UpdateOutcome update = res.Update(d);
+      for (Pattern& evicted : update.evicted) {
+        deferred.push_back(std::move(evicted));
+      }
+      if (!update.inserted) {
+        // A duplicate (already present); drop silently.
+      }
+    }
+
+    result.MutableAtK(k) = res.Sorted();
+  }
+
+  result.stats().seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,74 @@
+#include "detect/presentation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace fairtopk {
+
+namespace {
+
+void SortGroups(std::vector<ReportedGroup>& groups, GroupOrder order) {
+  std::stable_sort(groups.begin(), groups.end(),
+                   [order](const ReportedGroup& a, const ReportedGroup& b) {
+                     if (order == GroupOrder::kBySizeDesc) {
+                       return a.size_in_d > b.size_in_d;
+                     }
+                     return a.bias() > b.bias();
+                   });
+}
+
+}  // namespace
+
+std::vector<ReportedGroup> AnnotateGlobal(const DetectionResult& result,
+                                          const DetectionInput& input,
+                                          const GlobalBoundSpec& bounds,
+                                          int k, GroupOrder order) {
+  std::vector<ReportedGroup> groups;
+  for (const Pattern& p : result.AtK(k)) {
+    ReportedGroup g;
+    g.pattern = p;
+    g.size_in_d = input.index().PatternCount(p);
+    g.size_in_topk = input.index().TopKCount(p, static_cast<size_t>(k));
+    g.required = bounds.lower.At(k);
+    groups.push_back(std::move(g));
+  }
+  SortGroups(groups, order);
+  return groups;
+}
+
+std::vector<ReportedGroup> AnnotateProp(const DetectionResult& result,
+                                        const DetectionInput& input,
+                                        const PropBoundSpec& bounds, int k,
+                                        GroupOrder order) {
+  std::vector<ReportedGroup> groups;
+  for (const Pattern& p : result.AtK(k)) {
+    ReportedGroup g;
+    g.pattern = p;
+    g.size_in_d = input.index().PatternCount(p);
+    g.size_in_topk = input.index().TopKCount(p, static_cast<size_t>(k));
+    g.required = bounds.LowerAt(static_cast<int>(g.size_in_d), k,
+                                input.num_rows());
+    groups.push_back(std::move(g));
+  }
+  SortGroups(groups, order);
+  return groups;
+}
+
+std::string RenderReport(const std::vector<ReportedGroup>& groups,
+                         const PatternSpace& space, int k) {
+  std::ostringstream out;
+  out << "Groups with biased representation in the top-" << k << " ("
+      << groups.size() << " group" << (groups.size() == 1 ? "" : "s")
+      << ")\n";
+  for (const ReportedGroup& g : groups) {
+    out << "  " << g.pattern.ToString(space) << "  size=" << g.size_in_d
+        << "  in-top-" << k << "=" << g.size_in_topk
+        << "  required>=" << FormatDouble(g.required, 2)
+        << "  bias=" << FormatDouble(g.bias(), 2) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fairtopk

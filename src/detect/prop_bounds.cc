@@ -1,0 +1,250 @@
+#include "detect/prop_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/timer.h"
+#include "pattern/result_set.h"
+#include "pattern/search_tree.h"
+
+namespace fairtopk {
+
+namespace {
+
+/// Mutable search state shared by the helper routines below.
+class PropSearch {
+ public:
+  PropSearch(const BitmapIndex& index, const PropBoundSpec& bounds,
+             const DetectionConfig& config, DetectionStats* stats)
+      : index_(index),
+        space_(index.space()),
+        config_(config),
+        stats_(stats),
+        bounds_(bounds),
+        alpha_(bounds.alpha),
+        n_(static_cast<double>(index.num_rows())) {}
+
+  /// Full top-down search at k_min (TopDownSearch of Algorithm 3).
+  void InitialSearch() {
+    std::vector<Pattern> roots =
+        GenerateChildren(Pattern::Empty(space_.num_attributes()), space_);
+    for (const Pattern& p : roots) Visit(p, config_.k_min, /*full=*/true);
+  }
+
+  /// One incremental step: process the arrival of the tuple at rank k
+  /// (0-based position k-1), fire the k-tilde schedule, and reconcile
+  /// the deferred set.
+  void Step(int k) {
+    // (1) Selective top-down descent through patterns the new tuple
+    // satisfies (selectiveTD of Algorithm 3).
+    const size_t pos = static_cast<size_t>(k - 1);
+    std::vector<Pattern> roots =
+        GenerateChildren(Pattern::Empty(space_.num_attributes()), space_);
+    for (const Pattern& p : roots) {
+      if (index_.RankedRowSatisfies(p, pos)) Visit(p, k, /*full=*/false);
+    }
+
+    // (2) k-tilde firings: patterns untouched by the new tuple whose
+    // scheduled transition rank is k (Algorithm 3, line 6). Entries are
+    // conservative (counts only grow), so each firing re-validates
+    // against a fresh count and re-registers when still unbiased.
+    auto bucket_it = schedule_.find(k);
+    if (bucket_it != schedule_.end()) {
+      std::vector<Pattern> fired = std::move(bucket_it->second);
+      schedule_.erase(bucket_it);
+      for (const Pattern& p : fired) {
+        if (res_.Contains(p) || deferred_.count(p) > 0) continue;
+        CountStat();
+        const size_t size_d = SizeOf(p);
+        const size_t top_k = index_.TopKCount(p, static_cast<size_t>(k));
+        if (Biased(top_k, size_d, k)) {
+          Place(p);
+        } else {
+          RegisterKTilde(p, top_k, size_d, k);
+        }
+      }
+    }
+
+    // (3) Reconcile the deferred set: entries whose subsuming ancestor
+    // left Res are promoted; entries that stopped being biased leave
+    // (their counts grew while shadowed by a biased ancestor).
+    ReconcileDeferred(k);
+  }
+
+  /// Current most-general biased patterns, sorted.
+  std::vector<Pattern> Snapshot() const { return res_.Sorted(); }
+
+ private:
+  struct NodeInfo {
+    size_t size_d = 0;
+    bool expanded = false;
+  };
+
+  void CountStat() {
+    if (stats_ != nullptr) ++stats_->nodes_visited;
+  }
+
+  // Single canonical bound evaluation (PropBoundSpec::LowerAt) shared
+  // with ITERTD and the test oracles, so floating-point boundary cases
+  // classify identically everywhere.
+  bool Biased(size_t top_k, size_t size_d, int k) const {
+    return static_cast<double>(top_k) <
+           bounds_.LowerAt(static_cast<int>(size_d), k, index_.num_rows());
+  }
+
+  /// Minimal k' > k with top_k < alpha * size_d * k' / n, or 0 when it
+  /// lies beyond k_max (no registration needed).
+  int KTilde(size_t top_k, size_t size_d, int k) const {
+    const double denom = alpha_ * static_cast<double>(size_d);
+    if (denom <= 0.0) return 0;
+    int kt = static_cast<int>(
+                 std::floor(static_cast<double>(top_k) * n_ / denom)) +
+             1;
+    if (kt <= k) kt = k + 1;
+    // Guard against floating-point rounding on the floor above.
+    while (kt > k + 1 && Biased(top_k, size_d, kt - 1)) --kt;
+    while (!Biased(top_k, size_d, kt)) ++kt;
+    return kt > config_.k_max ? 0 : kt;
+  }
+
+  void RegisterKTilde(const Pattern& p, size_t top_k, size_t size_d, int k) {
+    const int kt = KTilde(top_k, size_d, k);
+    if (kt != 0) schedule_[kt].push_back(p);
+  }
+
+  size_t SizeOf(const Pattern& p) {
+    auto it = store_.find(p);
+    if (it != store_.end()) return it->second.size_d;
+    const size_t size_d = index_.PatternCount(p);
+    store_.emplace(p, NodeInfo{size_d, false});
+    return size_d;
+  }
+
+  /// Inserts a biased pattern into Res or the deferred set, keeping the
+  /// most-general invariant (evictions flow into the deferred set).
+  void Place(const Pattern& p) {
+    if (res_.Contains(p) || deferred_.count(p) > 0) return;
+    if (res_.HasProperAncestorOf(p)) {
+      deferred_.insert(p);
+      return;
+    }
+    UpdateOutcome update = res_.Update(p);
+    for (const Pattern& evicted : update.evicted) deferred_.insert(evicted);
+  }
+
+  /// Evaluates `p` at iteration `k` and descends: fully when the
+  /// subtree below `p` has never been explored (or `full` is set by an
+  /// un-biased ancestor), selectively (new-tuple-satisfying children
+  /// only) otherwise.
+  void Visit(const Pattern& p, int k, bool full) {
+    CountStat();
+    auto [it, inserted] = store_.try_emplace(p);
+    NodeInfo& node = it->second;
+    if (inserted) node.size_d = index_.PatternCount(p);
+    const size_t size_d = node.size_d;
+    if (size_d < static_cast<size_t>(config_.size_threshold)) return;
+    const size_t top_k = index_.TopKCount(p, static_cast<size_t>(k));
+
+    if (Biased(top_k, size_d, k)) {
+      Place(p);
+      return;
+    }
+
+    // Not biased: make sure it is not reported, schedule its future
+    // transition, and descend.
+    res_.Remove(p);
+    deferred_.erase(p);
+    RegisterKTilde(p, top_k, size_d, k);
+
+    const bool explore_all = full || !node.expanded;
+    node.expanded = true;
+    const size_t pos = static_cast<size_t>(k - 1);
+    const int start = p.MaxSpecifiedIndex() + 1;
+    for (size_t j = static_cast<size_t>(start); j < space_.num_attributes();
+         ++j) {
+      const int domain = space_.domain_size(j);
+      for (int16_t v = 0; v < domain; ++v) {
+        if (explore_all) {
+          Visit(p.With(j, v), k, full);
+        } else if (index_.RankedCode(pos, j) == v) {
+          // Child adds predicate A_j = v; the new tuple satisfies the
+          // child iff it satisfies p (it does) and carries v in A_j.
+          Visit(p.With(j, v), k, /*full=*/false);
+        }
+      }
+    }
+  }
+
+  void ReconcileDeferred(int k) {
+    std::vector<Pattern> pending(deferred_.begin(), deferred_.end());
+    // Deterministic order keeps promotion cascades reproducible.
+    std::sort(pending.begin(), pending.end());
+    for (const Pattern& d : pending) {
+      if (deferred_.count(d) == 0) continue;  // already reconciled
+      CountStat();
+      const size_t size_d = SizeOf(d);
+      const size_t top_k = index_.TopKCount(d, static_cast<size_t>(k));
+      if (!Biased(top_k, size_d, k)) {
+        // Stopped being biased while shadowed by a reported ancestor.
+        deferred_.erase(d);
+        RegisterKTilde(d, top_k, size_d, k);
+        // Its subtree stays unexplored while an ancestor shadows the
+        // region; expand now if nothing shadows it anymore.
+        if (!res_.HasProperAncestorOf(d)) {
+          store_[d].expanded = true;
+          for (const Pattern& child : GenerateChildren(d, space_)) {
+            Visit(child, k, /*full=*/true);
+          }
+        }
+        continue;
+      }
+      if (!res_.HasProperAncestorOf(d)) {
+        deferred_.erase(d);
+        UpdateOutcome update = res_.Update(d);
+        for (const Pattern& evicted : update.evicted) {
+          deferred_.insert(evicted);
+        }
+      }
+    }
+  }
+
+  const BitmapIndex& index_;
+  const PatternSpace& space_;
+  const DetectionConfig config_;
+  DetectionStats* stats_;
+  const PropBoundSpec bounds_;
+  const double alpha_;
+  const double n_;
+
+  MostGeneralResultSet res_;
+  std::unordered_set<Pattern, PatternHash> deferred_;
+  std::unordered_map<Pattern, NodeInfo, PatternHash> store_;
+  std::unordered_map<int, std::vector<Pattern>> schedule_;
+};
+
+}  // namespace
+
+Result<DetectionResult> DetectPropBounds(const DetectionInput& input,
+                                         const PropBoundSpec& bounds,
+                                         const DetectionConfig& config) {
+  FAIRTOPK_RETURN_IF_ERROR(input.ValidateConfig(config));
+  if (bounds.alpha <= 0.0) {
+    return Status::InvalidArgument("alpha must be positive");
+  }
+  WallTimer timer;
+  DetectionResult result(config.k_min, config.k_max);
+  PropSearch search(input.index(), bounds, config, &result.stats());
+  search.InitialSearch();
+  result.MutableAtK(config.k_min) = search.Snapshot();
+  for (int k = config.k_min + 1; k <= config.k_max; ++k) {
+    search.Step(k);
+    result.MutableAtK(k) = search.Snapshot();
+  }
+  result.stats().seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fairtopk

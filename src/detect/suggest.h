@@ -1,0 +1,59 @@
+// Automatic parameter suggestion — the "automatic suggestion for
+// thresholds" future-work direction of Section VIII.
+//
+// The paper's experiments hand-pick tau_s and the bound levels so the
+// number of reported groups stays in a digestible 1-100 range. This
+// module automates that calibration: given a dataset, ranking, and k
+// range, it proposes a size threshold, a global-bound staircase, and a
+// proportional alpha such that the number of reported groups at k_max
+// does not exceed a target.
+#ifndef FAIRTOPK_DETECT_SUGGEST_H_
+#define FAIRTOPK_DETECT_SUGGEST_H_
+
+#include "detect/bounds.h"
+#include "detect/detection_result.h"
+
+namespace fairtopk {
+
+/// Calibration targets for SuggestParameters.
+struct SuggestOptions {
+  /// Upper target for groups reported at k_max (the paper keeps most
+  /// runs below 100; default aims lower for readability).
+  size_t max_groups = 20;
+  /// Size threshold as a fraction of |D|, clamped to at least
+  /// `min_size_threshold`.
+  double size_fraction = 0.05;
+  int min_size_threshold = 10;
+  /// Granularity of the bound search (levels tried per unit).
+  int search_steps = 20;
+};
+
+/// The calibrated parameters and the group counts they produce.
+struct SuggestedParameters {
+  int size_threshold = 0;
+  /// L_k = round(level * k) staircase with steps every 10 ranks.
+  double global_level = 0.0;
+  GlobalBoundSpec global_bounds;
+  /// Proportional multiplier.
+  double alpha = 0.0;
+  /// Groups reported at k_max under the suggested global bounds.
+  size_t groups_at_kmax_global = 0;
+  /// Groups reported at k_max under the suggested alpha.
+  size_t groups_at_kmax_prop = 0;
+};
+
+/// Suggests detection parameters for `input` over the k range of
+/// `config` (its size_threshold field is ignored). Because the number
+/// of most-general reported groups is not monotone in bound
+/// strictness, every candidate level is evaluated; the suggestion is
+/// the most informative level within budget (largest group count not
+/// exceeding `options.max_groups`, ties toward stricter bounds). When
+/// no level fits the budget, the count-minimizing level is returned —
+/// inspect the reported counts to detect that case.
+Result<SuggestedParameters> SuggestParameters(const DetectionInput& input,
+                                              const DetectionConfig& config,
+                                              const SuggestOptions& options);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_DETECT_SUGGEST_H_

@@ -1,0 +1,43 @@
+#include "detect/topdown.h"
+
+#include "pattern/search_tree.h"
+
+namespace fairtopk {
+
+TopDownOutcome TopDownSearch(const BitmapIndex& index, int size_threshold,
+                             int k, const LowerBoundFn& lower_bound,
+                             DetectionStats* stats) {
+  TopDownOutcome outcome;
+  const PatternSpace& space = index.space();
+  std::vector<Pattern> stack;
+  AppendChildren(Pattern::Empty(space.num_attributes()), space, stack);
+
+  while (!stack.empty()) {
+    Pattern p = std::move(stack.back());
+    stack.pop_back();
+    if (stats != nullptr) ++stats->nodes_visited;
+
+    const size_t size_d = index.PatternCount(p);
+    if (size_d < static_cast<size_t>(size_threshold)) {
+      // Anti-monotone prune: every descendant is at least as specific,
+      // hence no larger.
+      continue;
+    }
+    const size_t top_k = index.TopKCount(p, static_cast<size_t>(k));
+    if (static_cast<double>(top_k) < lower_bound(size_d)) {
+      if (outcome.result.HasProperAncestorOf(p)) {
+        outcome.deferred.push_back(p);
+      } else {
+        UpdateOutcome update = outcome.result.Update(p);
+        for (Pattern& evicted : update.evicted) {
+          outcome.deferred.push_back(std::move(evicted));
+        }
+      }
+      continue;
+    }
+    AppendChildren(p, space, stack);
+  }
+  return outcome;
+}
+
+}  // namespace fairtopk

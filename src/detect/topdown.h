@@ -1,0 +1,43 @@
+// Algorithm 1 of the paper: single-k top-down search over the search
+// tree, pruning by the anti-monotone size threshold and stopping
+// descent at biased nodes. Shared by the ITERTD baseline and by the
+// full searches GLOBALBOUNDS issues when the bound staircase steps up.
+//
+// Patterns are biased when their top-k count falls strictly below the
+// lower bound. The bound is supplied as a callable of the pattern's
+// size in D, which covers both problems:
+//   global:       bound(size) = L_k
+//   proportional: bound(size) = alpha * size * k / |D|
+#ifndef FAIRTOPK_DETECT_TOPDOWN_H_
+#define FAIRTOPK_DETECT_TOPDOWN_H_
+
+#include <functional>
+#include <vector>
+
+#include "detect/detection_result.h"
+#include "index/bitmap_index.h"
+#include "pattern/result_set.h"
+
+namespace fairtopk {
+
+/// Lower bound on the top-k count of a pattern, as a function of its
+/// size in D.
+using LowerBoundFn = std::function<double(size_t size_in_d)>;
+
+/// Output of one top-down search: the most-general biased patterns
+/// (Res) and the biased patterns encountered that are subsumed by a
+/// member of Res (DRes), which the incremental algorithms reuse.
+struct TopDownOutcome {
+  MostGeneralResultSet result;
+  std::vector<Pattern> deferred;
+};
+
+/// Runs Algorithm 1 at a single `k`. Visited-node counts are added to
+/// `stats` when provided.
+TopDownOutcome TopDownSearch(const BitmapIndex& index, int size_threshold,
+                             int k, const LowerBoundFn& lower_bound,
+                             DetectionStats* stats);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_DETECT_TOPDOWN_H_

@@ -1,0 +1,110 @@
+#include "detect/variants.h"
+
+#include <functional>
+
+#include "common/timer.h"
+#include "pattern/result_set.h"
+#include "pattern/search_tree.h"
+
+namespace fairtopk {
+
+namespace {
+
+/// Predicate deciding whether a (size, count) pair violates at `k`.
+using ViolationFn = std::function<bool(size_t size_d, size_t top_k, int k)>;
+
+/// Enumerates every substantial pattern (size >= threshold; prune is
+/// anti-monotone) and reports violators under the chosen semantics.
+void EnumerateAndFilter(const BitmapIndex& index, int size_threshold, int k,
+                        const ViolationFn& violates,
+                        ReportingSemantics semantics,
+                        std::vector<Pattern>& out, DetectionStats* stats) {
+  MostGeneralResultSet most_general;
+  MostSpecificResultSet most_specific;
+  const PatternSpace& space = index.space();
+  std::vector<Pattern> stack;
+  AppendChildren(Pattern::Empty(space.num_attributes()), space, stack);
+  while (!stack.empty()) {
+    Pattern p = std::move(stack.back());
+    stack.pop_back();
+    if (stats != nullptr) ++stats->nodes_visited;
+    const size_t size_d = index.PatternCount(p);
+    if (size_d < static_cast<size_t>(size_threshold)) continue;
+    const size_t top_k = index.TopKCount(p, static_cast<size_t>(k));
+    if (violates(size_d, top_k, k)) {
+      if (semantics == ReportingSemantics::kMostGeneral) {
+        most_general.Update(p);
+      } else {
+        most_specific.Update(p);
+      }
+    }
+    AppendChildren(p, space, stack);
+  }
+  out = semantics == ReportingSemantics::kMostGeneral
+            ? most_general.Sorted()
+            : most_specific.Sorted();
+}
+
+Result<DetectionResult> RunVariant(const DetectionInput& input,
+                                   const DetectionConfig& config,
+                                   const ViolationFn& violates,
+                                   ReportingSemantics semantics) {
+  FAIRTOPK_RETURN_IF_ERROR(input.ValidateConfig(config));
+  WallTimer timer;
+  DetectionResult result(config.k_min, config.k_max);
+  for (int k = config.k_min; k <= config.k_max; ++k) {
+    EnumerateAndFilter(input.index(), config.size_threshold, k, violates,
+                       semantics, result.MutableAtK(k), &result.stats());
+  }
+  result.stats().seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace
+
+Result<DetectionResult> DetectGlobalVariant(const DetectionInput& input,
+                                            const GlobalBoundSpec& bounds,
+                                            const DetectionConfig& config,
+                                            ViolationSide side,
+                                            ReportingSemantics semantics) {
+  ViolationFn violates;
+  if (side == ViolationSide::kBelowLower) {
+    violates = [&bounds](size_t, size_t top_k, int k) {
+      return static_cast<double>(top_k) < bounds.lower.At(k);
+    };
+  } else {
+    violates = [&bounds](size_t, size_t top_k, int k) {
+      return static_cast<double>(top_k) > bounds.upper.At(k);
+    };
+  }
+  return RunVariant(input, config, violates, semantics);
+}
+
+Result<DetectionResult> DetectPropVariant(const DetectionInput& input,
+                                          const PropBoundSpec& bounds,
+                                          const DetectionConfig& config,
+                                          ViolationSide side,
+                                          ReportingSemantics semantics) {
+  if (side == ViolationSide::kBelowLower && bounds.alpha <= 0.0) {
+    return Status::InvalidArgument("alpha must be positive");
+  }
+  if (side == ViolationSide::kAboveUpper && bounds.beta <= bounds.alpha) {
+    return Status::InvalidArgument("beta must exceed alpha");
+  }
+  const size_t n = input.num_rows();
+  ViolationFn violates;
+  if (side == ViolationSide::kBelowLower) {
+    violates = [&bounds, n](size_t size_d, size_t top_k, int k) {
+      return static_cast<double>(top_k) <
+             bounds.LowerAt(static_cast<int>(size_d), k, n);
+    };
+  } else {
+    violates = [&bounds, n](size_t size_d, size_t top_k, int k) {
+      return static_cast<double>(top_k) >
+             bounds.UpperAt(static_cast<int>(size_d), k, n);
+    };
+  }
+  return RunVariant(input, config, violates, semantics);
+}
+
+}  // namespace fairtopk

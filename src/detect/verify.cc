@@ -1,0 +1,76 @@
+#include "detect/verify.h"
+
+namespace fairtopk {
+
+namespace {
+
+Status ValidateGroup(const DetectionInput& input, const Pattern& group,
+                     const DetectionConfig& config) {
+  if (group.num_attributes() != input.space().num_attributes()) {
+    return Status::InvalidArgument(
+        "group pattern does not match the pattern space");
+  }
+  DetectionConfig check = config;
+  check.size_threshold = 1;
+  return input.ValidateConfig(check);
+}
+
+}  // namespace
+
+Result<FairnessReport> VerifyGlobalFairness(const DetectionInput& input,
+                                            const Pattern& group,
+                                            const GlobalBoundSpec& bounds,
+                                            const DetectionConfig& config) {
+  FAIRTOPK_RETURN_IF_ERROR(ValidateGroup(input, group, config));
+  FairnessReport report;
+  report.group = group;
+  report.size_in_d = input.index().PatternCount(group);
+  for (int k = config.k_min; k <= config.k_max; ++k) {
+    const size_t count =
+        input.index().TopKCount(group, static_cast<size_t>(k));
+    FairnessViolation v;
+    v.k = k;
+    v.count = count;
+    v.lower = bounds.lower.At(k);
+    v.upper = bounds.upper.At(k);
+    v.below_lower = static_cast<double>(count) < v.lower;
+    v.above_upper = static_cast<double>(count) > v.upper;
+    if (v.below_lower || v.above_upper) {
+      report.violations.push_back(v);
+    }
+  }
+  return report;
+}
+
+Result<FairnessReport> VerifyPropFairness(const DetectionInput& input,
+                                          const Pattern& group,
+                                          const PropBoundSpec& bounds,
+                                          const DetectionConfig& config) {
+  FAIRTOPK_RETURN_IF_ERROR(ValidateGroup(input, group, config));
+  if (bounds.alpha <= 0.0) {
+    return Status::InvalidArgument("alpha must be positive");
+  }
+  FairnessReport report;
+  report.group = group;
+  report.size_in_d = input.index().PatternCount(group);
+  const size_t n = input.num_rows();
+  for (int k = config.k_min; k <= config.k_max; ++k) {
+    const size_t count =
+        input.index().TopKCount(group, static_cast<size_t>(k));
+    FairnessViolation v;
+    v.k = k;
+    v.count = count;
+    v.lower =
+        bounds.LowerAt(static_cast<int>(report.size_in_d), k, n);
+    v.upper =
+        bounds.UpperAt(static_cast<int>(report.size_in_d), k, n);
+    v.below_lower = static_cast<double>(count) < v.lower;
+    v.above_upper = static_cast<double>(count) > v.upper;
+    if (v.below_lower || v.above_upper) {
+      report.violations.push_back(v);
+    }
+  }
+  return report;
+}
+
+}  // namespace fairtopk

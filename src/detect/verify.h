@@ -1,0 +1,55 @@
+// Fairness verification for KNOWN protected groups — the "simple task"
+// the paper contrasts its detection problem against ("Given the
+// protected groups, confirming algorithmic fairness is a simple
+// task"). Verifies the Celis et al. [10] bounded-representation
+// condition and the Yang & Stoyanovich [36] proportional condition for
+// a given group across a k range.
+#ifndef FAIRTOPK_DETECT_VERIFY_H_
+#define FAIRTOPK_DETECT_VERIFY_H_
+
+#include <vector>
+
+#include "detect/bounds.h"
+#include "detect/detection_result.h"
+
+namespace fairtopk {
+
+/// One k at which the group's representation leaves the bounds.
+struct FairnessViolation {
+  int k = 0;
+  size_t count = 0;
+  double lower = 0.0;
+  double upper = 0.0;
+  bool below_lower = false;
+  bool above_upper = false;
+};
+
+/// Verification outcome for one group over [k_min, k_max].
+struct FairnessReport {
+  Pattern group;
+  size_t size_in_d = 0;
+  std::vector<FairnessViolation> violations;
+
+  /// True iff the representation stayed within bounds at every k.
+  bool fair() const { return violations.empty(); }
+};
+
+/// Checks the group's top-k count against L_k/U_k for every k in
+/// [config.k_min, config.k_max] (size_threshold is not applied: the
+/// group is explicitly given). The group pattern must match the
+/// input's pattern space.
+Result<FairnessReport> VerifyGlobalFairness(const DetectionInput& input,
+                                            const Pattern& group,
+                                            const GlobalBoundSpec& bounds,
+                                            const DetectionConfig& config);
+
+/// Checks the group's top-k count against the proportional band
+/// [alpha, beta] * s_D(group) * k / |D| for every k in the range.
+Result<FairnessReport> VerifyPropFairness(const DetectionInput& input,
+                                          const Pattern& group,
+                                          const PropBoundSpec& bounds,
+                                          const DetectionConfig& config);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_DETECT_VERIFY_H_

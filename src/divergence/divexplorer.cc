@@ -1,0 +1,68 @@
+#include "divergence/divexplorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pattern/search_tree.h"
+
+namespace fairtopk {
+
+Result<std::vector<DivergentGroup>> FindDivergentGroups(
+    const BitmapIndex& index, const DivExplorerOptions& options) {
+  if (options.min_support <= 0.0 || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  if (options.k < 1 || static_cast<size_t>(options.k) > index.num_rows()) {
+    return Status::InvalidArgument("k outside [1, |D|]");
+  }
+  const PatternSpace& space = index.space();
+  const double n = static_cast<double>(index.num_rows());
+  const double overall_outcome = static_cast<double>(options.k) / n;
+  const size_t min_count = static_cast<size_t>(
+      std::ceil(options.min_support * n));
+
+  std::vector<DivergentGroup> out;
+  std::vector<Pattern> stack;
+  AppendChildren(Pattern::Empty(space.num_attributes()), space, stack);
+  while (!stack.empty()) {
+    Pattern p = std::move(stack.back());
+    stack.pop_back();
+    const size_t size = index.PatternCount(p);
+    if (size < min_count) continue;  // support is anti-monotone
+    const size_t top_k =
+        index.TopKCount(p, static_cast<size_t>(options.k));
+    DivergentGroup group;
+    group.pattern = p;
+    group.size = size;
+    group.support = static_cast<double>(size) / n;
+    group.outcome = static_cast<double>(top_k) / static_cast<double>(size);
+    group.divergence = group.outcome - overall_outcome;
+    // Welch t-statistic over Bernoulli outcomes: variance o(1-o).
+    const double var_g = group.outcome * (1.0 - group.outcome);
+    const double var_d = overall_outcome * (1.0 - overall_outcome);
+    const double se2 =
+        var_g / static_cast<double>(size) + var_d / n;
+    group.t_statistic = se2 > 0.0 ? group.divergence / std::sqrt(se2) : 0.0;
+    out.push_back(std::move(group));
+    AppendChildren(p, space, stack);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const DivergentGroup& a, const DivergentGroup& b) {
+              const double da = std::fabs(a.divergence);
+              const double db = std::fabs(b.divergence);
+              if (da != db) return da > db;
+              return a.pattern < b.pattern;
+            });
+  return out;
+}
+
+size_t DivergenceRankOf(const std::vector<DivergentGroup>& groups,
+                        const Pattern& pattern) {
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i].pattern == pattern) return i + 1;
+  }
+  return 0;
+}
+
+}  // namespace fairtopk

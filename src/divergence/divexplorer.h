@@ -1,0 +1,61 @@
+// Reimplementation of the divergence-based comparator of Pastor et al.
+// ([27]/[28], "DivExplorer"), which Section VI-D compares against.
+//
+// Every tuple gets an outcome o(t) — for ranking, o(t) = 1 iff t is in
+// the top-k. A subgroup's outcome o(G) is the mean over its tuples, and
+// its divergence is o(G) - o(D). The method enumerates ALL subgroups
+// with support >= s (frequent-pattern mining over the same pattern
+// language), reporting them ranked by divergence — unlike this paper's
+// algorithms it performs no most-general filtering and considers a
+// single k.
+#ifndef FAIRTOPK_DIVERGENCE_DIVEXPLORER_H_
+#define FAIRTOPK_DIVERGENCE_DIVEXPLORER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/bitmap_index.h"
+#include "pattern/pattern.h"
+
+namespace fairtopk {
+
+/// One subgroup with its divergence.
+struct DivergentGroup {
+  Pattern pattern;
+  size_t size = 0;
+  double support = 0.0;
+  /// Mean outcome of the subgroup (fraction of its tuples in the top-k).
+  double outcome = 0.0;
+  /// outcome(G) - outcome(D).
+  double divergence = 0.0;
+  /// Welch t-statistic of the group-vs-dataset outcome difference
+  /// (Bernoulli outcomes), as DivExplorer reports alongside the
+  /// divergence to flag significance. 0 when either variance is 0.
+  double t_statistic = 0.0;
+};
+
+/// Options for FindDivergentGroups.
+struct DivExplorerOptions {
+  /// Minimum support (fraction of |D|); the paper's case study uses
+  /// 0.13 to match a size threshold of 50 on 395 tuples.
+  double min_support = 0.13;
+  /// The single k defining the outcome function.
+  int k = 10;
+};
+
+/// Enumerates every pattern with support >= min_support and computes
+/// its divergence w.r.t. the top-k outcome. Results are sorted by
+/// divergence magnitude descending (ties: lexicographic pattern order).
+Result<std::vector<DivergentGroup>> FindDivergentGroups(
+    const BitmapIndex& index, const DivExplorerOptions& options);
+
+/// 1-based position of `pattern` in `groups` (as sorted by
+/// FindDivergentGroups), or 0 when absent. Mirrors the paper's "the
+/// pattern {sex=M} was ranked at 17 according to its divergence".
+size_t DivergenceRankOf(const std::vector<DivergentGroup>& groups,
+                        const Pattern& pattern);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_DIVERGENCE_DIVEXPLORER_H_

@@ -1,0 +1,63 @@
+#include "explain/boosted_model.h"
+
+namespace fairtopk {
+
+Result<GradientBoostedTrees> GradientBoostedTrees::Fit(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+    const BoostingOptions& options) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("boosting fit needs matching x and y");
+  }
+  if (options.num_trees < 1 || options.learning_rate <= 0.0 ||
+      options.learning_rate > 1.0) {
+    return Status::InvalidArgument("invalid boosting options");
+  }
+
+  GradientBoostedTrees model;
+  model.learning_rate_ = options.learning_rate;
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  model.base_prediction_ = mean;
+
+  std::vector<double> prediction(y.size(), mean);
+  std::vector<double> residual(y.size());
+  for (int t = 0; t < options.num_trees; ++t) {
+    double sse = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) {
+      residual[i] = y[i] - prediction[i];
+      sse += residual[i] * residual[i];
+    }
+    if (sse / static_cast<double>(y.size()) < 1e-12) break;
+    FAIRTOPK_ASSIGN_OR_RETURN(RegressionTree tree,
+                              RegressionTree::Fit(x, residual,
+                                                  options.tree));
+    if (tree.num_nodes() <= 1 && t > 0) {
+      // The residuals admit no further split: stop early.
+      break;
+    }
+    for (size_t i = 0; i < y.size(); ++i) {
+      prediction[i] += options.learning_rate * tree.Predict(x[i]);
+    }
+    model.trees_.push_back(std::move(tree));
+  }
+
+  double sse = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    const double d = y[i] - prediction[i];
+    sse += d * d;
+  }
+  model.training_mse_ = sse / static_cast<double>(y.size());
+  return model;
+}
+
+double GradientBoostedTrees::Predict(
+    const std::vector<double>& features) const {
+  double out = base_prediction_;
+  for (const RegressionTree& tree : trees_) {
+    out += learning_rate_ * tree.Predict(features);
+  }
+  return out;
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,48 @@
+// Gradient-boosted regression trees: a higher-fidelity M_R for rankers
+// that are far from linear (e.g. lexicographic or heavily tie-broken
+// rankings), used with the sampling Shapley estimator.
+#ifndef FAIRTOPK_EXPLAIN_BOOSTED_MODEL_H_
+#define FAIRTOPK_EXPLAIN_BOOSTED_MODEL_H_
+
+#include <vector>
+
+#include "explain/tree_model.h"
+
+namespace fairtopk {
+
+/// Hyperparameters for GradientBoostedTrees::Fit.
+struct BoostingOptions {
+  int num_trees = 50;
+  double learning_rate = 0.2;
+  TreeOptions tree = {.max_depth = 4, .min_samples_leaf = 5,
+                      .min_gain = 1e-9};
+};
+
+/// L2 gradient boosting: trees are fit sequentially to the residuals of
+/// the running prediction, starting from the target mean.
+class GradientBoostedTrees : public RegressionModel {
+ public:
+  static Result<GradientBoostedTrees> Fit(
+      const std::vector<std::vector<double>>& x,
+      const std::vector<double>& y, const BoostingOptions& options);
+
+  double Predict(const std::vector<double>& features) const override;
+
+  /// Number of fitted trees (early-stops when residuals vanish).
+  size_t num_trees() const { return trees_.size(); }
+
+  /// Training mean squared error of the final ensemble.
+  double training_mse() const { return training_mse_; }
+
+ private:
+  GradientBoostedTrees() = default;
+
+  double base_prediction_ = 0.0;
+  double learning_rate_ = 0.0;
+  std::vector<RegressionTree> trees_;
+  double training_mse_ = 0.0;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_EXPLAIN_BOOSTED_MODEL_H_

@@ -1,0 +1,55 @@
+#include "explain/feature_space.h"
+
+#include <algorithm>
+
+namespace fairtopk {
+
+Result<FeatureSpace> FeatureSpace::Create(
+    const Schema& schema, const std::vector<std::string>& exclude) {
+  FeatureSpace space;
+  for (size_t c = 0; c < schema.size(); ++c) {
+    const auto& attr = schema.attribute(c);
+    if (std::find(exclude.begin(), exclude.end(), attr.name) !=
+        exclude.end()) {
+      continue;
+    }
+    Group group;
+    group.name = attr.name;
+    group.table_index = c;
+    group.categorical = attr.type == AttributeType::kCategorical;
+    group.first_feature = space.num_features_;
+    space.num_features_ +=
+        group.categorical ? attr.domain_size() : size_t{1};
+    group.last_feature = space.num_features_;
+    space.groups_.push_back(std::move(group));
+  }
+  if (space.groups_.empty()) {
+    return Status::InvalidArgument("feature space excludes every attribute");
+  }
+  return space;
+}
+
+void FeatureSpace::Encode(const Table& table, size_t row,
+                          std::vector<double>& out) const {
+  out.assign(num_features_, 0.0);
+  for (const Group& group : groups_) {
+    if (group.categorical) {
+      const auto code =
+          static_cast<size_t>(table.CodeAt(row, group.table_index));
+      out[group.first_feature + code] = 1.0;
+    } else {
+      out[group.first_feature] = table.ValueAt(row, group.table_index);
+    }
+  }
+}
+
+std::vector<std::vector<double>> FeatureSpace::EncodeAll(
+    const Table& table) const {
+  std::vector<std::vector<double>> rows(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    Encode(table, r, rows[r]);
+  }
+  return rows;
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,67 @@
+// Feature encoding for the rank-regression model M_R of Section V:
+// categorical attributes are one-hot encoded, numeric attributes pass
+// through. Features remember which table attribute they came from so
+// Shapley attributions can be aggregated per attribute (the paper
+// reports attribute-level, not feature-level, contributions).
+#ifndef FAIRTOPK_EXPLAIN_FEATURE_SPACE_H_
+#define FAIRTOPK_EXPLAIN_FEATURE_SPACE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+
+/// Mapping between table attributes and model features.
+class FeatureSpace {
+ public:
+  /// Builds the encoding over all attributes of `schema` except those
+  /// named in `exclude` (e.g. an externally supplied score column that
+  /// is an artifact rather than a candidate explanation).
+  static Result<FeatureSpace> Create(const Schema& schema,
+                                     const std::vector<std::string>& exclude);
+
+  /// Total number of model features.
+  size_t num_features() const { return num_features_; }
+
+  /// Number of encoded attributes (feature groups).
+  size_t num_groups() const { return groups_.size(); }
+
+  /// Name of encoded attribute `g`.
+  const std::string& group_name(size_t g) const { return groups_[g].name; }
+
+  /// Table column of encoded attribute `g`.
+  size_t group_table_index(size_t g) const { return groups_[g].table_index; }
+
+  /// [first, last) feature range of encoded attribute `g`.
+  std::pair<size_t, size_t> group_range(size_t g) const {
+    return {groups_[g].first_feature, groups_[g].last_feature};
+  }
+
+  /// Encodes row `row` of `table` into `out` (resized to
+  /// num_features()). The table must share the schema used at
+  /// Create() time.
+  void Encode(const Table& table, size_t row, std::vector<double>& out) const;
+
+  /// Encodes all rows into an n x num_features() row-major buffer.
+  std::vector<std::vector<double>> EncodeAll(const Table& table) const;
+
+ private:
+  struct Group {
+    std::string name;
+    size_t table_index;
+    bool categorical;
+    size_t first_feature;
+    size_t last_feature;
+  };
+
+  std::vector<Group> groups_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_EXPLAIN_FEATURE_SPACE_H_

@@ -1,0 +1,154 @@
+#include "explain/group_explainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ranking/ranker.h"
+
+namespace fairtopk {
+
+Result<GroupExplainer> GroupExplainer::Create(
+    const Table& table, const std::vector<uint32_t>& ranking,
+    const ExplainerOptions& options) {
+  FAIRTOPK_RETURN_IF_ERROR(ValidateRanking(ranking, table.num_rows()));
+  GroupExplainer explainer(table, ranking, options);
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      explainer.space_,
+      FeatureSpace::Create(table.schema(), options.exclude_attributes));
+  explainer.features_ = explainer.space_.EncodeAll(table);
+
+  // Targets: the 1-based rank of each row (the D_R of Section V).
+  std::vector<uint32_t> inverse = InvertRanking(ranking);
+  std::vector<double> y(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    y[r] = static_cast<double>(inverse[r] + 1);
+  }
+
+  if (options.model == RankModelKind::kRidge) {
+    FAIRTOPK_ASSIGN_OR_RETURN(
+        RidgeRegression model,
+        RidgeRegression::Fit(explainer.features_, y, options.ridge_lambda));
+    explainer.ridge_ = std::make_unique<RidgeRegression>(std::move(model));
+  } else if (options.model == RankModelKind::kTree) {
+    FAIRTOPK_ASSIGN_OR_RETURN(
+        RegressionTree model,
+        RegressionTree::Fit(explainer.features_, y, options.tree));
+    explainer.tree_ = std::make_unique<RegressionTree>(std::move(model));
+  } else {
+    FAIRTOPK_ASSIGN_OR_RETURN(
+        GradientBoostedTrees model,
+        GradientBoostedTrees::Fit(explainer.features_, y,
+                                  options.boosting));
+    explainer.boosted_ =
+        std::make_unique<GradientBoostedTrees>(std::move(model));
+  }
+
+  // Training R^2 as a fit diagnostic.
+  const RegressionModel& model = explainer.Model();
+  double y_mean = 0.0;
+  for (double v : y) y_mean += v;
+  y_mean /= static_cast<double>(y.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t r = 0; r < y.size(); ++r) {
+    const double pred = model.Predict(explainer.features_[r]);
+    ss_res += (y[r] - pred) * (y[r] - pred);
+    ss_tot += (y[r] - y_mean) * (y[r] - y_mean);
+  }
+  explainer.training_r2_ = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+
+  // Deterministic background sample for Shapley baselines.
+  Rng rng(options.seed);
+  if (table.num_rows() <= options.background_sample) {
+    explainer.background_ = explainer.features_;
+  } else {
+    std::vector<uint32_t> rows(table.num_rows());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      rows[i] = static_cast<uint32_t>(i);
+    }
+    rng.Shuffle(rows);
+    rows.resize(options.background_sample);
+    for (uint32_t r : rows) {
+      explainer.background_.push_back(explainer.features_[r]);
+    }
+  }
+  return explainer;
+}
+
+const RegressionModel& GroupExplainer::Model() const {
+  if (ridge_ != nullptr) return *ridge_;
+  if (tree_ != nullptr) return *tree_;
+  return *boosted_;
+}
+
+double GroupExplainer::PredictRank(size_t row) const {
+  return Model().Predict(features_[row]);
+}
+
+Result<GroupExplanation> GroupExplainer::Explain(const Pattern& pattern,
+                                                 const PatternSpace& space,
+                                                 int k) const {
+  if (k < 1 || static_cast<size_t>(k) > table_->num_rows()) {
+    return Status::InvalidArgument("k outside [1, |D|]");
+  }
+  if (pattern.num_attributes() != space.num_attributes()) {
+    return Status::InvalidArgument("pattern does not match pattern space");
+  }
+
+  // Rows of the detected group.
+  std::vector<uint32_t> group_rows;
+  for (size_t r = 0; r < table_->num_rows(); ++r) {
+    bool satisfies = true;
+    for (size_t a = 0; a < pattern.num_attributes() && satisfies; ++a) {
+      if (pattern.IsSpecified(a) &&
+          table_->CodeAt(r, space.table_index(a)) != pattern.value(a)) {
+        satisfies = false;
+      }
+    }
+    if (satisfies) group_rows.push_back(static_cast<uint32_t>(r));
+  }
+  if (group_rows.empty()) {
+    return Status::InvalidArgument("pattern matches no tuples");
+  }
+
+  // Per-tuple Shapley values, averaged per attribute over the group
+  // (the s_i aggregation of Section V).
+  std::vector<double> aggregated(space_.num_groups(), 0.0);
+  Rng rng(options_.seed ^ 0xda3e39cb94b95bdbULL);
+  for (uint32_t row : group_rows) {
+    Result<std::vector<double>> shapley =
+        ridge_ != nullptr
+            ? ExactLinearShapley(*ridge_, space_, features_[row],
+                                 background_)
+            : SamplingShapley(Model(), space_, features_[row], background_,
+                              options_.sampling, rng);
+    if (!shapley.ok()) return shapley.status();
+    for (size_t g = 0; g < aggregated.size(); ++g) {
+      aggregated[g] += (*shapley)[g];
+    }
+  }
+  for (double& v : aggregated) {
+    v /= static_cast<double>(group_rows.size());
+  }
+
+  GroupExplanation out;
+  out.pattern = pattern;
+  for (size_t g = 0; g < space_.num_groups(); ++g) {
+    out.effects.push_back({space_.group_name(g), aggregated[g]});
+  }
+  std::stable_sort(out.effects.begin(), out.effects.end(),
+                   [](const AttributeEffect& a, const AttributeEffect& b) {
+                     return std::fabs(a.mean_shapley) >
+                            std::fabs(b.mean_shapley);
+                   });
+
+  std::vector<uint32_t> top_k_rows(ranking_.begin(),
+                                   ranking_.begin() + k);
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      out.top_attribute_distribution,
+      CompareDistributions(*table_, out.effects.front().attribute,
+                           top_k_rows, group_rows));
+  return out;
+}
+
+}  // namespace fairtopk

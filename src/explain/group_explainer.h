@@ -1,0 +1,112 @@
+// End-to-end result analysis of Section V: train a regression model
+// M_R that simulates the black-box ranker on D_R = {(t, rank(t))},
+// compute per-tuple Shapley values for every tuple in a detected
+// group, aggregate them into one attribute-level vector for the group,
+// and compare value distributions of the top-Shapley attribute between
+// the top-k and the group.
+#ifndef FAIRTOPK_EXPLAIN_GROUP_EXPLAINER_H_
+#define FAIRTOPK_EXPLAIN_GROUP_EXPLAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "explain/feature_space.h"
+#include "explain/histogram.h"
+#include "explain/linear_model.h"
+#include "explain/shapley.h"
+#include "explain/boosted_model.h"
+#include "explain/tree_model.h"
+#include "pattern/pattern.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+
+/// Which regression family simulates the ranker.
+enum class RankModelKind {
+  kRidge,    ///< linear; enables the exact Shapley path
+  kTree,     ///< CART; always uses sampling Shapley
+  kBoosted,  ///< gradient-boosted trees; sampling Shapley
+};
+
+/// Configuration for GroupExplainer.
+struct ExplainerOptions {
+  RankModelKind model = RankModelKind::kRidge;
+  double ridge_lambda = 1.0;
+  TreeOptions tree;
+  BoostingOptions boosting;
+  SamplingShapleyOptions sampling;
+  /// Attributes excluded from the model features (e.g. an opaque score
+  /// column that would trivially explain the ranking).
+  std::vector<std::string> exclude_attributes;
+  /// Sampling seed (attributions are deterministic given the seed).
+  uint64_t seed = 7;
+  /// Size of the background sample used for Shapley baselines; the
+  /// whole dataset is used when it is smaller than this.
+  size_t background_sample = 256;
+};
+
+/// One attribute's aggregated contribution to the group's ranking.
+struct AttributeEffect {
+  std::string attribute;
+  /// Mean Shapley value over the group's tuples; the paper plots its
+  /// magnitude (Figure 10a-c).
+  double mean_shapley = 0.0;
+};
+
+/// Full explanation for one detected group.
+struct GroupExplanation {
+  Pattern pattern;
+  /// All attributes, sorted by |mean_shapley| descending.
+  std::vector<AttributeEffect> effects;
+  /// Distribution comparison for the top-ranked attribute.
+  DistributionComparison top_attribute_distribution;
+};
+
+/// Trains M_R once and explains any number of detected groups.
+class GroupExplainer {
+ public:
+  /// Trains the rank-regression model on `table` and `ranking`
+  /// (position i of `ranking` is the row at rank i+1).
+  static Result<GroupExplainer> Create(const Table& table,
+                                       const std::vector<uint32_t>& ranking,
+                                       const ExplainerOptions& options);
+
+  /// Explains the group described by `pattern` over `space`, detected
+  /// at top-`k`. Aggregates Shapley values over the group's tuples and
+  /// compares distributions against the top-k tuples.
+  Result<GroupExplanation> Explain(const Pattern& pattern,
+                                   const PatternSpace& space, int k) const;
+
+  /// Simulated rank for a table row (diagnostics/tests).
+  double PredictRank(size_t row) const;
+
+  /// The fitted rank-regression model.
+  const RegressionModel& Model() const;
+
+  /// Model goodness-of-fit on the training data (R^2).
+  double TrainingR2() const { return training_r2_; }
+
+ private:
+  GroupExplainer(const Table& table, std::vector<uint32_t> ranking,
+                 ExplainerOptions options)
+      : table_(&table), ranking_(std::move(ranking)),
+        options_(std::move(options)) {}
+
+  const Table* table_;
+  std::vector<uint32_t> ranking_;
+  ExplainerOptions options_;
+  FeatureSpace space_;
+  std::vector<std::vector<double>> features_;
+  std::vector<std::vector<double>> background_;
+  std::unique_ptr<RidgeRegression> ridge_;
+  std::unique_ptr<RegressionTree> tree_;
+  std::unique_ptr<GradientBoostedTrees> boosted_;
+  double training_r2_ = 0.0;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_EXPLAIN_GROUP_EXPLAINER_H_

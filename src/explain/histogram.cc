@@ -1,0 +1,83 @@
+#include "explain/histogram.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+#include "relation/bucketize.h"
+
+namespace fairtopk {
+
+Result<DistributionComparison> CompareDistributions(
+    const Table& table, const std::string& attribute,
+    const std::vector<uint32_t>& top_k_rows,
+    const std::vector<uint32_t>& group_rows, int numeric_bins) {
+  auto idx = table.schema().IndexOf(attribute);
+  if (!idx.has_value()) {
+    return Status::NotFound("attribute '" + attribute + "' not in schema");
+  }
+  if (top_k_rows.empty() || group_rows.empty()) {
+    return Status::InvalidArgument("both populations must be non-empty");
+  }
+  const auto& attr = table.schema().attribute(*idx);
+
+  DistributionComparison out;
+  out.attribute = attribute;
+
+  if (attr.type == AttributeType::kCategorical) {
+    out.bins.resize(attr.domain_size());
+    for (size_t v = 0; v < attr.domain_size(); ++v) {
+      out.bins[v].label = attr.labels[v];
+    }
+    for (uint32_t r : top_k_rows) {
+      out.bins[static_cast<size_t>(table.CodeAt(r, *idx))].top_k_fraction +=
+          1.0;
+    }
+    for (uint32_t r : group_rows) {
+      out.bins[static_cast<size_t>(table.CodeAt(r, *idx))].group_fraction +=
+          1.0;
+    }
+  } else {
+    FAIRTOPK_ASSIGN_OR_RETURN(
+        std::vector<double> boundaries,
+        BucketBoundaries(table.column(*idx).values(), numeric_bins,
+                         BucketStrategy::kEqualWidth));
+    out.bins.resize(boundaries.size() + 1);
+    for (size_t b = 0; b < out.bins.size(); ++b) {
+      std::string lo =
+          b == 0 ? "min" : FormatDouble(boundaries[b - 1], 1);
+      std::string hi =
+          b == out.bins.size() - 1 ? "max" : FormatDouble(boundaries[b], 1);
+      out.bins[b].label = "[" + lo + ", " + hi + ")";
+    }
+    for (uint32_t r : top_k_rows) {
+      out.bins[static_cast<size_t>(
+                   BucketOf(table.ValueAt(r, *idx), boundaries))]
+          .top_k_fraction += 1.0;
+    }
+    for (uint32_t r : group_rows) {
+      out.bins[static_cast<size_t>(
+                   BucketOf(table.ValueAt(r, *idx), boundaries))]
+          .group_fraction += 1.0;
+    }
+  }
+
+  for (DistributionBin& bin : out.bins) {
+    bin.top_k_fraction /= static_cast<double>(top_k_rows.size());
+    bin.group_fraction /= static_cast<double>(group_rows.size());
+  }
+  return out;
+}
+
+std::string RenderDistribution(const DistributionComparison& comparison) {
+  std::ostringstream out;
+  out << "Value distribution of '" << comparison.attribute
+      << "' (top-k vs detected group)\n";
+  for (const DistributionBin& bin : comparison.bins) {
+    out << "  " << bin.label << "  top-k="
+        << FormatDouble(bin.top_k_fraction, 3)
+        << "  group=" << FormatDouble(bin.group_fraction, 3) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fairtopk

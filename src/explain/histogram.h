@@ -1,0 +1,46 @@
+// Value-distribution comparison between the top-k tuples and a
+// detected group (Figures 10d-10f): for the attribute with the largest
+// Shapley value, the proportion of tuples per attribute value in each
+// population.
+#ifndef FAIRTOPK_EXPLAIN_HISTOGRAM_H_
+#define FAIRTOPK_EXPLAIN_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+
+/// One value (or bucket) of a distribution comparison.
+struct DistributionBin {
+  std::string label;
+  double top_k_fraction = 0.0;
+  double group_fraction = 0.0;
+};
+
+/// Distribution comparison for one attribute.
+struct DistributionComparison {
+  std::string attribute;
+  std::vector<DistributionBin> bins;
+};
+
+/// Compares the distribution of `attribute` between the rows listed in
+/// `top_k_rows` and those in `group_rows`. Categorical attributes use
+/// their active domain as bins; numeric attributes are bucketized into
+/// `numeric_bins` equal-width bins over the attribute's full range.
+/// Fractions are proportions within each population (y-axis of Figure
+/// 10d-f).
+Result<DistributionComparison> CompareDistributions(
+    const Table& table, const std::string& attribute,
+    const std::vector<uint32_t>& top_k_rows,
+    const std::vector<uint32_t>& group_rows, int numeric_bins = 4);
+
+/// Renders the comparison as an aligned two-column text table.
+std::string RenderDistribution(const DistributionComparison& comparison);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_EXPLAIN_HISTOGRAM_H_

@@ -1,0 +1,90 @@
+#include "explain/linalg.h"
+
+#include <cmath>
+
+namespace fairtopk {
+
+Matrix Matrix::TransposeTimesSelf() const {
+  Matrix out(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (size_t i = 0; i < cols_; ++i) {
+      const double vi = row[i];
+      if (vi == 0.0) continue;
+      for (size_t j = i; j < cols_; ++j) {
+        out.at(i, j) += vi * row[j];
+      }
+    }
+  }
+  // Mirror the upper triangle.
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = i + 1; j < cols_; ++j) {
+      out.at(j, i) = out.at(i, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TransposeTimesVector(
+    const std::vector<double>& v) const {
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) {
+      out[c] += row[c] * vr;
+    }
+  }
+  return out;
+}
+
+void Matrix::AddToDiagonal(double value) {
+  for (size_t i = 0; i < rows_ && i < cols_; ++i) {
+    at(i, i) += value;
+  }
+}
+
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("CholeskySolve requires square A and "
+                                   "matching b");
+  }
+  // Factor A = L L^T.
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::FailedPrecondition(
+              "matrix is not positive definite (increase ridge lambda)");
+        }
+        l.at(i, i) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+  // Forward substitution: L y = b.
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.at(i, k) * y[k];
+    y[i] = sum / l.at(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l.at(k, i) * x[k];
+    x[i] = sum / l.at(i, i);
+  }
+  return x;
+}
+
+}  // namespace fairtopk

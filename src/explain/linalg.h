@@ -1,0 +1,48 @@
+// Minimal dense linear algebra for the rank-regression models: just
+// enough to solve ridge normal equations via Cholesky factorization.
+#ifndef FAIRTOPK_EXPLAIN_LINALG_H_
+#define FAIRTOPK_EXPLAIN_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairtopk {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// this^T * this (Gram matrix), cols x cols.
+  Matrix TransposeTimesSelf() const;
+
+  /// this^T * v for a vector of rows() entries.
+  std::vector<double> TransposeTimesVector(const std::vector<double>& v) const;
+
+  /// Adds `value` to every diagonal entry (requires square).
+  void AddToDiagonal(double value);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// Fails when A is not SPD (up to numerical tolerance).
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_EXPLAIN_LINALG_H_

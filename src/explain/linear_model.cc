@@ -1,0 +1,65 @@
+#include "explain/linear_model.h"
+
+#include "explain/linalg.h"
+
+namespace fairtopk {
+
+Result<RidgeRegression> RidgeRegression::Fit(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+    double lambda) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("ridge fit needs matching x and y");
+  }
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("lambda must be non-negative");
+  }
+  const size_t n = x.size();
+  const size_t d = x[0].size();
+  for (const auto& row : x) {
+    if (row.size() != d) {
+      return Status::InvalidArgument("feature rows have differing widths");
+    }
+  }
+
+  // Center targets and features so the intercept absorbs the means and
+  // the penalty applies only to the slope weights.
+  std::vector<double> feature_mean(d, 0.0);
+  double y_mean = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    y_mean += y[r];
+    for (size_t c = 0; c < d; ++c) feature_mean[c] += x[r][c];
+  }
+  y_mean /= static_cast<double>(n);
+  for (double& m : feature_mean) m /= static_cast<double>(n);
+
+  Matrix centered(n, d);
+  std::vector<double> centered_y(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) {
+      centered.at(r, c) = x[r][c] - feature_mean[c];
+    }
+    centered_y[r] = y[r] - y_mean;
+  }
+
+  Matrix gram = centered.TransposeTimesSelf();
+  // A strictly positive floor keeps the system SPD even when the
+  // caller passes lambda = 0 with collinear one-hot blocks.
+  gram.AddToDiagonal(lambda > 0.0 ? lambda : 1e-8);
+  std::vector<double> rhs = centered.TransposeTimesVector(centered_y);
+  FAIRTOPK_ASSIGN_OR_RETURN(std::vector<double> weights,
+                            CholeskySolve(gram, rhs));
+
+  double intercept = y_mean;
+  for (size_t c = 0; c < d; ++c) intercept -= weights[c] * feature_mean[c];
+  return RidgeRegression(std::move(weights), intercept);
+}
+
+double RidgeRegression::Predict(const std::vector<double>& features) const {
+  double out = intercept_;
+  for (size_t c = 0; c < weights_.size() && c < features.size(); ++c) {
+    out += weights_[c] * features[c];
+  }
+  return out;
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,48 @@
+// Regression models that simulate the black-box ranker (the M_R of
+// Section V): interface plus a ridge-regularized linear model fit by
+// normal equations.
+#ifndef FAIRTOPK_EXPLAIN_LINEAR_MODEL_H_
+#define FAIRTOPK_EXPLAIN_LINEAR_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairtopk {
+
+/// A fitted regression model mapping feature vectors to a real value
+/// (here: a simulated rank).
+class RegressionModel {
+ public:
+  virtual ~RegressionModel() = default;
+
+  /// Predicted value for one feature vector.
+  virtual double Predict(const std::vector<double>& features) const = 0;
+};
+
+/// Linear model y = w . x + b, fit with an L2 penalty on w.
+class RidgeRegression : public RegressionModel {
+ public:
+  /// Fits on rows `x` (all the same width) and targets `y`. `lambda`
+  /// is the ridge strength; a small positive value also keeps the
+  /// normal equations well-posed under one-hot collinearity.
+  static Result<RidgeRegression> Fit(const std::vector<std::vector<double>>& x,
+                                     const std::vector<double>& y,
+                                     double lambda);
+
+  double Predict(const std::vector<double>& features) const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  RidgeRegression(std::vector<double> weights, double intercept)
+      : weights_(std::move(weights)), intercept_(intercept) {}
+
+  std::vector<double> weights_;
+  double intercept_;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_EXPLAIN_LINEAR_MODEL_H_

@@ -1,0 +1,80 @@
+#include "explain/shapley.h"
+
+#include <numeric>
+
+namespace fairtopk {
+
+Result<std::vector<double>> ExactLinearShapley(
+    const RidgeRegression& model, const FeatureSpace& space,
+    const std::vector<double>& x,
+    const std::vector<std::vector<double>>& background) {
+  if (x.size() != space.num_features()) {
+    return Status::InvalidArgument("x does not match the feature space");
+  }
+  if (background.empty()) {
+    return Status::InvalidArgument("background set is empty");
+  }
+  std::vector<double> mean(space.num_features(), 0.0);
+  for (const auto& row : background) {
+    if (row.size() != space.num_features()) {
+      return Status::InvalidArgument("background row width mismatch");
+    }
+    for (size_t f = 0; f < row.size(); ++f) mean[f] += row[f];
+  }
+  for (double& m : mean) m /= static_cast<double>(background.size());
+
+  std::vector<double> out(space.num_groups(), 0.0);
+  const std::vector<double>& w = model.weights();
+  for (size_t g = 0; g < space.num_groups(); ++g) {
+    auto [first, last] = space.group_range(g);
+    double phi = 0.0;
+    for (size_t f = first; f < last; ++f) {
+      phi += w[f] * (x[f] - mean[f]);
+    }
+    out[g] = phi;
+  }
+  return out;
+}
+
+Result<std::vector<double>> SamplingShapley(
+    const RegressionModel& model, const FeatureSpace& space,
+    const std::vector<double>& x,
+    const std::vector<std::vector<double>>& background,
+    const SamplingShapleyOptions& options, Rng& rng) {
+  if (x.size() != space.num_features()) {
+    return Status::InvalidArgument("x does not match the feature space");
+  }
+  if (background.empty()) {
+    return Status::InvalidArgument("background set is empty");
+  }
+  if (options.num_permutations < 1) {
+    return Status::InvalidArgument("need at least one permutation");
+  }
+  const size_t num_groups = space.num_groups();
+  std::vector<double> totals(num_groups, 0.0);
+  std::vector<size_t> order(num_groups);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> z;
+
+  for (int it = 0; it < options.num_permutations; ++it) {
+    const auto& base =
+        background[rng.UniformUint64(background.size())];
+    if (base.size() != space.num_features()) {
+      return Status::InvalidArgument("background row width mismatch");
+    }
+    rng.Shuffle(order);
+    z = base;
+    double previous = model.Predict(z);
+    for (size_t g : order) {
+      auto [first, last] = space.group_range(g);
+      for (size_t f = first; f < last; ++f) z[f] = x[f];
+      const double current = model.Predict(z);
+      totals[g] += current - previous;
+      previous = current;
+    }
+  }
+  for (double& t : totals) t /= static_cast<double>(options.num_permutations);
+  return totals;
+}
+
+}  // namespace fairtopk

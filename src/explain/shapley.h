@@ -1,0 +1,52 @@
+// Shapley attribution of a regression model's prediction to attribute
+// groups (Section V).
+//
+// Two estimators:
+//  * ExactLinearShapley — closed form for linear models,
+//    phi_i = w_i (x_i - E[x_i]); used as the test oracle.
+//  * SamplingShapley — the Strumbelj–Kononenko permutation estimator
+//    for arbitrary black boxes: draw a random permutation of attribute
+//    groups and a random background row, walk the permutation replacing
+//    background values with the explained tuple's values, and credit
+//    each group with the prediction delta it causes. Groups (not raw
+//    features) are permuted so one-hot blocks move together, yielding
+//    attribute-level attributions directly.
+#ifndef FAIRTOPK_EXPLAIN_SHAPLEY_H_
+#define FAIRTOPK_EXPLAIN_SHAPLEY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "explain/feature_space.h"
+#include "explain/linear_model.h"
+
+namespace fairtopk {
+
+/// Exact per-group Shapley values of a linear model at `x` relative to
+/// the mean of `background`: for each group, the sum over its features
+/// of w_f * (x_f - mean_f).
+Result<std::vector<double>> ExactLinearShapley(
+    const RidgeRegression& model, const FeatureSpace& space,
+    const std::vector<double>& x,
+    const std::vector<std::vector<double>>& background);
+
+/// Options for the sampling estimator.
+struct SamplingShapleyOptions {
+  /// Number of (permutation, background-row) draws. Error shrinks as
+  /// 1/sqrt(num_permutations).
+  int num_permutations = 128;
+};
+
+/// Per-group sampling Shapley values of an arbitrary model at `x`.
+/// Deterministic given `rng`'s seed. Satisfies the efficiency property
+/// in expectation: sum of values ≈ f(x) - E_background[f].
+Result<std::vector<double>> SamplingShapley(
+    const RegressionModel& model, const FeatureSpace& space,
+    const std::vector<double>& x,
+    const std::vector<std::vector<double>>& background,
+    const SamplingShapleyOptions& options, Rng& rng);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_EXPLAIN_SHAPLEY_H_

@@ -1,0 +1,172 @@
+#include "explain/tree_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace fairtopk {
+
+namespace {
+
+double MeanOf(const std::vector<double>& y, const std::vector<uint32_t>& rows,
+              size_t begin, size_t end) {
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += y[rows[i]];
+  return sum / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+Result<RegressionTree> RegressionTree::Fit(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+    const TreeOptions& options) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("tree fit needs matching x and y");
+  }
+  if (options.max_depth < 1 || options.min_samples_leaf < 1) {
+    return Status::InvalidArgument("invalid tree options");
+  }
+  const size_t d = x[0].size();
+  for (const auto& row : x) {
+    if (row.size() != d) {
+      return Status::InvalidArgument("feature rows have differing widths");
+    }
+  }
+  RegressionTree tree;
+  std::vector<uint32_t> rows(x.size());
+  std::iota(rows.begin(), rows.end(), 0);
+  tree.Grow(x, y, rows, 0, rows.size(), 0, options);
+  return tree;
+}
+
+int32_t RegressionTree::Grow(const std::vector<std::vector<double>>& x,
+                             const std::vector<double>& y,
+                             std::vector<uint32_t>& rows, size_t begin,
+                             size_t end, int depth,
+                             const TreeOptions& options) {
+  const size_t count = end - begin;
+  const double mean = MeanOf(y, rows, begin, end);
+
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<size_t>(node_id)].value = mean;
+
+  if (depth >= options.max_depth ||
+      count < 2 * static_cast<size_t>(options.min_samples_leaf)) {
+    return node_id;
+  }
+
+  // Parent sum of squared deviations.
+  double parent_sse = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double dlt = y[rows[i]] - mean;
+    parent_sse += dlt * dlt;
+  }
+  if (parent_sse <= options.min_gain) return node_id;
+
+  const size_t num_features = x[0].size();
+  double best_gain = options.min_gain;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<uint32_t> sorted(rows.begin() + static_cast<long>(begin),
+                               rows.begin() + static_cast<long>(end));
+  for (size_t f = 0; f < num_features; ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&x, f](uint32_t a, uint32_t b) {
+      return x[a][f] < x[b][f];
+    });
+    // Prefix sums over the sorted order let every split position be
+    // evaluated in O(1).
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    double total_sum = 0.0;
+    double total_sq = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+      const double v = y[sorted[i]];
+      total_sum += v;
+      total_sq += v * v;
+    }
+    for (size_t i = 0; i + 1 < count; ++i) {
+      const double v = y[sorted[i]];
+      left_sum += v;
+      left_sq += v * v;
+      const double left_x = x[sorted[i]][f];
+      const double right_x = x[sorted[i + 1]][f];
+      if (left_x == right_x) continue;  // not a valid cut point
+      const size_t left_n = i + 1;
+      const size_t right_n = count - left_n;
+      if (left_n < static_cast<size_t>(options.min_samples_leaf) ||
+          right_n < static_cast<size_t>(options.min_samples_leaf)) {
+        continue;
+      }
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double left_sse =
+          left_sq - left_sum * left_sum / static_cast<double>(left_n);
+      const double right_sse =
+          right_sq - right_sum * right_sum / static_cast<double>(right_n);
+      const double gain = parent_sse - left_sse - right_sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (left_x + right_x) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition rows in place on the chosen split.
+  auto middle = std::partition(
+      rows.begin() + static_cast<long>(begin),
+      rows.begin() + static_cast<long>(end),
+      [&x, best_feature, best_threshold](uint32_t r) {
+        return x[r][static_cast<size_t>(best_feature)] < best_threshold;
+      });
+  const size_t split =
+      static_cast<size_t>(middle - rows.begin());
+  if (split == begin || split == end) return node_id;  // degenerate
+
+  const int32_t left =
+      Grow(x, y, rows, begin, split, depth + 1, options);
+  const int32_t right = Grow(x, y, rows, split, end, depth + 1, options);
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+double RegressionTree::Predict(const std::vector<double>& features) const {
+  if (nodes_.empty()) return 0.0;
+  size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const size_t f = static_cast<size_t>(nodes_[node].feature);
+    const double v = f < features.size() ? features[f] : 0.0;
+    node = static_cast<size_t>(v < nodes_[node].threshold
+                                   ? nodes_[node].left
+                                   : nodes_[node].right);
+  }
+  return nodes_[node].value;
+}
+
+int RegressionTree::depth() const {
+  // Iterative depth computation over the node array.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<size_t, int>> stack = {{0, 1}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    if (nodes_[node].feature >= 0) {
+      stack.push_back({static_cast<size_t>(nodes_[node].left), depth + 1});
+      stack.push_back({static_cast<size_t>(nodes_[node].right), depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace fairtopk

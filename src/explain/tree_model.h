@@ -1,0 +1,61 @@
+// CART regression tree: a non-linear alternative M_R, so the Shapley
+// pipeline can be exercised against a model the exact-linear path
+// cannot explain (sampling Shapley is required).
+#ifndef FAIRTOPK_EXPLAIN_TREE_MODEL_H_
+#define FAIRTOPK_EXPLAIN_TREE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "explain/linear_model.h"
+
+namespace fairtopk {
+
+/// Hyperparameters for RegressionTree::Fit.
+struct TreeOptions {
+  int max_depth = 8;
+  int min_samples_leaf = 5;
+  /// Minimum variance-reduction gain to accept a split.
+  double min_gain = 1e-9;
+};
+
+/// Binary regression tree grown by greedy variance reduction with
+/// axis-aligned threshold splits (left: feature < threshold).
+class RegressionTree : public RegressionModel {
+ public:
+  static Result<RegressionTree> Fit(const std::vector<std::vector<double>>& x,
+                                    const std::vector<double>& y,
+                                    const TreeOptions& options);
+
+  double Predict(const std::vector<double>& features) const override;
+
+  /// Number of nodes in the fitted tree (diagnostics/tests).
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Depth of the fitted tree.
+  int depth() const;
+
+ private:
+  struct Node {
+    // Leaves have feature == -1 and carry `value`.
+    int feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+
+  RegressionTree() = default;
+
+  int32_t Grow(const std::vector<std::vector<double>>& x,
+               const std::vector<double>& y, std::vector<uint32_t>& rows,
+               size_t begin, size_t end, int depth,
+               const TreeOptions& options);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_EXPLAIN_TREE_MODEL_H_

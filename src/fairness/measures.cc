@@ -1,0 +1,151 @@
+#include "fairness/measures.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairtopk {
+
+namespace {
+
+/// Index of the partition member the tuple at rank position `pos`
+/// belongs to, or groups.size() when none matches.
+size_t GroupOfRankedRow(const BitmapIndex& index,
+                        const std::vector<Pattern>& groups, size_t pos) {
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (index.RankedRowSatisfies(groups[g], pos)) return g;
+  }
+  return groups.size();
+}
+
+}  // namespace
+
+std::vector<Pattern> AttributePartition(const PatternSpace& space,
+                                        size_t attr_index) {
+  std::vector<Pattern> out;
+  for (int16_t v = 0; v < space.domain_size(attr_index); ++v) {
+    out.push_back(
+        Pattern::Empty(space.num_attributes()).With(attr_index, v));
+  }
+  return out;
+}
+
+Result<double> NormalizedDiscountedKL(const DetectionInput& input,
+                                      const std::vector<Pattern>& groups,
+                                      const NdklOptions& options) {
+  if (groups.size() < 2) {
+    return Status::InvalidArgument("a partition needs at least two groups");
+  }
+  if (options.step < 1) {
+    return Status::InvalidArgument("step must be positive");
+  }
+  if (options.smoothing <= 0.0) {
+    return Status::InvalidArgument("smoothing must be positive");
+  }
+  const size_t n = input.num_rows();
+  for (const Pattern& g : groups) {
+    if (g.num_attributes() != input.space().num_attributes()) {
+      return Status::InvalidArgument(
+          "group pattern does not match the pattern space");
+    }
+  }
+
+  // Partition check + overall distribution in one pass.
+  std::vector<double> overall(groups.size(), 0.0);
+  std::vector<size_t> membership(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    size_t g = GroupOfRankedRow(input.index(), groups, pos);
+    if (g == groups.size()) {
+      return Status::InvalidArgument(
+          "groups do not cover every tuple (not a partition)");
+    }
+    // Disjointness: no other group may match.
+    for (size_t other = g + 1; other < groups.size(); ++other) {
+      if (input.index().RankedRowSatisfies(groups[other], pos)) {
+        return Status::InvalidArgument(
+            "groups overlap (not a partition)");
+      }
+    }
+    membership[pos] = g;
+    overall[g] += 1.0;
+  }
+  for (double& p : overall) p /= static_cast<double>(n);
+
+  // Accumulate discounted KL over prefix cut-points.
+  std::vector<double> prefix_counts(groups.size(), 0.0);
+  double total = 0.0;
+  double normalizer = 0.0;
+  size_t pos = 0;
+  for (size_t cut = static_cast<size_t>(options.step); cut <= n;
+       cut += static_cast<size_t>(options.step)) {
+    for (; pos < cut; ++pos) prefix_counts[membership[pos]] += 1.0;
+    double kl = 0.0;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const double p =
+          (prefix_counts[g] + options.smoothing) /
+          (static_cast<double>(cut) +
+           options.smoothing * static_cast<double>(groups.size()));
+      const double q =
+          (overall[g] * static_cast<double>(n) + options.smoothing) /
+          (static_cast<double>(n) +
+           options.smoothing * static_cast<double>(groups.size()));
+      kl += p * std::log2(p / q);
+    }
+    const double discount =
+        1.0 / std::log2(static_cast<double>(cut) + 1.0);
+    total += discount * kl;
+    normalizer += discount;
+  }
+  if (normalizer == 0.0) {
+    return Status::InvalidArgument("step exceeds the dataset size");
+  }
+  return total / normalizer;
+}
+
+Result<std::vector<GroupExposure>> AverageExposure(
+    const DetectionInput& input, const std::vector<Pattern>& groups) {
+  if (groups.empty()) {
+    return Status::InvalidArgument("no groups given");
+  }
+  const size_t n = input.num_rows();
+  std::vector<GroupExposure> out;
+  for (const Pattern& g : groups) {
+    if (g.num_attributes() != input.space().num_attributes()) {
+      return Status::InvalidArgument(
+          "group pattern does not match the pattern space");
+    }
+    GroupExposure exposure;
+    exposure.group = g;
+    double total = 0.0;
+    for (size_t pos = 0; pos < n; ++pos) {
+      if (input.index().RankedRowSatisfies(g, pos)) {
+        ++exposure.size;
+        total += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+      }
+    }
+    if (exposure.size == 0) {
+      return Status::InvalidArgument("a group matches no tuples");
+    }
+    exposure.average_exposure =
+        total / static_cast<double>(exposure.size);
+    out.push_back(std::move(exposure));
+  }
+  return out;
+}
+
+Result<double> ExposureRatio(const std::vector<GroupExposure>& exposures) {
+  if (exposures.empty()) {
+    return Status::InvalidArgument("no exposures given");
+  }
+  double lo = exposures[0].average_exposure;
+  double hi = exposures[0].average_exposure;
+  for (const GroupExposure& e : exposures) {
+    lo = std::min(lo, e.average_exposure);
+    hi = std::max(hi, e.average_exposure);
+  }
+  if (lo <= 0.0) {
+    return Status::InvalidArgument("exposures must be positive");
+  }
+  return hi / lo;
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,66 @@
+// Prefix fairness measures for KNOWN group partitions — the "other
+// fairness measures" extension of Section VIII, implementing two
+// prominent definitions the paper cites as related work:
+//
+//  * rKL / NDKL (Yang & Stoyanovich [36]): the KL divergence between
+//    the group distribution of each top-i prefix and the overall group
+//    distribution, discounted by 1/log2(i+1) and accumulated over
+//    cut-points. 0 means every prefix mirrors the population.
+//  * Average exposure (Singh & Joachims [34]): each rank position
+//    carries attention 1/log2(1+position); a group's exposure is the
+//    mean attention over its members. Parity of average exposure
+//    across groups is the fairness target.
+//
+// Both operate on an explicit list of groups (patterns), unlike the
+// detection algorithms, which discover the groups.
+#ifndef FAIRTOPK_FAIRNESS_MEASURES_H_
+#define FAIRTOPK_FAIRNESS_MEASURES_H_
+
+#include <vector>
+
+#include "detect/detection_result.h"
+#include "pattern/pattern.h"
+
+namespace fairtopk {
+
+/// Options for NormalizedDiscountedKL.
+struct NdklOptions {
+  /// Prefix cut-points are step, 2*step, ... up to |D|.
+  int step = 10;
+  /// Additive smoothing applied to prefix proportions so empty groups
+  /// do not produce infinite divergence.
+  double smoothing = 1e-6;
+};
+
+/// Computes NDKL for a partition of the data given by `groups`
+/// (patterns must be disjoint and cover every tuple; validated).
+/// Larger values mean prefixes deviate more from the population mix.
+Result<double> NormalizedDiscountedKL(const DetectionInput& input,
+                                      const std::vector<Pattern>& groups,
+                                      const NdklOptions& options);
+
+/// Builds the single-attribute partition {attr = v : v in Dom(attr)}
+/// over pattern attribute `attr_index` of `space`.
+std::vector<Pattern> AttributePartition(const PatternSpace& space,
+                                        size_t attr_index);
+
+/// Per-group exposure.
+struct GroupExposure {
+  Pattern group;
+  size_t size = 0;
+  /// Mean position attention 1/log2(1+rank) over the group's members.
+  double average_exposure = 0.0;
+};
+
+/// Computes average exposure for each group (groups may overlap; each
+/// is evaluated independently; empty groups are rejected).
+Result<std::vector<GroupExposure>> AverageExposure(
+    const DetectionInput& input, const std::vector<Pattern>& groups);
+
+/// Max/min ratio of average exposures — 1.0 is parity. Requires a
+/// non-empty exposure list with positive exposures.
+Result<double> ExposureRatio(const std::vector<GroupExposure>& exposures);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_FAIRNESS_MEASURES_H_

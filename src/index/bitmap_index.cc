@@ -1,0 +1,128 @@
+#include "index/bitmap_index.h"
+
+#include <algorithm>
+
+namespace fairtopk {
+
+Result<BitmapIndex> BitmapIndex::Build(const Table& table,
+                                       const PatternSpace& space,
+                                       const std::vector<uint32_t>& ranking) {
+  const size_t n = table.num_rows();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot index an empty table");
+  }
+  if (ranking.size() != n) {
+    return Status::InvalidArgument(
+        "ranking has " + std::to_string(ranking.size()) +
+        " entries for a table of " + std::to_string(n) + " rows");
+  }
+  {
+    std::vector<bool> seen(n, false);
+    for (uint32_t row : ranking) {
+      if (row >= n || seen[row]) {
+        return Status::InvalidArgument(
+            "ranking is not a permutation of row ids");
+      }
+      seen[row] = true;
+    }
+  }
+
+  BitmapIndex index;
+  index.space_ = space;
+  index.num_rows_ = n;
+  index.ranking_ = ranking;
+  index.value_bits_.resize(space.num_attributes());
+  index.rank_codes_.resize(space.num_attributes());
+  for (size_t a = 0; a < space.num_attributes(); ++a) {
+    const size_t table_col = space.table_index(a);
+    if (table_col >= table.num_attributes() ||
+        table.schema().attribute(table_col).type !=
+            AttributeType::kCategorical) {
+      return Status::InvalidArgument(
+          "pattern space does not match the table schema");
+    }
+    const int domain = space.domain_size(a);
+    index.value_bits_[a].assign(static_cast<size_t>(domain), Bitset(n));
+    index.rank_codes_[a].resize(n);
+    for (size_t pos = 0; pos < n; ++pos) {
+      int16_t code = table.CodeAt(ranking[pos], table_col);
+      if (code < 0 || code >= domain) {
+        return Status::OutOfRange("table code outside pattern-space domain");
+      }
+      index.rank_codes_[a][pos] = code;
+      index.value_bits_[a][static_cast<size_t>(code)].Set(pos);
+    }
+  }
+  return index;
+}
+
+bool BitmapIndex::IntersectInto(const Pattern& p, Bitset& scratch) const {
+  bool initialized = false;
+  for (size_t a = 0; a < p.num_attributes(); ++a) {
+    if (!p.IsSpecified(a)) continue;
+    const Bitset& bits = value_bits_[a][static_cast<size_t>(p.value(a))];
+    if (!initialized) {
+      scratch.CopyFrom(bits);
+      initialized = true;
+    } else {
+      scratch.AndWith(bits);
+    }
+  }
+  return initialized;
+}
+
+size_t BitmapIndex::PatternCount(const Pattern& p) const {
+  // Fast paths for 0- and 1-predicate patterns avoid the scratch copy.
+  int first = -1;
+  int second = -1;
+  for (size_t a = 0; a < p.num_attributes(); ++a) {
+    if (!p.IsSpecified(a)) continue;
+    if (first < 0) {
+      first = static_cast<int>(a);
+    } else {
+      second = static_cast<int>(a);
+      break;
+    }
+  }
+  if (first < 0) return num_rows_;
+  const Bitset& first_bits =
+      value_bits_[static_cast<size_t>(first)]
+                 [static_cast<size_t>(p.value(static_cast<size_t>(first)))];
+  if (second < 0) return first_bits.Count();
+
+  Bitset scratch;
+  IntersectInto(p, scratch);
+  return scratch.Count();
+}
+
+size_t BitmapIndex::TopKCount(const Pattern& p, size_t k) const {
+  int first = -1;
+  int second = -1;
+  for (size_t a = 0; a < p.num_attributes(); ++a) {
+    if (!p.IsSpecified(a)) continue;
+    if (first < 0) {
+      first = static_cast<int>(a);
+    } else {
+      second = static_cast<int>(a);
+      break;
+    }
+  }
+  if (first < 0) return std::min(k, num_rows_);
+  const Bitset& first_bits =
+      value_bits_[static_cast<size_t>(first)]
+                 [static_cast<size_t>(p.value(static_cast<size_t>(first)))];
+  if (second < 0) return first_bits.CountPrefix(k);
+
+  Bitset scratch;
+  IntersectInto(p, scratch);
+  return scratch.CountPrefix(k);
+}
+
+bool BitmapIndex::RankedRowSatisfies(const Pattern& p, size_t pos) const {
+  for (size_t a = 0; a < p.num_attributes(); ++a) {
+    if (p.IsSpecified(a) && rank_codes_[a][pos] != p.value(a)) return false;
+  }
+  return true;
+}
+
+}  // namespace fairtopk

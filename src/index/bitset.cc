@@ -1,0 +1,95 @@
+#include "index/bitset.h"
+
+#include <bit>
+#include <cassert>
+
+namespace fairtopk {
+
+namespace {
+constexpr size_t kWordBits = 64;
+
+size_t WordsFor(size_t num_bits) {
+  return (num_bits + kWordBits - 1) / kWordBits;
+}
+
+// Mask selecting the first `bits` bits of a word (bits in [0, 64]).
+uint64_t PrefixMask(size_t bits) {
+  return bits >= kWordBits ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+}
+}  // namespace
+
+Bitset::Bitset(size_t num_bits)
+    : num_bits_(num_bits), words_(WordsFor(num_bits), 0) {}
+
+void Bitset::Set(size_t pos) {
+  assert(pos < num_bits_);
+  words_[pos / kWordBits] |= uint64_t{1} << (pos % kWordBits);
+}
+
+void Bitset::Clear(size_t pos) {
+  assert(pos < num_bits_);
+  words_[pos / kWordBits] &= ~(uint64_t{1} << (pos % kWordBits));
+}
+
+bool Bitset::Test(size_t pos) const {
+  assert(pos < num_bits_);
+  return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1;
+}
+
+size_t Bitset::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+size_t Bitset::CountPrefix(size_t k) const {
+  assert(k <= num_bits_);
+  size_t total = 0;
+  size_t full_words = k / kWordBits;
+  for (size_t i = 0; i < full_words; ++i) {
+    total += static_cast<size_t>(std::popcount(words_[i]));
+  }
+  size_t rem = k % kWordBits;
+  if (rem != 0) {
+    total += static_cast<size_t>(
+        std::popcount(words_[full_words] & PrefixMask(rem)));
+  }
+  return total;
+}
+
+void Bitset::AndWith(const Bitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void Bitset::CopyFrom(const Bitset& other) {
+  num_bits_ = other.num_bits_;
+  words_ = other.words_;
+}
+
+size_t Bitset::AndCount(const Bitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+size_t Bitset::AndCountPrefix(const Bitset& other, size_t k) const {
+  assert(num_bits_ == other.num_bits_);
+  assert(k <= num_bits_);
+  size_t total = 0;
+  size_t full_words = k / kWordBits;
+  for (size_t i = 0; i < full_words; ++i) {
+    total += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  size_t rem = k % kWordBits;
+  if (rem != 0) {
+    total += static_cast<size_t>(std::popcount(
+        words_[full_words] & other.words_[full_words] & PrefixMask(rem)));
+  }
+  return total;
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,207 @@
+#include "mitigate/rerank.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairtopk {
+
+namespace {
+
+/// Merge-sort inversion counter over a permutation of 0..n-1.
+uint64_t CountInversions(std::vector<uint32_t>& values,
+                         std::vector<uint32_t>& scratch, size_t begin,
+                         size_t end) {
+  if (end - begin < 2) return 0;
+  const size_t mid = begin + (end - begin) / 2;
+  uint64_t inversions = CountInversions(values, scratch, begin, mid) +
+                        CountInversions(values, scratch, mid, end);
+  size_t left = begin;
+  size_t right = mid;
+  size_t out = begin;
+  while (left < mid && right < end) {
+    if (values[left] <= values[right]) {
+      scratch[out++] = values[left++];
+    } else {
+      inversions += mid - left;
+      scratch[out++] = values[right++];
+    }
+  }
+  while (left < mid) scratch[out++] = values[left++];
+  while (right < end) scratch[out++] = values[right++];
+  std::copy(scratch.begin() + static_cast<long>(begin),
+            scratch.begin() + static_cast<long>(end),
+            values.begin() + static_cast<long>(begin));
+  return inversions;
+}
+
+}  // namespace
+
+uint64_t KendallTauDistance(const std::vector<uint32_t>& a,
+                            const std::vector<uint32_t>& b) {
+  // Map each row to its position in b, then count inversions of that
+  // sequence read in a's order.
+  std::vector<uint32_t> position_in_b(b.size(), 0);
+  for (size_t i = 0; i < b.size(); ++i) {
+    position_in_b[b[i]] = static_cast<uint32_t>(i);
+  }
+  std::vector<uint32_t> sequence(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    sequence[i] = position_in_b[a[i]];
+  }
+  std::vector<uint32_t> scratch(sequence.size());
+  return CountInversions(sequence, scratch, 0, sequence.size());
+}
+
+std::vector<RepresentationConstraint> ConstraintsFromDetection(
+    const DetectionResult& result, const GlobalBoundSpec& bounds) {
+  std::vector<RepresentationConstraint> constraints;
+  for (const Pattern& p : result.AllDistinct()) {
+    constraints.push_back({p, bounds.lower});
+  }
+  return constraints;
+}
+
+Result<RepairOutcome> RepairRanking(
+    const DetectionInput& input,
+    const std::vector<RepresentationConstraint>& constraints,
+    const DetectionConfig& config) {
+  DetectionConfig check = config;
+  check.size_threshold = 1;
+  FAIRTOPK_RETURN_IF_ERROR(input.ValidateConfig(check));
+  for (const auto& c : constraints) {
+    if (c.group.num_attributes() != input.space().num_attributes()) {
+      return Status::InvalidArgument(
+          "constraint pattern does not match the pattern space");
+    }
+  }
+
+  const size_t n = input.num_rows();
+  const size_t num_constraints = constraints.size();
+
+  // satisfies[c][pos]: does the tuple at ORIGINAL rank position pos
+  // satisfy constraint c?
+  std::vector<std::vector<bool>> satisfies(num_constraints,
+                                           std::vector<bool>(n, false));
+  for (size_t c = 0; c < num_constraints; ++c) {
+    for (size_t pos = 0; pos < n; ++pos) {
+      satisfies[c][pos] =
+          input.index().RankedRowSatisfies(constraints[c].group, pos);
+    }
+  }
+
+  // Greedy sweep over output positions. `remaining` holds original
+  // rank positions still unplaced, in rank order.
+  std::vector<uint32_t> remaining(n);
+  for (size_t i = 0; i < n; ++i) remaining[i] = static_cast<uint32_t>(i);
+  std::vector<size_t> counts(num_constraints, 0);
+  std::vector<uint32_t> repaired_positions;
+  repaired_positions.reserve(n);
+  RepairOutcome outcome;
+
+  const size_t sweep_end = static_cast<size_t>(config.k_max);
+  while (repaired_positions.size() < sweep_end) {
+    // Demand-pressure lookahead: at each future prefix k', the summed
+    // outstanding deficits must fit into the remaining slots. When the
+    // binding prefix (largest deficit-minus-slots margin) leaves no
+    // slack, slots must start going to deficit groups immediately —
+    // waiting until a single constraint is individually tight fails
+    // when several incompatible constraints tighten at once.
+    const size_t placed = repaired_positions.size();
+    double worst_margin = -1.0;
+    int binding_k = 0;
+    for (int kp = std::max(static_cast<int>(placed) + 1, config.k_min);
+         kp <= config.k_max; ++kp) {
+      double demand = 0.0;
+      for (size_t c = 0; c < num_constraints; ++c) {
+        const double deficit = std::ceil(constraints[c].lower.At(kp)) -
+                               static_cast<double>(counts[c]);
+        if (deficit > 0.0) demand += deficit;
+      }
+      const double slots =
+          static_cast<double>(kp) - static_cast<double>(placed);
+      const double margin = demand - slots;
+      if (margin > worst_margin) {
+        worst_margin = margin;
+        binding_k = kp;
+      }
+    }
+
+    size_t chosen_index = 0;  // default: keep the original order
+    if (worst_margin >= 0.0 && binding_k > 0) {
+      // Serve the deficit groups of the binding prefix: take the
+      // highest-ranked remaining tuple covering the most of them
+      // (set-cover greedy; overlapping groups make one tuple able to
+      // serve several).
+      std::vector<size_t> deficit_groups;
+      for (size_t c = 0; c < num_constraints; ++c) {
+        if (std::ceil(constraints[c].lower.At(binding_k)) -
+                static_cast<double>(counts[c]) >
+            0.0) {
+          deficit_groups.push_back(c);
+        }
+      }
+      size_t best_cover = 0;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        size_t cover = 0;
+        for (size_t c : deficit_groups) {
+          if (satisfies[c][remaining[i]]) ++cover;
+        }
+        if (cover > best_cover) {
+          best_cover = cover;
+          chosen_index = i;
+          if (cover == deficit_groups.size()) break;
+        }
+      }
+      if (best_cover == 0 && !deficit_groups.empty()) {
+        // No remaining tuple helps any deficit group: unsatisfiable.
+        outcome.feasible = false;
+        chosen_index = 0;
+      }
+    }
+
+    const uint32_t original_pos = remaining[chosen_index];
+    remaining.erase(remaining.begin() + static_cast<long>(chosen_index));
+    repaired_positions.push_back(original_pos);
+    for (size_t c = 0; c < num_constraints; ++c) {
+      if (satisfies[c][original_pos]) ++counts[c];
+    }
+  }
+  // Positions beyond k_max keep their original relative order.
+  for (uint32_t pos : remaining) repaired_positions.push_back(pos);
+
+  // Translate rank positions back to row ids.
+  outcome.ranking.reserve(n);
+  for (uint32_t pos : repaired_positions) {
+    outcome.ranking.push_back(input.index().RowIdAtRank(pos));
+  }
+
+  // Verify every constraint over the full k range.
+  for (size_t c = 0; c < num_constraints; ++c) {
+    size_t count = 0;
+    bool violated = false;
+    for (int k = 1; k <= config.k_max && !violated; ++k) {
+      if (satisfies[c][repaired_positions[static_cast<size_t>(k - 1)]]) {
+        ++count;
+      }
+      if (k >= config.k_min &&
+          static_cast<double>(count) < constraints[c].lower.At(k)) {
+        violated = true;
+      }
+    }
+    if (violated) {
+      outcome.feasible = false;
+      outcome.unsatisfied.push_back(constraints[c].group);
+    }
+  }
+
+  for (size_t pos = 0; pos < n; ++pos) {
+    if (outcome.ranking[pos] != input.index().RowIdAtRank(pos)) {
+      ++outcome.tuples_moved;
+    }
+  }
+  outcome.kendall_tau_distance =
+      KendallTauDistance(input.ranking(), outcome.ranking);
+  return outcome;
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,73 @@
+// Ranking repair: given groups with biased representation (e.g. the
+// output of the detection algorithms), produce a minimally perturbed
+// ranking in which every given group meets its lower bound at every k.
+//
+// This is the complementary problem the paper points to in Section VII
+// ("The problem of generating fair ranking results was studied in [4],
+// [38] ... our proposed method can be used to identify such protected
+// groups, when they are unknown in advance"). The repair is a greedy
+// FA*IR-style sweep: positions are filled in original rank order, but
+// whenever some constrained group would fall below its floor for the
+// prefix being formed, the highest-ranked remaining member of that
+// group is promoted into the slot.
+//
+// For non-overlapping groups the greedy sweep is exact whenever the
+// constraint system is feasible. Overlapping groups make the repair
+// heuristic (a promoted tuple may serve several groups); callers
+// should re-verify with VerifyGlobalFairness / VerifyPropFairness —
+// the Repair result carries that check.
+#ifndef FAIRTOPK_MITIGATE_RERANK_H_
+#define FAIRTOPK_MITIGATE_RERANK_H_
+
+#include <vector>
+
+#include "detect/bounds.h"
+#include "detect/detection_result.h"
+
+namespace fairtopk {
+
+/// One representation constraint: `group` must have at least
+/// ceil(lower.At(k)) members in every top-k of [k_min, k_max].
+struct RepresentationConstraint {
+  Pattern group;
+  StepFunction lower = StepFunction::Constant(0.0);
+};
+
+/// Result of a repair.
+struct RepairOutcome {
+  /// The repaired permutation (row ids, rank 1 first).
+  std::vector<uint32_t> ranking;
+  /// Number of tuples whose position changed.
+  size_t tuples_moved = 0;
+  /// Kendall-tau distance (number of inverted pairs) between the
+  /// original and repaired rankings, a standard utility-loss measure.
+  uint64_t kendall_tau_distance = 0;
+  /// True iff every constraint holds at every k after the repair.
+  bool feasible = true;
+  /// Constraints still violated somewhere (empty when feasible).
+  std::vector<Pattern> unsatisfied;
+};
+
+/// Repairs `input`'s ranking so every constraint's lower bound holds
+/// for each k in [config.k_min, config.k_max] (positions beyond k_max
+/// keep their relative original order). Constraints may overlap; see
+/// the file comment for the feasibility caveat.
+Result<RepairOutcome> RepairRanking(
+    const DetectionInput& input,
+    const std::vector<RepresentationConstraint>& constraints,
+    const DetectionConfig& config);
+
+/// Convenience: builds constraints from a detection result — every
+/// group reported at any k gets the global lower-bound staircase as
+/// its floor.
+std::vector<RepresentationConstraint> ConstraintsFromDetection(
+    const DetectionResult& result, const GlobalBoundSpec& bounds);
+
+/// Kendall-tau distance (inverted-pair count) between two rankings of
+/// the same row set. O(n log n).
+uint64_t KendallTauDistance(const std::vector<uint32_t>& a,
+                            const std::vector<uint32_t>& b);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_MITIGATE_RERANK_H_

@@ -1,0 +1,85 @@
+#include "pattern/result_set.h"
+
+#include <algorithm>
+
+namespace fairtopk {
+
+UpdateOutcome MostGeneralResultSet::Update(const Pattern& p) {
+  UpdateOutcome outcome;
+  for (const Pattern& q : patterns_) {
+    if (q.Subsumes(p)) {
+      // q == p (already present) or q is a proper ancestor: p is not
+      // most general, reject.
+      return outcome;
+    }
+  }
+  auto it = std::partition(
+      patterns_.begin(), patterns_.end(),
+      [&p](const Pattern& q) { return !p.IsProperAncestorOf(q); });
+  outcome.evicted.assign(it, patterns_.end());
+  patterns_.erase(it, patterns_.end());
+  patterns_.push_back(p);
+  outcome.inserted = true;
+  return outcome;
+}
+
+bool MostGeneralResultSet::HasProperAncestorOf(const Pattern& p) const {
+  for (const Pattern& q : patterns_) {
+    if (q.IsProperAncestorOf(p)) return true;
+  }
+  return false;
+}
+
+bool MostGeneralResultSet::Contains(const Pattern& p) const {
+  return std::find(patterns_.begin(), patterns_.end(), p) != patterns_.end();
+}
+
+bool MostGeneralResultSet::Remove(const Pattern& p) {
+  auto it = std::find(patterns_.begin(), patterns_.end(), p);
+  if (it == patterns_.end()) return false;
+  patterns_.erase(it);
+  return true;
+}
+
+std::vector<Pattern> MostGeneralResultSet::Sorted() const {
+  std::vector<Pattern> out = patterns_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+UpdateOutcome MostSpecificResultSet::Update(const Pattern& p) {
+  UpdateOutcome outcome;
+  for (const Pattern& q : patterns_) {
+    if (p.Subsumes(q)) {
+      // q == p or q is more specific than p: p adds no information.
+      return outcome;
+    }
+  }
+  auto it = std::partition(
+      patterns_.begin(), patterns_.end(),
+      [&p](const Pattern& q) { return !q.IsProperAncestorOf(p); });
+  outcome.evicted.assign(it, patterns_.end());
+  patterns_.erase(it, patterns_.end());
+  patterns_.push_back(p);
+  outcome.inserted = true;
+  return outcome;
+}
+
+bool MostSpecificResultSet::HasProperDescendantOf(const Pattern& p) const {
+  for (const Pattern& q : patterns_) {
+    if (p.IsProperAncestorOf(q)) return true;
+  }
+  return false;
+}
+
+bool MostSpecificResultSet::Contains(const Pattern& p) const {
+  return std::find(patterns_.begin(), patterns_.end(), p) != patterns_.end();
+}
+
+std::vector<Pattern> MostSpecificResultSet::Sorted() const {
+  std::vector<Pattern> out = patterns_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fairtopk

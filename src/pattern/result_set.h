@@ -1,0 +1,77 @@
+// Result-set containers enforcing the paper's reporting semantics:
+// most-general patterns (no reported pattern subsumes another) for the
+// lower-bound problems, and the dual most-specific variant for the
+// upper-bound extension.
+#ifndef FAIRTOPK_PATTERN_RESULT_SET_H_
+#define FAIRTOPK_PATTERN_RESULT_SET_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace fairtopk {
+
+/// Outcome of a result-set update.
+struct UpdateOutcome {
+  bool inserted = false;
+  /// Members evicted to keep the invariant (descendants of the inserted
+  /// pattern for the most-general set; ancestors for most-specific).
+  std::vector<Pattern> evicted;
+};
+
+/// A set of patterns closed under the most-general invariant: no member
+/// is a proper ancestor of another member.
+class MostGeneralResultSet {
+ public:
+  /// Inserts `p` unless a member already subsumes it; evicts members
+  /// that `p` properly subsumes. Mirrors the paper's update(Res, p).
+  UpdateOutcome Update(const Pattern& p);
+
+  /// True iff some member is a proper ancestor of `p`.
+  bool HasProperAncestorOf(const Pattern& p) const;
+
+  /// True iff `p` is a member.
+  bool Contains(const Pattern& p) const;
+
+  /// Removes `p` if present; returns whether it was present.
+  bool Remove(const Pattern& p);
+
+  size_t size() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+
+  /// Members sorted lexicographically (deterministic reporting order).
+  std::vector<Pattern> Sorted() const;
+
+  void Clear() { patterns_.clear(); }
+
+ private:
+  std::vector<Pattern> patterns_;
+};
+
+/// The dual container: no member is a proper descendant of another
+/// member (used by the most-specific-substantial upper-bound variant).
+class MostSpecificResultSet {
+ public:
+  /// Inserts `p` unless a member is already subsumed by it (i.e. a more
+  /// specific member exists); evicts members that subsume `p`.
+  UpdateOutcome Update(const Pattern& p);
+
+  /// True iff some member is a proper descendant of `p`.
+  bool HasProperDescendantOf(const Pattern& p) const;
+
+  bool Contains(const Pattern& p) const;
+
+  size_t size() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+  std::vector<Pattern> Sorted() const;
+  void Clear() { patterns_.clear(); }
+
+ private:
+  std::vector<Pattern> patterns_;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_PATTERN_RESULT_SET_H_

@@ -1,0 +1,40 @@
+#include "pattern/search_tree.h"
+
+#include <cassert>
+
+namespace fairtopk {
+
+void AppendChildren(const Pattern& p, const PatternSpace& space,
+                    std::vector<Pattern>& out) {
+  const int start = p.MaxSpecifiedIndex() + 1;
+  for (size_t j = static_cast<size_t>(start); j < space.num_attributes();
+       ++j) {
+    const int domain = space.domain_size(j);
+    for (int16_t v = 0; v < domain; ++v) {
+      out.push_back(p.With(j, v));
+    }
+  }
+}
+
+std::vector<Pattern> GenerateChildren(const Pattern& p,
+                                      const PatternSpace& space) {
+  std::vector<Pattern> out;
+  AppendChildren(p, space, out);
+  return out;
+}
+
+Pattern TreeParent(const Pattern& p) {
+  const int idx = p.MaxSpecifiedIndex();
+  assert(idx >= 0 && "the empty pattern has no tree parent");
+  return p.Without(static_cast<size_t>(idx));
+}
+
+std::vector<Pattern> GraphParents(const Pattern& p) {
+  std::vector<Pattern> out;
+  for (size_t i = 0; i < p.num_attributes(); ++i) {
+    if (p.IsSpecified(i)) out.push_back(p.Without(i));
+  }
+  return out;
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,36 @@
+// Search-tree child generation (Definition 4.1): the spanning tree of
+// the pattern graph in which the children of p assign one additional
+// attribute whose index exceeds every index already assigned in p.
+// Traversing this tree visits each pattern exactly once.
+#ifndef FAIRTOPK_PATTERN_SEARCH_TREE_H_
+#define FAIRTOPK_PATTERN_SEARCH_TREE_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace fairtopk {
+
+/// Children of `p` in the search tree over `space`: for every attribute
+/// index j > idx(Attr(p)) and every value v in Dom(A_j), the pattern
+/// p ∪ {A_j = v}. The empty pattern yields all single-predicate
+/// patterns.
+std::vector<Pattern> GenerateChildren(const Pattern& p,
+                                      const PatternSpace& space);
+
+/// Appends the children of `p` to `out` (avoids reallocating a fresh
+/// vector inside tight search loops).
+void AppendChildren(const Pattern& p, const PatternSpace& space,
+                    std::vector<Pattern>& out);
+
+/// The parent of `p` in the search tree: `p` with its highest-index
+/// predicate removed. Requires a non-empty pattern.
+Pattern TreeParent(const Pattern& p);
+
+/// All parents of `p` in the pattern graph: `p` with any one predicate
+/// removed.
+std::vector<Pattern> GraphParents(const Pattern& p);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_PATTERN_SEARCH_TREE_H_

@@ -1,0 +1,59 @@
+#include "ranking/attribute_ranker.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fairtopk {
+
+Result<std::vector<uint32_t>> AttributeRanker::Rank(
+    const Table& table) const {
+  if (keys_.empty()) {
+    return Status::InvalidArgument("AttributeRanker needs sort keys");
+  }
+  struct ResolvedKey {
+    size_t column;
+    bool ascending;
+    bool categorical;
+  };
+  std::vector<ResolvedKey> resolved;
+  for (const auto& key : keys_) {
+    auto idx = table.schema().IndexOf(key.attribute);
+    if (!idx.has_value()) {
+      return Status::NotFound("sort attribute '" + key.attribute +
+                              "' not in schema");
+    }
+    resolved.push_back(
+        {*idx, key.ascending,
+         table.schema().attribute(*idx).type == AttributeType::kCategorical});
+  }
+
+  std::vector<uint32_t> order(table.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) {
+              for (const auto& key : resolved) {
+                double va = key.categorical
+                                ? static_cast<double>(table.CodeAt(a, key.column))
+                                : table.ValueAt(a, key.column);
+                double vb = key.categorical
+                                ? static_cast<double>(table.CodeAt(b, key.column))
+                                : table.ValueAt(b, key.column);
+                if (va != vb) return key.ascending ? va < vb : va > vb;
+              }
+              return a < b;
+            });
+  return order;
+}
+
+std::string AttributeRanker::Describe() const {
+  std::string out = "AttributeRanker(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys_[i].attribute;
+    out += keys_[i].ascending ? " asc" : " desc";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,38 @@
+// Lexicographic attribute ranker: sort by a sequence of attributes with
+// per-key direction, breaking remaining ties by row id (stable and
+// deterministic). This is the ranker of the paper's running example:
+// grade descending, then past failures ascending.
+#ifndef FAIRTOPK_RANKING_ATTRIBUTE_RANKER_H_
+#define FAIRTOPK_RANKING_ATTRIBUTE_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "ranking/ranker.h"
+
+namespace fairtopk {
+
+/// One sort key of an AttributeRanker.
+struct SortKey {
+  std::string attribute;
+  /// True: smaller values rank higher. False: larger values rank higher.
+  bool ascending = false;
+};
+
+/// Ranks rows by lexicographic comparison over the sort keys.
+/// Categorical attributes compare by dictionary code.
+class AttributeRanker : public Ranker {
+ public:
+  explicit AttributeRanker(std::vector<SortKey> keys)
+      : keys_(std::move(keys)) {}
+
+  Result<std::vector<uint32_t>> Rank(const Table& table) const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<SortKey> keys_;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_RANKING_ATTRIBUTE_RANKER_H_

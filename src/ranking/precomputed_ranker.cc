@@ -1,0 +1,38 @@
+#include "ranking/precomputed_ranker.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fairtopk {
+
+Result<std::vector<uint32_t>> PrecomputedScoreRanker::Rank(
+    const Table& table) const {
+  auto idx = table.schema().IndexOf(score_attribute_);
+  if (!idx.has_value()) {
+    return Status::NotFound("score attribute '" + score_attribute_ +
+                            "' not in schema");
+  }
+  if (table.schema().attribute(*idx).type != AttributeType::kNumeric) {
+    return Status::InvalidArgument("score attribute '" + score_attribute_ +
+                                   "' must be numeric");
+  }
+  const auto& scores = table.column(*idx).values();
+  std::vector<uint32_t> order(table.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&scores](uint32_t a, uint32_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  return order;
+}
+
+std::string PrecomputedScoreRanker::Describe() const {
+  return "PrecomputedScoreRanker(" + score_attribute_ + ")";
+}
+
+Result<std::vector<uint32_t>> FixedRanker::Rank(const Table& table) const {
+  FAIRTOPK_RETURN_IF_ERROR(ValidateRanking(ranking_, table.num_rows()));
+  return ranking_;
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,45 @@
+// Ranker wrapping an externally produced score or rank column — the
+// German Credit setup in Section VI-A, where tuples are ranked by the
+// creditworthiness scores of Yang & Stoyanovich without knowledge of
+// the scoring model.
+#ifndef FAIRTOPK_RANKING_PRECOMPUTED_RANKER_H_
+#define FAIRTOPK_RANKING_PRECOMPUTED_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "ranking/ranker.h"
+
+namespace fairtopk {
+
+/// Ranks rows descending by a numeric score attribute already present
+/// in the table; ties break by row id.
+class PrecomputedScoreRanker : public Ranker {
+ public:
+  explicit PrecomputedScoreRanker(std::string score_attribute)
+      : score_attribute_(std::move(score_attribute)) {}
+
+  Result<std::vector<uint32_t>> Rank(const Table& table) const override;
+  std::string Describe() const override;
+
+ private:
+  std::string score_attribute_;
+};
+
+/// Ranker returning a fixed permutation (useful for tests and for
+/// feeding rankings produced outside the library).
+class FixedRanker : public Ranker {
+ public:
+  explicit FixedRanker(std::vector<uint32_t> ranking)
+      : ranking_(std::move(ranking)) {}
+
+  Result<std::vector<uint32_t>> Rank(const Table& table) const override;
+  std::string Describe() const override { return "FixedRanker"; }
+
+ private:
+  std::vector<uint32_t> ranking_;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_RANKING_PRECOMPUTED_RANKER_H_

@@ -1,0 +1,30 @@
+#include "ranking/ranker.h"
+
+namespace fairtopk {
+
+Status ValidateRanking(const std::vector<uint32_t>& ranking,
+                       size_t num_rows) {
+  if (ranking.size() != num_rows) {
+    return Status::Internal("ranking size " + std::to_string(ranking.size()) +
+                            " does not match table size " +
+                            std::to_string(num_rows));
+  }
+  std::vector<bool> seen(num_rows, false);
+  for (uint32_t row : ranking) {
+    if (row >= num_rows || seen[row]) {
+      return Status::Internal("ranking is not a permutation of row ids");
+    }
+    seen[row] = true;
+  }
+  return Status::OK();
+}
+
+std::vector<uint32_t> InvertRanking(const std::vector<uint32_t>& ranking) {
+  std::vector<uint32_t> inverse(ranking.size(), 0);
+  for (size_t pos = 0; pos < ranking.size(); ++pos) {
+    inverse[ranking[pos]] = static_cast<uint32_t>(pos);
+  }
+  return inverse;
+}
+
+}  // namespace fairtopk

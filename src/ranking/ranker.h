@@ -1,0 +1,40 @@
+// Black-box ranking algorithms (the R of the paper). A ranker maps a
+// table to a permutation of its row ids; position 0 of the permutation
+// is rank 1. The detection algorithms only ever consume the
+// permutation, keeping them model-agnostic as required by Section III.
+#ifndef FAIRTOPK_RANKING_RANKER_H_
+#define FAIRTOPK_RANKING_RANKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+
+/// Interface for ranking algorithms.
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+
+  /// Ranks all rows of `table`; element i of the result is the row id
+  /// at rank i+1. Must return a permutation of [0, num_rows).
+  virtual Result<std::vector<uint32_t>> Rank(const Table& table) const = 0;
+
+  /// Human-readable description for reports.
+  virtual std::string Describe() const = 0;
+};
+
+/// Verifies that `ranking` is a permutation of [0, num_rows).
+Status ValidateRanking(const std::vector<uint32_t>& ranking,
+                       size_t num_rows);
+
+/// Inverts a ranking permutation: result[row] = 0-based rank position
+/// of `row`.
+std::vector<uint32_t> InvertRanking(const std::vector<uint32_t>& ranking);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_RANKING_RANKER_H_

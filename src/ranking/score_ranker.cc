@@ -1,0 +1,59 @@
+#include "ranking/score_ranker.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fairtopk {
+
+Result<std::vector<double>> ScoreRanker::Scores(const Table& table) const {
+  if (terms_.empty()) {
+    return Status::InvalidArgument("ScoreRanker needs scoring terms");
+  }
+  std::vector<double> scores(table.num_rows(), 0.0);
+  for (const auto& term : terms_) {
+    auto idx = table.schema().IndexOf(term.attribute);
+    if (!idx.has_value()) {
+      return Status::NotFound("scoring attribute '" + term.attribute +
+                              "' not in schema");
+    }
+    if (table.schema().attribute(*idx).type != AttributeType::kNumeric) {
+      return Status::InvalidArgument("scoring attribute '" + term.attribute +
+                                     "' must be numeric");
+    }
+    const auto& values = table.column(*idx).values();
+    auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+    const double lo = *min_it;
+    const double hi = *max_it;
+    const double range = hi - lo;
+    for (size_t r = 0; r < values.size(); ++r) {
+      double normalized = range > 0.0 ? (values[r] - lo) / range : 0.0;
+      if (!term.higher_is_better) normalized = 1.0 - normalized;
+      scores[r] += term.weight * normalized;
+    }
+  }
+  return scores;
+}
+
+Result<std::vector<uint32_t>> ScoreRanker::Rank(const Table& table) const {
+  FAIRTOPK_ASSIGN_OR_RETURN(std::vector<double> scores, Scores(table));
+  std::vector<uint32_t> order(table.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&scores](uint32_t a, uint32_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  return order;
+}
+
+std::string ScoreRanker::Describe() const {
+  std::string out = "ScoreRanker(";
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += terms_[i].attribute;
+    if (!terms_[i].higher_is_better) out += " reversed";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace fairtopk

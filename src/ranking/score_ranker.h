@@ -1,0 +1,45 @@
+// Normalized linear-score ranker, mirroring the COMPAS ranking in
+// Section VI-A: each scoring attribute is min-max normalized to [0,1],
+// optionally reversed (the paper reverses `age`), and summed with
+// weights; tuples are ranked descending by total score.
+#ifndef FAIRTOPK_RANKING_SCORE_RANKER_H_
+#define FAIRTOPK_RANKING_SCORE_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "ranking/ranker.h"
+
+namespace fairtopk {
+
+/// One scoring term of a ScoreRanker.
+struct ScoreTerm {
+  std::string attribute;
+  double weight = 1.0;
+  /// False reverses the normalized value (1 - v), so larger raw values
+  /// lower the score — the paper's treatment of `age` in COMPAS.
+  bool higher_is_better = true;
+};
+
+/// Ranks rows descending by the weighted sum of min-max normalized
+/// scoring attributes; ties break by row id. Scoring attributes must be
+/// numeric.
+class ScoreRanker : public Ranker {
+ public:
+  explicit ScoreRanker(std::vector<ScoreTerm> terms)
+      : terms_(std::move(terms)) {}
+
+  Result<std::vector<uint32_t>> Rank(const Table& table) const override;
+  std::string Describe() const override;
+
+  /// The per-row total scores for `table` (useful for explanations and
+  /// tests). Same validation as Rank().
+  Result<std::vector<double>> Scores(const Table& table) const;
+
+ private:
+  std::vector<ScoreTerm> terms_;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_RANKING_SCORE_RANKER_H_

@@ -1,0 +1,126 @@
+#include "relation/bucketize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace fairtopk {
+
+Result<std::vector<double>> BucketBoundaries(
+    const std::vector<double>& values, int bins, BucketStrategy strategy) {
+  if (bins < 2) {
+    return Status::InvalidArgument("bucketization requires bins >= 2");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot bucketize an empty column");
+  }
+  std::vector<double> boundaries;
+  boundaries.reserve(static_cast<size_t>(bins) - 1);
+  if (strategy == BucketStrategy::kEqualWidth) {
+    auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+    double lo = *min_it;
+    double hi = *max_it;
+    double width = (hi - lo) / bins;
+    for (int b = 1; b < bins; ++b) {
+      boundaries.push_back(lo + width * b);
+    }
+  } else {
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    for (int b = 1; b < bins; ++b) {
+      double q = static_cast<double>(b) / bins;
+      size_t idx = static_cast<size_t>(
+          std::min<double>(std::floor(q * static_cast<double>(sorted.size())),
+                           static_cast<double>(sorted.size() - 1)));
+      boundaries.push_back(sorted[idx]);
+    }
+  }
+  return boundaries;
+}
+
+int BucketOf(double value, const std::vector<double>& boundaries) {
+  int bucket = 0;
+  for (double b : boundaries) {
+    if (value >= b) ++bucket;
+  }
+  return bucket;
+}
+
+namespace {
+
+std::vector<std::string> BucketLabels(const std::vector<double>& boundaries) {
+  std::vector<std::string> labels;
+  const size_t bins = boundaries.size() + 1;
+  for (size_t b = 0; b < bins; ++b) {
+    std::string lo = b == 0 ? "-inf" : FormatDouble(boundaries[b - 1], 2);
+    std::string hi =
+        b == bins - 1 ? "+inf" : FormatDouble(boundaries[b], 2);
+    labels.push_back("[" + lo + ", " + hi + ")");
+  }
+  return labels;
+}
+
+}  // namespace
+
+Result<Table> BucketizeAttribute(const Table& table, const std::string& name,
+                                 int bins, BucketStrategy strategy) {
+  auto idx = table.schema().IndexOf(name);
+  if (!idx.has_value()) {
+    return Status::NotFound("attribute '" + name + "' not in schema");
+  }
+  const auto& attr = table.schema().attribute(*idx);
+  if (attr.type != AttributeType::kNumeric) {
+    return Status::InvalidArgument("attribute '" + name +
+                                   "' is not numeric");
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      std::vector<double> boundaries,
+      BucketBoundaries(table.column(*idx).values(), bins, strategy));
+
+  Schema schema;
+  for (size_t c = 0; c < table.schema().size(); ++c) {
+    const auto& a = table.schema().attribute(c);
+    if (c == *idx) {
+      FAIRTOPK_RETURN_IF_ERROR(
+          schema.AddCategorical(a.name, BucketLabels(boundaries)));
+    } else if (a.type == AttributeType::kCategorical) {
+      FAIRTOPK_RETURN_IF_ERROR(schema.AddCategorical(a.name, a.labels));
+    } else {
+      FAIRTOPK_RETURN_IF_ERROR(schema.AddNumeric(a.name));
+    }
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(Table out, Table::Create(std::move(schema)));
+  std::vector<Cell> row(table.schema().size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.schema().size(); ++c) {
+      if (c == *idx) {
+        int bucket = BucketOf(table.ValueAt(r, c), boundaries);
+        row[c] = Cell::Code(static_cast<int16_t>(bucket));
+      } else if (table.schema().attribute(c).type ==
+                 AttributeType::kCategorical) {
+        row[c] = Cell::Code(table.CodeAt(r, c));
+      } else {
+        row[c] = Cell::Value(table.ValueAt(r, c));
+      }
+    }
+    FAIRTOPK_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<Table> BucketizeAllNumeric(const Table& table, int bins,
+                                  BucketStrategy strategy) {
+  Table current = table;
+  // Names are stable across single-attribute bucketizations, so iterate
+  // over the original schema.
+  for (size_t c = 0; c < table.schema().size(); ++c) {
+    const auto& attr = table.schema().attribute(c);
+    if (attr.type != AttributeType::kNumeric) continue;
+    FAIRTOPK_ASSIGN_OR_RETURN(
+        current, BucketizeAttribute(current, attr.name, bins, strategy));
+  }
+  return current;
+}
+
+}  // namespace fairtopk

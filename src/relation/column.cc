@@ -1,0 +1,4 @@
+#include "relation/column.h"
+
+// Column is header-only; this translation unit anchors the module in the
+// build graph.

@@ -1,0 +1,207 @@
+#include "relation/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace fairtopk {
+
+std::vector<std::string> ParseCsvRecord(const std::string& line,
+                                        char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+namespace {
+
+bool Contains(const std::vector<std::string>& names,
+              const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(std::istream& in, const CsvOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    records.push_back(ParseCsvRecord(line, options.delimiter));
+  }
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV input contains no records");
+  }
+
+  std::vector<std::string> header;
+  size_t first_data = 0;
+  if (options.has_header) {
+    for (auto& h : records[0]) header.push_back(std::string(Trim(h)));
+    first_data = 1;
+  } else {
+    for (size_t i = 0; i < records[0].size(); ++i) {
+      header.push_back("col" + std::to_string(i));
+    }
+  }
+  const size_t num_cols = header.size();
+  if (first_data >= records.size()) {
+    return Status::InvalidArgument("CSV input has a header but no data");
+  }
+  for (size_t r = first_data; r < records.size(); ++r) {
+    if (records[r].size() != num_cols) {
+      return Status::InvalidArgument(
+          "CSV record " + std::to_string(r + 1) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(num_cols));
+    }
+  }
+
+  // Decide per-column type: numeric iff every non-empty field parses as
+  // a double and the column is not forced categorical.
+  std::vector<bool> keep(num_cols, true);
+  std::vector<bool> numeric(num_cols, true);
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (Contains(options.drop, header[c])) {
+      keep[c] = false;
+      continue;
+    }
+    if (Contains(options.force_categorical, header[c])) {
+      numeric[c] = false;
+      continue;
+    }
+    for (size_t r = first_data; r < records.size(); ++r) {
+      std::string_view field = Trim(records[r][c]);
+      if (field.empty()) continue;
+      if (!ParseDouble(field).has_value()) {
+        numeric[c] = false;
+        break;
+      }
+    }
+  }
+
+  Schema schema;
+  std::vector<std::vector<std::string>> domains(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (!keep[c]) continue;
+    if (numeric[c]) {
+      FAIRTOPK_RETURN_IF_ERROR(schema.AddNumeric(header[c]));
+    } else {
+      // Build the active domain in order of first appearance.
+      for (size_t r = first_data; r < records.size(); ++r) {
+        std::string value(Trim(records[r][c]));
+        if (!Contains(domains[c], value)) domains[c].push_back(value);
+      }
+      FAIRTOPK_RETURN_IF_ERROR(schema.AddCategorical(header[c], domains[c]));
+    }
+  }
+
+  FAIRTOPK_ASSIGN_OR_RETURN(Table table, Table::Create(std::move(schema)));
+  std::vector<Cell> row;
+  for (size_t r = first_data; r < records.size(); ++r) {
+    row.clear();
+    size_t out_col = 0;
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (!keep[c]) continue;
+      std::string value(Trim(records[r][c]));
+      if (numeric[c]) {
+        auto parsed = ParseDouble(value);
+        // Empty numeric fields become 0; the inference pass guarantees
+        // non-empty fields parse.
+        row.push_back(Cell::Value(parsed.value_or(0.0)));
+      } else {
+        auto code = table.schema().CodeOf(out_col, value);
+        if (!code.has_value()) {
+          return Status::Internal("domain construction missed value '" +
+                                  value + "' in column '" + header[c] + "'");
+        }
+        row.push_back(Cell::Code(*code));
+      }
+      ++out_col;
+    }
+    FAIRTOPK_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open CSV file: " + path);
+  }
+  return ReadCsv(in, options);
+}
+
+namespace {
+
+std::string EscapeCsvField(const std::string& field, char delimiter) {
+  bool needs_quotes =
+      field.find(delimiter) != std::string::npos ||
+      field.find('"') != std::string::npos ||
+      field.find('\n') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, std::ostream& out, char delimiter) {
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.size(); ++c) {
+    if (c > 0) out << delimiter;
+    out << EscapeCsvField(schema.attribute(c).name, delimiter);
+  }
+  out << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (c > 0) out << delimiter;
+      out << EscapeCsvField(table.DisplayAt(r, c), delimiter);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open CSV file for writing: " + path);
+  }
+  return WriteCsv(table, out, delimiter);
+}
+
+}  // namespace fairtopk

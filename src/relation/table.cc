@@ -1,0 +1,97 @@
+#include "relation/table.h"
+
+#include "common/strings.h"
+
+namespace fairtopk {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.size());
+  for (const auto& attr : schema_.attributes()) {
+    columns_.push_back(attr.type == AttributeType::kCategorical
+                           ? Column::Categorical()
+                           : Column::Numeric());
+  }
+}
+
+Result<Table> Table::Create(Schema schema) {
+  if (schema.size() == 0) {
+    return Status::InvalidArgument("table schema must have attributes");
+  }
+  return Table(std::move(schema));
+}
+
+Status Table::AppendRow(const std::vector<Cell>& row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " cells, schema has " +
+        std::to_string(schema_.size()) + " attributes");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const auto& attr = schema_.attribute(i);
+    if (attr.type == AttributeType::kCategorical) {
+      if (!row[i].is_code) {
+        return Status::InvalidArgument("attribute '" + attr.name +
+                                       "' expects a categorical code");
+      }
+      if (row[i].code < 0 ||
+          static_cast<size_t>(row[i].code) >= attr.domain_size()) {
+        return Status::OutOfRange(
+            "code " + std::to_string(row[i].code) +
+            " outside the domain of attribute '" + attr.name + "'");
+      }
+    } else if (row[i].is_code) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' expects a numeric value");
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_code) {
+      columns_[i].AppendCode(row[i].code);
+    } else {
+      columns_[i].AppendValue(row[i].value);
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+std::string Table::DisplayAt(size_t row, size_t attr) const {
+  const auto& schema = schema_.attribute(attr);
+  if (schema.type == AttributeType::kCategorical) {
+    return schema.labels[static_cast<size_t>(CodeAt(row, attr))];
+  }
+  return FormatDouble(ValueAt(row, attr), 4);
+}
+
+Result<Table> Table::Project(const std::vector<std::string>& names) const {
+  Schema projected;
+  std::vector<size_t> sources;
+  for (const auto& name : names) {
+    auto idx = schema_.IndexOf(name);
+    if (!idx.has_value()) {
+      return Status::NotFound("attribute '" + name + "' not in schema");
+    }
+    const auto& attr = schema_.attribute(*idx);
+    if (attr.type == AttributeType::kCategorical) {
+      FAIRTOPK_RETURN_IF_ERROR(projected.AddCategorical(attr.name,
+                                                        attr.labels));
+    } else {
+      FAIRTOPK_RETURN_IF_ERROR(projected.AddNumeric(attr.name));
+    }
+    sources.push_back(*idx);
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(Table out, Table::Create(std::move(projected)));
+  std::vector<Cell> row(names.size());
+  for (size_t r = 0; r < num_rows_; ++r) {
+    for (size_t i = 0; i < sources.size(); ++i) {
+      const Column& src = columns_[sources[i]];
+      row[i] = src.type() == AttributeType::kCategorical
+                   ? Cell::Code(src.code(r))
+                   : Cell::Value(src.value(r));
+    }
+    FAIRTOPK_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,119 @@
+#include "index/bitmap_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+using testing::RandomRanking;
+using testing::RandomTable;
+
+class BitmapIndexRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// Naive counting oracle scanning the table directly.
+size_t NaiveCount(const Table& table, const PatternSpace& space,
+                  const Pattern& p, const std::vector<uint32_t>& ranking,
+                  size_t k_prefix) {
+  size_t count = 0;
+  for (size_t pos = 0; pos < k_prefix; ++pos) {
+    const uint32_t row = ranking[pos];
+    bool match = true;
+    for (size_t a = 0; a < space.num_attributes() && match; ++a) {
+      if (p.IsSpecified(a) &&
+          table.CodeAt(row, space.table_index(a)) != p.value(a)) {
+        match = false;
+      }
+    }
+    if (match) ++count;
+  }
+  return count;
+}
+
+TEST_P(BitmapIndexRandomTest, CountsMatchNaiveScan) {
+  const uint64_t seed = GetParam();
+  Table table = RandomTable(137, 4, {2, 3, 4}, seed);
+  std::vector<uint32_t> ranking = RandomRanking(137, seed);
+  Result<PatternSpace> space =
+      PatternSpace::CreateAllCategorical(table.schema());
+  ASSERT_TRUE(space.ok());
+  Result<BitmapIndex> index = BitmapIndex::Build(table, *space, ranking);
+  ASSERT_TRUE(index.ok());
+
+  for (const Pattern& p : testing::AllPatterns(*space)) {
+    EXPECT_EQ(index->PatternCount(p),
+              NaiveCount(table, *space, p, ranking, 137))
+        << p.ToString(*space);
+    for (size_t k : {size_t{1}, size_t{10}, size_t{64}, size_t{137}}) {
+      EXPECT_EQ(index->TopKCount(p, k),
+                NaiveCount(table, *space, p, ranking, k))
+          << p.ToString(*space) << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapIndexRandomTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(BitmapIndexTest, EmptyPatternCountsEverything) {
+  Table table = RandomTable(50, 3, {2}, 5);
+  auto space = PatternSpace::CreateAllCategorical(table.schema());
+  ASSERT_TRUE(space.ok());
+  auto index = BitmapIndex::Build(table, *space, RandomRanking(50, 5));
+  ASSERT_TRUE(index.ok());
+  Pattern empty = Pattern::Empty(3);
+  EXPECT_EQ(index->PatternCount(empty), 50u);
+  EXPECT_EQ(index->TopKCount(empty, 13), 13u);
+}
+
+TEST(BitmapIndexTest, RankedRowSatisfies) {
+  Table table = RandomTable(40, 3, {2, 3}, 7);
+  auto space = PatternSpace::CreateAllCategorical(table.schema());
+  auto ranking = RandomRanking(40, 7);
+  auto index = BitmapIndex::Build(table, *space, ranking);
+  ASSERT_TRUE(index.ok());
+  for (size_t pos = 0; pos < 40; ++pos) {
+    const uint32_t row = ranking[pos];
+    Pattern p = PatternOf(
+        3, {{0, table.CodeAt(row, 0)}, {2, table.CodeAt(row, 2)}});
+    EXPECT_TRUE(index->RankedRowSatisfies(p, pos));
+    Pattern mismatched = PatternOf(
+        3, {{0, static_cast<int16_t>(1 - table.CodeAt(row, 0))}});
+    EXPECT_FALSE(index->RankedRowSatisfies(mismatched, pos));
+  }
+}
+
+TEST(BitmapIndexTest, RankedCodeReflectsPermutation) {
+  Table table = RandomTable(30, 2, {3}, 11);
+  auto space = PatternSpace::CreateAllCategorical(table.schema());
+  auto ranking = RandomRanking(30, 11);
+  auto index = BitmapIndex::Build(table, *space, ranking);
+  ASSERT_TRUE(index.ok());
+  for (size_t pos = 0; pos < 30; ++pos) {
+    EXPECT_EQ(index->RowIdAtRank(pos), ranking[pos]);
+    EXPECT_EQ(index->RankedCode(pos, 0), table.CodeAt(ranking[pos], 0));
+    EXPECT_EQ(index->RankedCode(pos, 1), table.CodeAt(ranking[pos], 1));
+  }
+}
+
+TEST(BitmapIndexTest, RejectsNonPermutationRanking) {
+  Table table = RandomTable(10, 2, {2}, 3);
+  auto space = PatternSpace::CreateAllCategorical(table.schema());
+  std::vector<uint32_t> dup(10, 0);
+  EXPECT_FALSE(BitmapIndex::Build(table, *space, dup).ok());
+  std::vector<uint32_t> wrong_size = {0, 1, 2};
+  EXPECT_FALSE(BitmapIndex::Build(table, *space, wrong_size).ok());
+}
+
+TEST(BitmapIndexTest, RejectsEmptyTable) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("a", {"x", "y"}).ok());
+  auto table = Table::Create(std::move(schema));
+  auto space = PatternSpace::CreateAllCategorical(table->schema());
+  EXPECT_FALSE(BitmapIndex::Build(*table, *space, {}).ok());
+}
+
+}  // namespace
+}  // namespace fairtopk

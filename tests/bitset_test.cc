@@ -1,0 +1,105 @@
+#include "index/bitset.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fairtopk {
+namespace {
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset bits(130);
+  EXPECT_EQ(bits.num_bits(), 130u);
+  EXPECT_FALSE(bits.Test(0));
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  bits.Clear(64);
+  EXPECT_FALSE(bits.Test(64));
+}
+
+TEST(BitsetTest, CountAndPrefix) {
+  Bitset bits(200);
+  for (size_t i = 0; i < 200; i += 3) bits.Set(i);
+  EXPECT_EQ(bits.Count(), 67u);
+  EXPECT_EQ(bits.CountPrefix(0), 0u);
+  EXPECT_EQ(bits.CountPrefix(1), 1u);
+  EXPECT_EQ(bits.CountPrefix(3), 1u);
+  EXPECT_EQ(bits.CountPrefix(4), 2u);
+  EXPECT_EQ(bits.CountPrefix(200), bits.Count());
+}
+
+TEST(BitsetTest, PrefixAtWordBoundaries) {
+  Bitset bits(192);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(127);
+  bits.Set(128);
+  EXPECT_EQ(bits.CountPrefix(63), 0u);
+  EXPECT_EQ(bits.CountPrefix(64), 1u);
+  EXPECT_EQ(bits.CountPrefix(65), 2u);
+  EXPECT_EQ(bits.CountPrefix(128), 3u);
+  EXPECT_EQ(bits.CountPrefix(129), 4u);
+}
+
+TEST(BitsetTest, AndWithAndCopyFrom) {
+  Bitset a(100);
+  Bitset b(100);
+  for (size_t i = 0; i < 100; i += 2) a.Set(i);
+  for (size_t i = 0; i < 100; i += 3) b.Set(i);
+  Bitset c;
+  c.CopyFrom(a);
+  c.AndWith(b);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(c.Test(i), i % 6 == 0) << i;
+  }
+}
+
+TEST(BitsetTest, AndCountMatchesMaterializedAnd) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.UniformUint64(300);
+    Bitset a(n);
+    Bitset b(n);
+    std::vector<bool> va(n, false), vb(n, false);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.4)) {
+        a.Set(i);
+        va[i] = true;
+      }
+      if (rng.Bernoulli(0.6)) {
+        b.Set(i);
+        vb[i] = true;
+      }
+    }
+    size_t expected = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (va[i] && vb[i]) ++expected;
+    }
+    EXPECT_EQ(a.AndCount(b), expected);
+
+    const size_t k = rng.UniformUint64(n + 1);
+    size_t expected_prefix = 0;
+    for (size_t i = 0; i < k; ++i) {
+      if (va[i] && vb[i]) ++expected_prefix;
+    }
+    EXPECT_EQ(a.AndCountPrefix(b, k), expected_prefix);
+  }
+}
+
+TEST(BitsetTest, UnusedHighBitsStayZero) {
+  Bitset bits(70);
+  for (size_t i = 0; i < 70; ++i) bits.Set(i);
+  EXPECT_EQ(bits.Count(), 70u);
+  EXPECT_EQ(bits.words().size(), 2u);
+  EXPECT_EQ(bits.words()[1] >> 6, 0u);
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,87 @@
+#include "explain/boosted_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "explain/linear_model.h"
+
+namespace fairtopk {
+namespace {
+
+TEST(GradientBoostedTreesTest, FitsNonLinearFunction) {
+  Rng rng(21);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 600; ++i) {
+    const double a = rng.UniformDouble() * 4.0 - 2.0;
+    const double b = rng.UniformDouble() * 4.0 - 2.0;
+    x.push_back({a, b});
+    y.push_back(a * b + (a > 0 ? 3.0 : -3.0));  // non-additive target
+  }
+  BoostingOptions options;
+  options.num_trees = 80;
+  auto model = GradientBoostedTrees::Fit(x, y, options);
+  ASSERT_TRUE(model.ok());
+  // Boosting must clearly beat a linear fit on this target.
+  auto linear = RidgeRegression::Fit(x, y, 1e-6);
+  ASSERT_TRUE(linear.ok());
+  double boosted_sse = 0.0;
+  double linear_sse = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    boosted_sse += std::pow(model->Predict(x[i]) - y[i], 2);
+    linear_sse += std::pow(linear->Predict(x[i]) - y[i], 2);
+  }
+  EXPECT_LT(boosted_sse, 0.3 * linear_sse);
+}
+
+TEST(GradientBoostedTreesTest, TrainingErrorDecreasesWithMoreTrees) {
+  Rng rng(33);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.UniformDouble();
+    x.push_back({v});
+    y.push_back(std::sin(8.0 * v));
+  }
+  BoostingOptions few;
+  few.num_trees = 3;
+  BoostingOptions many;
+  many.num_trees = 60;
+  auto small = GradientBoostedTrees::Fit(x, y, few);
+  auto large = GradientBoostedTrees::Fit(x, y, many);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(large->training_mse(), small->training_mse());
+}
+
+TEST(GradientBoostedTreesTest, ConstantTargetStopsEarly) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(5.0);
+  }
+  BoostingOptions options;
+  options.num_trees = 100;
+  auto model = GradientBoostedTrees::Fit(x, y, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LE(model->num_trees(), 1u);
+  EXPECT_DOUBLE_EQ(model->Predict({3.0}), 5.0);
+}
+
+TEST(GradientBoostedTreesTest, RejectsBadOptions) {
+  std::vector<std::vector<double>> x = {{1.0}};
+  std::vector<double> y = {1.0};
+  BoostingOptions bad;
+  bad.num_trees = 0;
+  EXPECT_FALSE(GradientBoostedTrees::Fit(x, y, bad).ok());
+  bad = BoostingOptions{};
+  bad.learning_rate = 0.0;
+  EXPECT_FALSE(GradientBoostedTrees::Fit(x, y, bad).ok());
+  EXPECT_FALSE(GradientBoostedTrees::Fit({}, {}, BoostingOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace fairtopk

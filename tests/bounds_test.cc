@@ -1,0 +1,82 @@
+#include "detect/bounds.h"
+
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace fairtopk {
+namespace {
+
+TEST(StepFunctionTest, ConstantValue) {
+  StepFunction f = StepFunction::Constant(7.0);
+  EXPECT_DOUBLE_EQ(f.At(0), 7.0);
+  EXPECT_DOUBLE_EQ(f.At(1000), 7.0);
+  EXPECT_TRUE(f.IsNonDecreasing());
+}
+
+TEST(StepFunctionTest, StaircaseLookup) {
+  auto f = StepFunction::FromSteps({{10, 10.0}, {20, 20.0}, {30, 30.0}});
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->At(5), 10.0);  // below first step: first value
+  EXPECT_DOUBLE_EQ(f->At(10), 10.0);
+  EXPECT_DOUBLE_EQ(f->At(19), 10.0);
+  EXPECT_DOUBLE_EQ(f->At(20), 20.0);
+  EXPECT_DOUBLE_EQ(f->At(29), 20.0);
+  EXPECT_DOUBLE_EQ(f->At(30), 30.0);
+  EXPECT_DOUBLE_EQ(f->At(999), 30.0);
+}
+
+TEST(StepFunctionTest, SameAsPreviousDetectsBoundaries) {
+  auto f = StepFunction::FromSteps({{10, 10.0}, {20, 20.0}});
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->SameAsPrevious(15));
+  EXPECT_FALSE(f->SameAsPrevious(20));
+  EXPECT_TRUE(f->SameAsPrevious(21));
+}
+
+TEST(StepFunctionTest, RejectsBadSteps) {
+  EXPECT_FALSE(StepFunction::FromSteps({}).ok());
+  EXPECT_FALSE(StepFunction::FromSteps({{10, 1.0}, {10, 2.0}}).ok());
+  EXPECT_FALSE(StepFunction::FromSteps({{20, 1.0}, {10, 2.0}}).ok());
+}
+
+TEST(StepFunctionTest, DetectsDecreasingValues) {
+  auto f = StepFunction::FromSteps({{10, 20.0}, {20, 10.0}});
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(f->IsNonDecreasing());
+}
+
+TEST(GlobalBoundSpecTest, PaperDefaultStaircase) {
+  GlobalBoundSpec spec = GlobalBoundSpec::PaperDefault(49);
+  // Section VI-A: L = 10 on [10,20), 20 on [20,30), 30 on [30,40),
+  // 40 on [40,50).
+  EXPECT_DOUBLE_EQ(spec.lower.At(10), 10.0);
+  EXPECT_DOUBLE_EQ(spec.lower.At(19), 10.0);
+  EXPECT_DOUBLE_EQ(spec.lower.At(25), 20.0);
+  EXPECT_DOUBLE_EQ(spec.lower.At(39), 30.0);
+  EXPECT_DOUBLE_EQ(spec.lower.At(49), 40.0);
+  EXPECT_TRUE(spec.lower.IsNonDecreasing());
+  // Default upper bound disabled.
+  EXPECT_TRUE(std::isinf(spec.upper.At(10)));
+}
+
+TEST(PropBoundSpecTest, LowerBoundFormula) {
+  PropBoundSpec spec;
+  spec.alpha = 0.9;
+  // Example 4.7: alpha = 0.9, pattern {Gender=F} with s_D = 8 in a
+  // 16-tuple dataset: bound at k=4 is 1.8, at k=5 it is 2.25.
+  EXPECT_DOUBLE_EQ(spec.LowerAt(8, 4, 16), 1.8);
+  EXPECT_DOUBLE_EQ(spec.LowerAt(8, 5, 16), 2.25);
+}
+
+TEST(PropBoundSpecTest, UpperBoundFormula) {
+  PropBoundSpec spec;
+  spec.alpha = 0.8;
+  spec.beta = 1.5;
+  EXPECT_DOUBLE_EQ(spec.UpperAt(8, 4, 16), 3.0);
+  PropBoundSpec no_upper;
+  EXPECT_TRUE(std::isinf(no_upper.UpperAt(8, 4, 16)));
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,114 @@
+#include "relation/bucketize.h"
+
+#include <gtest/gtest.h>
+
+namespace fairtopk {
+namespace {
+
+TEST(BucketBoundariesTest, EqualWidth) {
+  Result<std::vector<double>> b =
+      BucketBoundaries({0.0, 10.0, 5.0}, 4, BucketStrategy::kEqualWidth);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(b->size(), 3u);
+  EXPECT_DOUBLE_EQ((*b)[0], 2.5);
+  EXPECT_DOUBLE_EQ((*b)[1], 5.0);
+  EXPECT_DOUBLE_EQ((*b)[2], 7.5);
+}
+
+TEST(BucketBoundariesTest, QuantileBalancesCounts) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  Result<std::vector<double>> b =
+      BucketBoundaries(values, 4, BucketStrategy::kQuantile);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(b->size(), 3u);
+  // Each bucket should receive about 25 values.
+  std::vector<int> counts(4, 0);
+  for (double v : values) ++counts[BucketOf(v, *b)];
+  for (int c : counts) EXPECT_NEAR(c, 25, 1);
+}
+
+TEST(BucketBoundariesTest, RejectsBadArguments) {
+  EXPECT_FALSE(BucketBoundaries({1.0}, 1, BucketStrategy::kEqualWidth).ok());
+  EXPECT_FALSE(BucketBoundaries({}, 3, BucketStrategy::kEqualWidth).ok());
+}
+
+TEST(BucketOfTest, AssignsToCorrectBin) {
+  std::vector<double> boundaries = {10.0, 20.0};
+  EXPECT_EQ(BucketOf(5.0, boundaries), 0);
+  EXPECT_EQ(BucketOf(10.0, boundaries), 1);  // boundary goes right
+  EXPECT_EQ(BucketOf(15.0, boundaries), 1);
+  EXPECT_EQ(BucketOf(25.0, boundaries), 2);
+}
+
+Table GradesTable() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("who", {"x", "y"}).ok());
+  EXPECT_TRUE(schema.AddNumeric("grade").ok());
+  Result<Table> table = Table::Create(std::move(schema));
+  const double grades[] = {0, 4, 8, 12, 16, 20};
+  int16_t code = 0;
+  for (double g : grades) {
+    EXPECT_TRUE(table->AppendRow({Cell::Code(code), Cell::Value(g)}).ok());
+    code = static_cast<int16_t>(1 - code);
+  }
+  return std::move(table).value();
+}
+
+TEST(BucketizeAttributeTest, ReplacesNumericWithRanges) {
+  Table table = GradesTable();
+  Result<Table> bucketized =
+      BucketizeAttribute(table, "grade", 4, BucketStrategy::kEqualWidth);
+  ASSERT_TRUE(bucketized.ok());
+  const auto& attr = bucketized->schema().attribute(1);
+  EXPECT_EQ(attr.type, AttributeType::kCategorical);
+  EXPECT_EQ(attr.domain_size(), 4u);
+  // Grades 0,4 -> bucket 0; 8 -> 1; 12 -> 2; 16,20 -> 3.
+  EXPECT_EQ(bucketized->CodeAt(0, 1), 0);
+  EXPECT_EQ(bucketized->CodeAt(1, 1), 0);
+  EXPECT_EQ(bucketized->CodeAt(2, 1), 1);
+  EXPECT_EQ(bucketized->CodeAt(3, 1), 2);
+  EXPECT_EQ(bucketized->CodeAt(4, 1), 3);
+  EXPECT_EQ(bucketized->CodeAt(5, 1), 3);
+  // Untouched categorical column preserved.
+  EXPECT_EQ(bucketized->CodeAt(3, 0), table.CodeAt(3, 0));
+}
+
+TEST(BucketizeAttributeTest, RejectsCategoricalTarget) {
+  Table table = GradesTable();
+  EXPECT_EQ(BucketizeAttribute(table, "who", 3, BucketStrategy::kEqualWidth)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BucketizeAttributeTest, RejectsUnknownAttribute) {
+  Table table = GradesTable();
+  EXPECT_EQ(BucketizeAttribute(table, "nope", 3, BucketStrategy::kEqualWidth)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BucketizeAllNumericTest, ConvertsEveryNumericColumn) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddNumeric("a").ok());
+  ASSERT_TRUE(schema.AddCategorical("c", {"k"}).ok());
+  ASSERT_TRUE(schema.AddNumeric("b").ok());
+  Result<Table> table = Table::Create(std::move(schema));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table
+                    ->AppendRow({Cell::Value(i), Cell::Code(0),
+                                 Cell::Value(10.0 - i)})
+                    .ok());
+  }
+  Result<Table> out =
+      BucketizeAllNumeric(*table, 3, BucketStrategy::kEqualWidth);
+  ASSERT_TRUE(out.ok());
+  for (size_t c = 0; c < out->num_attributes(); ++c) {
+    EXPECT_EQ(out->schema().attribute(c).type, AttributeType::kCategorical);
+  }
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,153 @@
+// Integration tests for the fairtopk_audit CLI: drive the real binary
+// (path injected by CMake) against a CSV written through the library
+// and check exit codes, report output, and the repaired-CSV round
+// trip.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relation/csv.h"
+#include "relation/table.h"
+
+#ifndef FAIRTOPK_AUDIT_PATH
+#error "FAIRTOPK_AUDIT_PATH must be defined by the build"
+#endif
+
+namespace fairtopk {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+/// Runs the CLI with `args`, capturing stdout into `out_path`.
+/// Returns the process exit code (-1 on system() failure).
+int RunCli(const std::string& args, const std::string& out_path) {
+  const std::string command = std::string(FAIRTOPK_AUDIT_PATH) + " " +
+                              args + " > " + out_path + " 2>/dev/null";
+  const int status = std::system(command.c_str());
+  if (status < 0) return -1;
+  return WEXITSTATUS(status);
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Writes a deterministic biased-demo CSV: females never reach the
+/// top because the score penalizes them.
+std::string WriteDemoCsv() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("gender", {"F", "M"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("region", {"north", "south"}).ok());
+  EXPECT_TRUE(schema.AddNumeric("score").ok());
+  auto table = Table::Create(std::move(schema));
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const int16_t gender = static_cast<int16_t>(rng.UniformUint64(2));
+    const int16_t region = static_cast<int16_t>(rng.UniformUint64(2));
+    const double score =
+        50.0 + (gender == 1 ? 15.0 : 0.0) + rng.Gaussian() * 5.0;
+    EXPECT_TRUE(table
+                    ->AppendRow({Cell::Code(gender), Cell::Code(region),
+                                 Cell::Value(score)})
+                    .ok());
+  }
+  const std::string path = TempPath("fairtopk_cli_demo.csv");
+  EXPECT_TRUE(WriteCsvFile(*table, path).ok());
+  return path;
+}
+
+TEST(CliTest, MissingArgumentsPrintUsageAndFail) {
+  const std::string out = TempPath("cli_usage.out");
+  EXPECT_EQ(RunCli("", out), 2);
+  EXPECT_EQ(RunCli("--csv only.csv", out), 2);
+  EXPECT_EQ(RunCli("--csv x.csv --rank-by s --measure nope", out), 2);
+}
+
+TEST(CliTest, DetectionReportsBiasedGroups) {
+  const std::string csv = WriteDemoCsv();
+  const std::string out = TempPath("cli_detect.out");
+  const int code = RunCli("--csv " + csv +
+                              " --rank-by score --measure prop --kmin 10 "
+                              "--kmax 30 --tau 20",
+                          out);
+  EXPECT_EQ(code, 0);
+  const std::string report = ReadAll(out);
+  EXPECT_NE(report.find("{gender=F}"), std::string::npos) << report;
+  EXPECT_NE(report.find("biased representation"), std::string::npos);
+}
+
+TEST(CliTest, JsonModeEmitsParsableSkeleton) {
+  const std::string csv = WriteDemoCsv();
+  const std::string out = TempPath("cli_json.out");
+  const int code = RunCli("--csv " + csv +
+                              " --rank-by score --measure global --lower "
+                              "0.3 --kmin 10 --kmax 20 --tau 20 --json",
+                          out);
+  EXPECT_EQ(code, 0);
+  const std::string json = ReadAll(out);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"measure\":\"global\""), std::string::npos);
+  EXPECT_NE(json.find("\"results\":["), std::string::npos);
+}
+
+TEST(CliTest, VerifyModeUsesExitCodeThree) {
+  const std::string csv = WriteDemoCsv();
+  const std::string out = TempPath("cli_verify.out");
+  // Females are demoted by the score: biased -> exit 3.
+  EXPECT_EQ(RunCli("--csv " + csv +
+                       " --rank-by score --measure global --lower 0.3 "
+                       "--kmin 10 --kmax 30 --verify gender=F",
+                   out),
+            3);
+  EXPECT_NE(ReadAll(out).find("BIASED"), std::string::npos);
+  // Males dominate the top: fair -> exit 0.
+  EXPECT_EQ(RunCli("--csv " + csv +
+                       " --rank-by score --measure global --lower 0.3 "
+                       "--kmin 10 --kmax 30 --verify gender=M",
+                   out),
+            0);
+  // Unknown attribute -> error.
+  EXPECT_EQ(RunCli("--csv " + csv +
+                       " --rank-by score --verify nope=1 --kmin 5 "
+                       "--kmax 10",
+                   out),
+            1);
+}
+
+TEST(CliTest, RerankRepairsAndRoundTrips) {
+  const std::string csv = WriteDemoCsv();
+  const std::string repaired = TempPath("cli_repaired.csv");
+  const std::string out = TempPath("cli_rerank.out");
+  std::remove(repaired.c_str());
+  const int code = RunCli("--csv " + csv +
+                              " --rank-by score --measure global --lower "
+                              "0.25 --kmin 10 --kmax 30 --tau 20 --rerank " +
+                              repaired,
+                          out);
+  EXPECT_EQ(code, 0);
+  // The repaired CSV exists and carries the rank column.
+  const std::string contents = ReadAll(repaired);
+  ASSERT_FALSE(contents.empty());
+  EXPECT_NE(contents.find("repaired_rank"), std::string::npos);
+  // Auditing the repaired file by repaired_rank finds gender=F fair.
+  EXPECT_EQ(RunCli("--csv " + repaired +
+                       " --rank-by repaired_rank --ascending --drop score "
+                       "--measure global --lower 0.25 --kmin 10 --kmax 30 "
+                       "--verify gender=F",
+                   out),
+            0);
+}
+
+}  // namespace
+}  // namespace fairtopk

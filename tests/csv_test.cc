@@ -1,0 +1,154 @@
+#include "relation/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fairtopk {
+namespace {
+
+TEST(ParseCsvRecordTest, SplitsPlainFields) {
+  EXPECT_EQ(ParseCsvRecord("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParseCsvRecordTest, HonorsQuoting) {
+  EXPECT_EQ(ParseCsvRecord("\"a,b\",c", ','),
+            (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(ParseCsvRecordTest, EscapedQuoteInsideQuotedField) {
+  EXPECT_EQ(ParseCsvRecord("\"say \"\"hi\"\"\",x", ','),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(ParseCsvRecordTest, StripsCarriageReturn) {
+  EXPECT_EQ(ParseCsvRecord("a,b\r", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParseCsvRecordTest, SupportsAlternateDelimiter) {
+  EXPECT_EQ(ParseCsvRecord("a;b;c", ';'),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ReadCsvTest, InfersTypesAndDomains) {
+  std::istringstream in(
+      "name,age,city\n"
+      "alice,30,ann arbor\n"
+      "bob,25,detroit\n"
+      "carol,41,ann arbor\n");
+  Result<Table> table = ReadCsv(in, CsvOptions{});
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 3u);
+  const Schema& schema = table->schema();
+  EXPECT_EQ(schema.attribute(0).type, AttributeType::kCategorical);
+  EXPECT_EQ(schema.attribute(1).type, AttributeType::kNumeric);
+  EXPECT_EQ(schema.attribute(2).type, AttributeType::kCategorical);
+  // Domain built in order of first appearance.
+  EXPECT_EQ(schema.attribute(2).labels,
+            (std::vector<std::string>{"ann arbor", "detroit"}));
+  EXPECT_DOUBLE_EQ(table->ValueAt(1, 1), 25.0);
+  EXPECT_EQ(table->DisplayAt(2, 2), "ann arbor");
+}
+
+TEST(ReadCsvTest, ForceCategoricalOverridesInference) {
+  std::istringstream in("bucket,score\n1,10\n2,20\n1,30\n");
+  CsvOptions options;
+  options.force_categorical = {"bucket"};
+  Result<Table> table = ReadCsv(in, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().attribute(0).type, AttributeType::kCategorical);
+  EXPECT_EQ(table->schema().attribute(0).labels,
+            (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(table->schema().attribute(1).type, AttributeType::kNumeric);
+}
+
+TEST(ReadCsvTest, DropsColumns) {
+  std::istringstream in("id,x\n1,a\n2,b\n");
+  CsvOptions options;
+  options.drop = {"id"};
+  Result<Table> table = ReadCsv(in, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_attributes(), 1u);
+  EXPECT_EQ(table->schema().attribute(0).name, "x");
+}
+
+TEST(ReadCsvTest, NoHeaderGeneratesColumnNames) {
+  std::istringstream in("a,1\nb,2\n");
+  CsvOptions options;
+  options.has_header = false;
+  Result<Table> table = ReadCsv(in, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().attribute(0).name, "col0");
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(ReadCsvTest, RejectsRaggedRecords) {
+  std::istringstream in("a,b\n1,2\n3\n");
+  EXPECT_EQ(ReadCsv(in, CsvOptions{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ReadCsvTest, RejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_EQ(ReadCsv(in, CsvOptions{}).status().code(),
+            StatusCode::kInvalidArgument);
+  std::istringstream header_only("a,b\n");
+  EXPECT_EQ(ReadCsv(header_only, CsvOptions{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ReadCsvTest, SkipsBlankLines) {
+  std::istringstream in("a,b\n\n1,x\n\n2,y\n");
+  Result<Table> table = ReadCsv(in, CsvOptions{});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(CsvRoundtripTest, WriteThenReadPreservesContent) {
+  std::istringstream in(
+      "grade,school\n"
+      "15.5,GP\n"
+      "12,MS\n"
+      "8.25,GP\n");
+  Result<Table> table = ReadCsv(in, CsvOptions{});
+  ASSERT_TRUE(table.ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(*table, out).ok());
+  std::istringstream back(out.str());
+  Result<Table> reread = ReadCsv(back, CsvOptions{});
+  ASSERT_TRUE(reread.ok());
+  ASSERT_EQ(reread->num_rows(), table->num_rows());
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(reread->ValueAt(r, 0), table->ValueAt(r, 0));
+    EXPECT_EQ(reread->DisplayAt(r, 1), table->DisplayAt(r, 1));
+  }
+}
+
+TEST(CsvRoundtripTest, QuotesFieldsContainingDelimiters) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("c", {"with,comma", "with\"quote"}).ok());
+  Result<Table> table = Table::Create(std::move(schema));
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->AppendRow({Cell::Code(0)}).ok());
+  ASSERT_TRUE(table->AppendRow({Cell::Code(1)}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(*table, out).ok());
+  std::istringstream back(out.str());
+  Result<Table> reread = ReadCsv(back, CsvOptions{});
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->DisplayAt(0, 0), "with,comma");
+  EXPECT_EQ(reread->DisplayAt(1, 0), "with\"quote");
+}
+
+TEST(ReadCsvFileTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/file.csv", CsvOptions{})
+                .status()
+                .code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace fairtopk

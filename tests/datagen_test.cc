@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "datagen/compas_like.h"
+#include "datagen/german_like.h"
+#include "datagen/running_example.h"
+#include "datagen/student_like.h"
+#include "datagen/synthetic.h"
+
+namespace fairtopk {
+namespace {
+
+TEST(RunningExampleTest, MatchesFigure1Shape) {
+  auto table = RunningExampleTable();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 16u);
+  EXPECT_EQ(table->num_attributes(), 5u);
+  // Example 2.3: s_D({School=GP}) = 8 via direct scan.
+  size_t gp = 0;
+  const size_t school = *table->schema().IndexOf("School");
+  for (size_t r = 0; r < 16; ++r) {
+    if (table->DisplayAt(r, school) == "GP") ++gp;
+  }
+  EXPECT_EQ(gp, 8u);
+}
+
+TEST(SyntheticTest, GeneratesRequestedShape) {
+  auto attrs = UniformAttributes("x", 5, 3);
+  auto table = GenerateSynthetic(attrs, {}, 200, 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 200u);
+  EXPECT_EQ(table->num_attributes(), 5u);
+  for (size_t a = 0; a < 5; ++a) {
+    EXPECT_EQ(table->schema().attribute(a).domain_size(), 3u);
+  }
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  auto attrs = UniformAttributes("x", 3, 4);
+  auto a = GenerateSynthetic(attrs, {}, 100, 42);
+  auto b = GenerateSynthetic(attrs, {}, 100, 42);
+  auto c = GenerateSynthetic(attrs, {}, 100, 43);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  bool all_equal = true;
+  bool differs_from_c = false;
+  for (size_t r = 0; r < 100; ++r) {
+    for (size_t col = 0; col < 3; ++col) {
+      all_equal &= a->CodeAt(r, col) == b->CodeAt(r, col);
+      differs_from_c |= a->CodeAt(r, col) != c->CodeAt(r, col);
+    }
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(SyntheticTest, WeightsSkewValueFrequencies) {
+  std::vector<SyntheticAttribute> attrs = {{"skewed", 2, {0.9, 0.1}}};
+  auto table = GenerateSynthetic(attrs, {}, 2000, 5);
+  ASSERT_TRUE(table.ok());
+  size_t zeros = 0;
+  for (size_t r = 0; r < 2000; ++r) {
+    if (table->CodeAt(r, 0) == 0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 2000.0, 0.9, 0.03);
+}
+
+TEST(SyntheticTest, ScoreEffectsShiftGroupMeans) {
+  std::vector<SyntheticAttribute> attrs = {{"g", 2, {}}};
+  SyntheticScore score;
+  score.name = "s";
+  score.noise_stddev = 0.5;
+  score.effects = {{"g", {0.0, 10.0}}};
+  auto table = GenerateSynthetic(attrs, {score}, 1000, 9);
+  ASSERT_TRUE(table.ok());
+  double mean0 = 0.0;
+  double mean1 = 0.0;
+  size_t n0 = 0;
+  size_t n1 = 0;
+  for (size_t r = 0; r < 1000; ++r) {
+    if (table->CodeAt(r, 0) == 0) {
+      mean0 += table->ValueAt(r, 1);
+      ++n0;
+    } else {
+      mean1 += table->ValueAt(r, 1);
+      ++n1;
+    }
+  }
+  mean0 /= static_cast<double>(n0);
+  mean1 /= static_cast<double>(n1);
+  EXPECT_NEAR(mean1 - mean0, 10.0, 0.3);
+}
+
+TEST(SyntheticTest, ValidatesSpecs) {
+  EXPECT_FALSE(GenerateSynthetic({}, {}, 10, 1).ok());
+  EXPECT_FALSE(
+      GenerateSynthetic({{"a", 2, {}}}, {}, 0, 1).ok());
+  EXPECT_FALSE(GenerateSynthetic({{"a", 1, {}}}, {}, 10, 1).ok());
+  EXPECT_FALSE(
+      GenerateSynthetic({{"a", 3, {1.0, 2.0}}}, {}, 10, 1).ok());
+  SyntheticScore bad_ref;
+  bad_ref.effects = {{"missing", {0.0, 1.0}}};
+  EXPECT_FALSE(GenerateSynthetic({{"a", 2, {}}}, {bad_ref}, 10, 1).ok());
+  SyntheticScore bad_arity;
+  bad_arity.effects = {{"a", {0.0, 1.0, 2.0}}};
+  EXPECT_FALSE(GenerateSynthetic({{"a", 2, {}}}, {bad_arity}, 10, 1).ok());
+}
+
+TEST(CompasLikeTest, MatchesPaperShape) {
+  auto table = CompasLikeTable();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 6889u);
+  // 16 categorical pattern attributes + 7 numeric scoring attributes.
+  EXPECT_EQ(table->schema().CategoricalIndices().size(), 16u);
+  EXPECT_EQ(table->num_attributes(), 23u);
+  EXPECT_EQ(CompasPatternAttributes().size(), 16u);
+  for (const auto& name : CompasPatternAttributes()) {
+    ASSERT_TRUE(table->schema().IndexOf(name).has_value()) << name;
+  }
+  auto ranker = CompasRanker();
+  auto ranking = ranker->Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_TRUE(ValidateRanking(*ranking, table->num_rows()).ok());
+}
+
+TEST(StudentLikeTest, MatchesPaperShape) {
+  auto table = StudentLikeTable();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 395u);
+  // 32 categorical pattern attributes + numeric G3 = 33 attributes.
+  EXPECT_EQ(table->num_attributes(), 33u);
+  EXPECT_EQ(StudentPatternAttributes().size(), 32u);
+  auto ranker = StudentRanker();
+  auto ranking = ranker->Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  // Top of the ranking has the highest grade.
+  const size_t g3 = *table->schema().IndexOf("G3");
+  for (size_t pos = 1; pos < 10; ++pos) {
+    EXPECT_GE(table->ValueAt((*ranking)[pos - 1], g3),
+              table->ValueAt((*ranking)[pos], g3));
+  }
+}
+
+TEST(StudentLikeTest, GradesStayOnExamScale) {
+  auto table = StudentLikeTable();
+  ASSERT_TRUE(table.ok());
+  const size_t g3 = *table->schema().IndexOf("G3");
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    EXPECT_GE(table->ValueAt(r, g3), 0.0);
+    EXPECT_LE(table->ValueAt(r, g3), 20.0);
+  }
+}
+
+TEST(GermanLikeTest, MatchesPaperShape) {
+  auto table = GermanLikeTable();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 1000u);
+  EXPECT_EQ(table->schema().CategoricalIndices().size(), 20u);
+  EXPECT_EQ(GermanPatternAttributes().size(), 20u);
+  auto ranker = GermanRanker();
+  auto ranking = ranker->Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_TRUE(ValidateRanking(*ranking, table->num_rows()).ok());
+}
+
+TEST(DatagenDeterminismTest, SameSeedSameDataset) {
+  auto a = StudentLikeTable(1);
+  auto b = StudentLikeTable(1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const size_t g3 = *a->schema().IndexOf("G3");
+  for (size_t r = 0; r < a->num_rows(); r += 37) {
+    EXPECT_DOUBLE_EQ(a->ValueAt(r, g3), b->ValueAt(r, g3));
+  }
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "datagen/running_example.h"
+#include "detect/detection_result.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+
+TEST(DetectionInputTest, PrepareUsesAllCategoricalByDefault) {
+  Result<Table> table = RunningExampleTable();
+  auto ranker = RunningExampleRanker();
+  auto input = DetectionInput::Prepare(*table, *ranker);
+  ASSERT_TRUE(input.ok());
+  EXPECT_EQ(input->space().num_attributes(), 4u);
+  EXPECT_EQ(input->num_rows(), 16u);
+  EXPECT_TRUE(ValidateRanking(input->ranking(), 16).ok());
+}
+
+TEST(DetectionInputTest, PrepareWithSelectedAttributes) {
+  Result<Table> table = RunningExampleTable();
+  auto ranker = RunningExampleRanker();
+  auto input =
+      DetectionInput::Prepare(*table, *ranker, {"School", "Failures"});
+  ASSERT_TRUE(input.ok());
+  EXPECT_EQ(input->space().num_attributes(), 2u);
+  EXPECT_EQ(input->space().name(0), "School");
+  // Counting still works against the projected space.
+  EXPECT_EQ(input->index().PatternCount(PatternOf(2, {{0, 1}})), 8u);
+}
+
+TEST(DetectionInputTest, PrepareRejectsBadAttributes) {
+  Result<Table> table = RunningExampleTable();
+  auto ranker = RunningExampleRanker();
+  EXPECT_FALSE(DetectionInput::Prepare(*table, *ranker, {"Nope"}).ok());
+  EXPECT_FALSE(DetectionInput::Prepare(*table, *ranker, {"Grade"}).ok());
+}
+
+TEST(DetectionInputTest, PrepareWithRankingValidatesPermutation) {
+  Result<Table> table = RunningExampleTable();
+  std::vector<uint32_t> bad(16, 0);
+  EXPECT_FALSE(DetectionInput::PrepareWithRanking(*table, bad).ok());
+}
+
+TEST(DetectionInputTest, ValidateConfigChecksEveryField) {
+  Result<Table> table = RunningExampleTable();
+  auto ranker = RunningExampleRanker();
+  auto input = DetectionInput::Prepare(*table, *ranker);
+  ASSERT_TRUE(input.ok());
+  EXPECT_TRUE(input->ValidateConfig({1, 16, 1}).ok());
+  EXPECT_FALSE(input->ValidateConfig({0, 16, 1}).ok());   // k_min < 1
+  EXPECT_FALSE(input->ValidateConfig({5, 4, 1}).ok());    // k_max < k_min
+  EXPECT_FALSE(input->ValidateConfig({1, 17, 1}).ok());   // k_max > |D|
+  EXPECT_FALSE(input->ValidateConfig({1, 16, 0}).ok());   // tau < 1
+}
+
+TEST(DetectionResultTest, AllDistinctDeduplicatesAcrossK) {
+  DetectionResult result(3, 5);
+  result.MutableAtK(3) = {PatternOf(2, {{0, 0}}), PatternOf(2, {{1, 1}})};
+  result.MutableAtK(4) = {PatternOf(2, {{0, 0}})};
+  result.MutableAtK(5) = {PatternOf(2, {{1, 0}})};
+  auto distinct = result.AllDistinct();
+  EXPECT_EQ(distinct.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(distinct.begin(), distinct.end()));
+}
+
+TEST(DetectionResultTest, MaxResultSize) {
+  DetectionResult result(1, 3);
+  result.MutableAtK(1) = {PatternOf(2, {{0, 0}})};
+  result.MutableAtK(2) = {PatternOf(2, {{0, 0}}), PatternOf(2, {{0, 1}}),
+                          PatternOf(2, {{1, 0}})};
+  EXPECT_EQ(result.MaxResultSize(), 3u);
+  EXPECT_EQ(result.k_min(), 1);
+  EXPECT_EQ(result.k_max(), 3);
+}
+
+TEST(PatternSpaceTest, PatternGraphSizeSaturates) {
+  Schema schema;
+  for (int a = 0; a < 50; ++a) {
+    ASSERT_TRUE(schema
+                    .AddCategorical("a" + std::to_string(a),
+                                    std::vector<std::string>(100, "x"))
+                    .ok());
+  }
+  // 101^50 overflows size_t: must saturate, not wrap.
+  auto space = PatternSpace::CreateAllCategorical(schema);
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->PatternGraphSize(),
+            std::numeric_limits<size_t>::max());
+}
+
+}  // namespace
+}  // namespace fairtopk

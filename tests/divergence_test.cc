@@ -1,0 +1,122 @@
+#include "divergence/divexplorer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/running_example.h"
+#include "detect/detection_result.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+
+DetectionInput RunningInput() {
+  Result<Table> table = RunningExampleTable();
+  EXPECT_TRUE(table.ok());
+  auto ranker = RunningExampleRanker();
+  Result<DetectionInput> input = DetectionInput::Prepare(*table, *ranker);
+  EXPECT_TRUE(input.ok());
+  return std::move(input).value();
+}
+
+TEST(DivExplorerTest, ComputesDivergenceAgainstOverallOutcome) {
+  DetectionInput input = RunningInput();
+  DivExplorerOptions options;
+  options.min_support = 0.25;  // size >= 4 of 16
+  options.k = 4;
+  auto groups = FindDivergentGroups(input.index(), options);
+  ASSERT_TRUE(groups.ok());
+  // Overall outcome: 4/16 = 0.25.
+  for (const auto& g : *groups) {
+    EXPECT_GE(g.size, 4u);
+    const double expected_outcome =
+        static_cast<double>(input.index().TopKCount(g.pattern, 4)) /
+        static_cast<double>(g.size);
+    EXPECT_DOUBLE_EQ(g.outcome, expected_outcome);
+    EXPECT_DOUBLE_EQ(g.divergence, expected_outcome - 0.25);
+    EXPECT_DOUBLE_EQ(g.support, static_cast<double>(g.size) / 16.0);
+  }
+}
+
+TEST(DivExplorerTest, SortedByDivergenceMagnitude) {
+  DetectionInput input = RunningInput();
+  DivExplorerOptions options;
+  options.min_support = 0.2;
+  options.k = 5;
+  auto groups = FindDivergentGroups(input.index(), options);
+  ASSERT_TRUE(groups.ok());
+  for (size_t i = 1; i < groups->size(); ++i) {
+    EXPECT_GE(std::fabs((*groups)[i - 1].divergence),
+              std::fabs((*groups)[i].divergence));
+  }
+}
+
+TEST(DivExplorerTest, EnumeratesAllFrequentSubgroupsNoFiltering) {
+  DetectionInput input = RunningInput();
+  DivExplorerOptions options;
+  options.min_support = 0.25;
+  options.k = 4;
+  auto groups = FindDivergentGroups(input.index(), options);
+  ASSERT_TRUE(groups.ok());
+  // Oracle: count all non-empty patterns with size >= 4.
+  size_t expected = 0;
+  for (const Pattern& p : testing::AllPatterns(input.space())) {
+    if (input.index().PatternCount(p) >= 4) ++expected;
+  }
+  EXPECT_EQ(groups->size(), expected);
+  // Unlike the paper's algorithms, subsumed groups are present: both
+  // {Gender=F} and a descendant occur.
+  bool has_f = false;
+  bool has_descendant = false;
+  for (const auto& g : *groups) {
+    if (g.pattern == PatternOf(4, {{0, 0}})) has_f = true;
+    if (PatternOf(4, {{0, 0}}).IsProperAncestorOf(g.pattern)) {
+      has_descendant = true;
+    }
+  }
+  EXPECT_TRUE(has_f);
+  EXPECT_TRUE(has_descendant);
+}
+
+TEST(DivExplorerTest, SupportPruningIsAntiMonotone) {
+  DetectionInput input = RunningInput();
+  DivExplorerOptions options;
+  options.min_support = 0.5;  // size >= 8
+  options.k = 4;
+  auto groups = FindDivergentGroups(input.index(), options);
+  ASSERT_TRUE(groups.ok());
+  for (const auto& g : *groups) {
+    EXPECT_GE(g.size, 8u);
+    EXPECT_LE(g.pattern.NumSpecified(), 1u);  // only broad groups remain
+  }
+}
+
+TEST(DivergenceRankOfTest, FindsPositionOrZero) {
+  DetectionInput input = RunningInput();
+  DivExplorerOptions options;
+  options.min_support = 0.25;
+  options.k = 4;
+  auto groups = FindDivergentGroups(input.index(), options);
+  ASSERT_TRUE(groups.ok());
+  const Pattern present = (*groups)[2].pattern;
+  EXPECT_EQ(DivergenceRankOf(*groups, present), 3u);
+  EXPECT_EQ(DivergenceRankOf(*groups, PatternOf(4, {{3, 2}, {0, 1}})), 0u);
+}
+
+TEST(DivExplorerTest, ValidatesOptions) {
+  DetectionInput input = RunningInput();
+  DivExplorerOptions options;
+  options.min_support = 0.0;
+  EXPECT_FALSE(FindDivergentGroups(input.index(), options).ok());
+  options.min_support = 0.3;
+  options.k = 0;
+  EXPECT_FALSE(FindDivergentGroups(input.index(), options).ok());
+  options.k = 100;
+  EXPECT_FALSE(FindDivergentGroups(input.index(), options).ok());
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,229 @@
+// Property suite for Propositions 4.5 and 4.8: on randomized datasets
+// and parameter settings, the optimized algorithms GLOBALBOUNDS and
+// PROPBOUNDS return exactly the per-k result sets of the ITERTD
+// baseline, and ITERTD itself matches the brute-force most-general
+// oracle on small pattern spaces.
+#include <gtest/gtest.h>
+
+#include "detect/global_bounds.h"
+#include "detect/itertd.h"
+#include "detect/prop_bounds.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+struct PropertyCase {
+  uint64_t seed;
+  size_t rows;
+  size_t attrs;
+  std::vector<int> domains;
+  int k_min;
+  int k_max;
+  int tau;
+};
+
+std::vector<PropertyCase> Cases() {
+  return {
+      {1, 60, 3, {2}, 3, 30, 4},
+      {2, 60, 3, {2, 3}, 5, 40, 6},
+      {3, 120, 4, {2, 3, 4}, 10, 60, 10},
+      {4, 120, 4, {3}, 8, 50, 8},
+      {5, 200, 5, {2, 2, 3}, 10, 100, 12},
+      {6, 200, 4, {4, 2}, 20, 90, 15},
+      {7, 90, 3, {5}, 4, 45, 5},
+      {8, 150, 5, {2}, 12, 75, 9},
+      {9, 250, 4, {2, 3}, 15, 125, 20},
+      {10, 64, 6, {2}, 6, 32, 4},
+  };
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(EquivalenceTest, GlobalBoundsMatchesIterTDFlatBound) {
+  const PropertyCase& c = GetParam();
+  Table table = testing::RandomTable(c.rows, c.attrs, c.domains, c.seed);
+  auto input = DetectionInput::PrepareWithRanking(
+      table, testing::RandomRanking(c.rows, c.seed));
+  ASSERT_TRUE(input.ok());
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(0.25 * c.k_min + 2.0);
+  DetectionConfig config{c.k_min, c.k_max, c.tau};
+  auto optimized = DetectGlobalBounds(*input, bounds, config);
+  auto baseline = DetectGlobalIterTD(*input, bounds, config);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  ASSERT_TRUE(baseline.ok());
+  for (int k = c.k_min; k <= c.k_max; ++k) {
+    ASSERT_EQ(optimized->AtK(k), baseline->AtK(k))
+        << "seed=" << c.seed << " k=" << k;
+  }
+}
+
+TEST_P(EquivalenceTest, GlobalBoundsMatchesIterTDStaircase) {
+  const PropertyCase& c = GetParam();
+  Table table = testing::RandomTable(c.rows, c.attrs, c.domains, c.seed * 31);
+  auto input = DetectionInput::PrepareWithRanking(
+      table, testing::RandomRanking(c.rows, c.seed * 31));
+  ASSERT_TRUE(input.ok());
+  // Staircase stepping up inside the range: exercises the fresh-search
+  // path of Algorithm 2.
+  const int mid = (c.k_min + c.k_max) / 2;
+  GlobalBoundSpec bounds;
+  auto steps = StepFunction::FromSteps(
+      {{c.k_min, 0.2 * c.k_min + 1.0},
+       {mid, 0.2 * mid + 2.0},
+       {c.k_max, 0.2 * c.k_max + 3.0}});
+  ASSERT_TRUE(steps.ok());
+  bounds.lower = *steps;
+  DetectionConfig config{c.k_min, c.k_max, c.tau};
+  auto optimized = DetectGlobalBounds(*input, bounds, config);
+  auto baseline = DetectGlobalIterTD(*input, bounds, config);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(baseline.ok());
+  for (int k = c.k_min; k <= c.k_max; ++k) {
+    ASSERT_EQ(optimized->AtK(k), baseline->AtK(k))
+        << "seed=" << c.seed << " k=" << k;
+  }
+}
+
+TEST_P(EquivalenceTest, PropBoundsMatchesIterTD) {
+  const PropertyCase& c = GetParam();
+  for (double alpha : {0.5, 0.8, 0.95}) {
+    Table table =
+        testing::RandomTable(c.rows, c.attrs, c.domains, c.seed * 7);
+    auto input = DetectionInput::PrepareWithRanking(
+        table, testing::RandomRanking(c.rows, c.seed * 7));
+    ASSERT_TRUE(input.ok());
+    PropBoundSpec bounds;
+    bounds.alpha = alpha;
+    DetectionConfig config{c.k_min, c.k_max, c.tau};
+    auto optimized = DetectPropBounds(*input, bounds, config);
+    auto baseline = DetectPropIterTD(*input, bounds, config);
+    ASSERT_TRUE(optimized.ok());
+    ASSERT_TRUE(baseline.ok());
+    for (int k = c.k_min; k <= c.k_max; ++k) {
+      ASSERT_EQ(optimized->AtK(k), baseline->AtK(k))
+          << "seed=" << c.seed << " alpha=" << alpha << " k=" << k;
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, IterTDMatchesBruteForceOracle) {
+  const PropertyCase& c = GetParam();
+  if (c.attrs > 4) GTEST_SKIP() << "oracle too slow for this space";
+  Table table = testing::RandomTable(c.rows, c.attrs, c.domains, c.seed * 13);
+  auto input = DetectionInput::PrepareWithRanking(
+      table, testing::RandomRanking(c.rows, c.seed * 13));
+  ASSERT_TRUE(input.ok());
+  const double n = static_cast<double>(c.rows);
+
+  GlobalBoundSpec gbounds;
+  const double lower = 0.25 * c.k_min + 2.0;
+  gbounds.lower = StepFunction::Constant(lower);
+  DetectionConfig config{c.k_min, c.k_max, c.tau};
+  auto global = DetectGlobalIterTD(*input, gbounds, config);
+  ASSERT_TRUE(global.ok());
+
+  PropBoundSpec pbounds;
+  pbounds.alpha = 0.8;
+  auto prop = DetectPropIterTD(*input, pbounds, config);
+  ASSERT_TRUE(prop.ok());
+
+  for (int k : {c.k_min, (c.k_min + c.k_max) / 2, c.k_max}) {
+    auto global_oracle = testing::BruteForceMostGeneralBiased(
+        input->index(), c.tau, k, [lower](size_t) { return lower; });
+    ASSERT_EQ(global->AtK(k), global_oracle) << "global k=" << k;
+    auto prop_oracle = testing::BruteForceMostGeneralBiased(
+        input->index(), c.tau, k, [&](size_t size_d) {
+          return 0.8 * static_cast<double>(size_d) * k / n;
+        });
+    ASSERT_EQ(prop->AtK(k), prop_oracle) << "prop k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedDatasets, EquivalenceTest,
+                         ::testing::ValuesIn(Cases()));
+
+// Skewed data: one dominant value per attribute creates deep biased
+// regions, stressing the deferred-set bookkeeping.
+TEST(EquivalenceSkewTest, SkewedDataAllAlgorithmsAgree) {
+  for (uint64_t seed : {101ull, 202ull, 303ull, 404ull, 505ull}) {
+    Schema schema;
+    for (int a = 0; a < 4; ++a) {
+      ASSERT_TRUE(schema
+                      .AddCategorical("a" + std::to_string(a),
+                                      {"hot", "cold", "rare"})
+                      .ok());
+    }
+    auto table = Table::Create(std::move(schema));
+    Rng rng(seed);
+    std::vector<Cell> row(4);
+    for (int r = 0; r < 240; ++r) {
+      for (int a = 0; a < 4; ++a) {
+        row[static_cast<size_t>(a)] = Cell::Code(static_cast<int16_t>(
+            rng.Categorical({0.7, 0.25, 0.05})));
+      }
+      ASSERT_TRUE(table->AppendRow(row).ok());
+    }
+    auto input = DetectionInput::PrepareWithRanking(
+        *table, testing::RandomRanking(240, seed));
+    ASSERT_TRUE(input.ok());
+
+    DetectionConfig config{10, 120, 10};
+    GlobalBoundSpec gbounds;
+    gbounds.lower = StepFunction::Constant(6.0);
+    auto g_opt = DetectGlobalBounds(*input, gbounds, config);
+    auto g_base = DetectGlobalIterTD(*input, gbounds, config);
+    ASSERT_TRUE(g_opt.ok());
+    ASSERT_TRUE(g_base.ok());
+
+    PropBoundSpec pbounds;
+    pbounds.alpha = 0.85;
+    auto p_opt = DetectPropBounds(*input, pbounds, config);
+    auto p_base = DetectPropIterTD(*input, pbounds, config);
+    ASSERT_TRUE(p_opt.ok());
+    ASSERT_TRUE(p_base.ok());
+
+    for (int k = config.k_min; k <= config.k_max; ++k) {
+      ASSERT_EQ(g_opt->AtK(k), g_base->AtK(k)) << "seed=" << seed
+                                               << " global k=" << k;
+      ASSERT_EQ(p_opt->AtK(k), p_base->AtK(k)) << "seed=" << seed
+                                               << " prop k=" << k;
+    }
+  }
+}
+
+// Adversarial ranking: rank one group's tuples last so it oscillates
+// into bias as k sweeps.
+TEST(EquivalenceAdversarialTest, GroupRankedLast) {
+  Table table = testing::RandomTable(150, 3, {2, 3}, 999);
+  // Rank rows with a0 = 0 after all others.
+  std::vector<uint32_t> ranking;
+  for (uint32_t r = 0; r < 150; ++r) {
+    if (table.CodeAt(r, 0) != 0) ranking.push_back(r);
+  }
+  for (uint32_t r = 0; r < 150; ++r) {
+    if (table.CodeAt(r, 0) == 0) ranking.push_back(r);
+  }
+  auto input = DetectionInput::PrepareWithRanking(table, ranking);
+  ASSERT_TRUE(input.ok());
+  DetectionConfig config{5, 100, 8};
+  PropBoundSpec pbounds;
+  pbounds.alpha = 0.9;
+  auto p_opt = DetectPropBounds(*input, pbounds, config);
+  auto p_base = DetectPropIterTD(*input, pbounds, config);
+  ASSERT_TRUE(p_opt.ok());
+  ASSERT_TRUE(p_base.ok());
+  bool reported_group = false;
+  for (int k = config.k_min; k <= config.k_max; ++k) {
+    ASSERT_EQ(p_opt->AtK(k), p_base->AtK(k)) << "k=" << k;
+    for (const Pattern& p : p_opt->AtK(k)) {
+      if (p == testing::PatternOf(3, {{0, 0}})) reported_group = true;
+    }
+  }
+  // The demoted group must be caught at some k.
+  EXPECT_TRUE(reported_group);
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,79 @@
+#include "explain/feature_space.h"
+
+#include <gtest/gtest.h>
+
+namespace fairtopk {
+namespace {
+
+Table MixedTable() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("color", {"r", "g", "b"}).ok());
+  EXPECT_TRUE(schema.AddNumeric("score").ok());
+  EXPECT_TRUE(schema.AddCategorical("flag", {"n", "y"}).ok());
+  auto table = Table::Create(std::move(schema));
+  EXPECT_TRUE(table
+                  ->AppendRow({Cell::Code(1), Cell::Value(3.5),
+                               Cell::Code(0)})
+                  .ok());
+  EXPECT_TRUE(table
+                  ->AppendRow({Cell::Code(2), Cell::Value(-1.0),
+                               Cell::Code(1)})
+                  .ok());
+  return std::move(table).value();
+}
+
+TEST(FeatureSpaceTest, OneHotPlusNumericLayout) {
+  Table table = MixedTable();
+  auto space = FeatureSpace::Create(table.schema(), {});
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->num_features(), 3u + 1u + 2u);
+  EXPECT_EQ(space->num_groups(), 3u);
+  EXPECT_EQ(space->group_name(0), "color");
+  EXPECT_EQ(space->group_range(0), (std::pair<size_t, size_t>{0, 3}));
+  EXPECT_EQ(space->group_range(1), (std::pair<size_t, size_t>{3, 4}));
+  EXPECT_EQ(space->group_range(2), (std::pair<size_t, size_t>{4, 6}));
+}
+
+TEST(FeatureSpaceTest, EncodeProducesOneHot) {
+  Table table = MixedTable();
+  auto space = FeatureSpace::Create(table.schema(), {});
+  ASSERT_TRUE(space.ok());
+  std::vector<double> out;
+  space->Encode(table, 0, out);
+  EXPECT_EQ(out, (std::vector<double>{0, 1, 0, 3.5, 1, 0}));
+  space->Encode(table, 1, out);
+  EXPECT_EQ(out, (std::vector<double>{0, 0, 1, -1.0, 0, 1}));
+}
+
+TEST(FeatureSpaceTest, ExcludeDropsAttribute) {
+  Table table = MixedTable();
+  auto space = FeatureSpace::Create(table.schema(), {"score"});
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->num_groups(), 2u);
+  EXPECT_EQ(space->num_features(), 5u);
+  std::vector<double> out;
+  space->Encode(table, 0, out);
+  EXPECT_EQ(out, (std::vector<double>{0, 1, 0, 1, 0}));
+}
+
+TEST(FeatureSpaceTest, ExcludingEverythingFails) {
+  Table table = MixedTable();
+  EXPECT_FALSE(
+      FeatureSpace::Create(table.schema(), {"color", "score", "flag"}).ok());
+}
+
+TEST(FeatureSpaceTest, EncodeAllMatchesEncode) {
+  Table table = MixedTable();
+  auto space = FeatureSpace::Create(table.schema(), {});
+  ASSERT_TRUE(space.ok());
+  auto all = space->EncodeAll(table);
+  ASSERT_EQ(all.size(), 2u);
+  std::vector<double> row;
+  for (size_t r = 0; r < 2; ++r) {
+    space->Encode(table, r, row);
+    EXPECT_EQ(all[r], row);
+  }
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,179 @@
+// GLOBALBOUNDS (Algorithm 2) behavior tests, including the Example 4.6
+// incremental transition from k=4 to k=5.
+#include "detect/global_bounds.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "datagen/running_example.h"
+#include "detect/itertd.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+
+DetectionInput RunningInput() {
+  Result<Table> table = RunningExampleTable();
+  EXPECT_TRUE(table.ok());
+  auto ranker = RunningExampleRanker();
+  Result<DetectionInput> input = DetectionInput::Prepare(*table, *ranker);
+  EXPECT_TRUE(input.ok());
+  return std::move(input).value();
+}
+
+bool Contains(const std::vector<Pattern>& v, const Pattern& p) {
+  return std::find(v.begin(), v.end(), p) != v.end();
+}
+
+// Example 4.6: tau_s=4, k in [4,5], L4=L5=2.
+TEST(GlobalBoundsTest, Example46Transition) {
+  DetectionInput input = RunningInput();
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(2.0);
+  DetectionConfig config;
+  config.k_min = 4;
+  config.k_max = 5;
+  config.size_threshold = 4;
+
+  auto result = DetectGlobalBounds(input, bounds, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // k=4: {Address=U} and {Failures=1} are reported.
+  EXPECT_TRUE(Contains(result->AtK(4), PatternOf(4, {{2, 1}})));
+  EXPECT_TRUE(Contains(result->AtK(4), PatternOf(4, {{3, 1}})));
+
+  // k=5 (tuple 14 = M/MS/U/failures-1 enters): {Address=U} and
+  // {Failures=1} reach the bound and leave; {Address=U, Failures=1}
+  // is added; the four deferred patterns of the example are promoted.
+  EXPECT_FALSE(Contains(result->AtK(5), PatternOf(4, {{2, 1}})));
+  EXPECT_FALSE(Contains(result->AtK(5), PatternOf(4, {{3, 1}})));
+  EXPECT_TRUE(Contains(result->AtK(5), PatternOf(4, {{2, 1}, {3, 1}})));
+  EXPECT_TRUE(Contains(result->AtK(5), PatternOf(4, {{0, 0}, {2, 1}})));
+  EXPECT_TRUE(Contains(result->AtK(5), PatternOf(4, {{0, 1}, {2, 1}})));
+  EXPECT_TRUE(Contains(result->AtK(5), PatternOf(4, {{0, 0}, {3, 1}})));
+  EXPECT_TRUE(Contains(result->AtK(5), PatternOf(4, {{2, 0}, {3, 1}})));
+}
+
+TEST(GlobalBoundsTest, MatchesBaselineOnRunningExample) {
+  DetectionInput input = RunningInput();
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(2.0);
+  DetectionConfig config;
+  config.k_min = 3;
+  config.k_max = 10;
+  config.size_threshold = 4;
+  auto optimized = DetectGlobalBounds(input, bounds, config);
+  auto baseline = DetectGlobalIterTD(input, bounds, config);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(baseline.ok());
+  for (int k = config.k_min; k <= config.k_max; ++k) {
+    EXPECT_EQ(optimized->AtK(k), baseline->AtK(k)) << "k=" << k;
+  }
+}
+
+TEST(GlobalBoundsTest, BoundIncreaseTriggersFreshSearchAndStaysCorrect) {
+  DetectionInput input = RunningInput();
+  GlobalBoundSpec bounds;
+  auto steps = StepFunction::FromSteps({{3, 1.0}, {7, 2.0}, {10, 4.0}});
+  ASSERT_TRUE(steps.ok());
+  bounds.lower = *steps;
+  DetectionConfig config;
+  config.k_min = 3;
+  config.k_max = 12;
+  config.size_threshold = 4;
+  auto optimized = DetectGlobalBounds(input, bounds, config);
+  auto baseline = DetectGlobalIterTD(input, bounds, config);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(baseline.ok());
+  for (int k = config.k_min; k <= config.k_max; ++k) {
+    EXPECT_EQ(optimized->AtK(k), baseline->AtK(k)) << "k=" << k;
+  }
+}
+
+TEST(GlobalBoundsTest, RejectsDecreasingBounds) {
+  DetectionInput input = RunningInput();
+  GlobalBoundSpec bounds;
+  auto steps = StepFunction::FromSteps({{3, 5.0}, {8, 2.0}});
+  ASSERT_TRUE(steps.ok());
+  bounds.lower = *steps;
+  DetectionConfig config;
+  config.k_min = 3;
+  config.k_max = 10;
+  config.size_threshold = 4;
+  EXPECT_EQ(DetectGlobalBounds(input, bounds, config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GlobalBoundsTest, ValidatesConfig) {
+  DetectionInput input = RunningInput();
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(2.0);
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 4;
+  EXPECT_FALSE(DetectGlobalBounds(input, bounds, config).ok());
+  config.k_min = 1;
+  config.k_max = 17;  // exceeds |D| = 16
+  EXPECT_FALSE(DetectGlobalBounds(input, bounds, config).ok());
+  config.k_max = 10;
+  config.size_threshold = 0;
+  EXPECT_FALSE(DetectGlobalBounds(input, bounds, config).ok());
+}
+
+TEST(GlobalBoundsTest, VisitsNoMoreNodesThanBaselineOnFlatBounds) {
+  Table table = testing::RandomTable(300, 5, {2, 3}, 77);
+  auto ranking = testing::RandomRanking(300, 77);
+  auto input = DetectionInput::PrepareWithRanking(table, ranking);
+  ASSERT_TRUE(input.ok());
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(8.0);
+  DetectionConfig config;
+  config.k_min = 20;
+  config.k_max = 120;
+  config.size_threshold = 10;
+  auto optimized = DetectGlobalBounds(*input, bounds, config);
+  auto baseline = DetectGlobalIterTD(*input, bounds, config);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_LT(optimized->stats().nodes_visited,
+            baseline->stats().nodes_visited);
+}
+
+TEST(GlobalBoundsTest, ReportedPatternsSatisfyDefinition) {
+  DetectionInput input = RunningInput();
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(2.0);
+  DetectionConfig config;
+  config.k_min = 4;
+  config.k_max = 8;
+  config.size_threshold = 4;
+  auto result = DetectGlobalBounds(input, bounds, config);
+  ASSERT_TRUE(result.ok());
+  for (int k = config.k_min; k <= config.k_max; ++k) {
+    for (const Pattern& p : result->AtK(k)) {
+      EXPECT_GE(input.index().PatternCount(p), 4u);
+      EXPECT_LT(static_cast<double>(
+                    input.index().TopKCount(p, static_cast<size_t>(k))),
+                2.0);
+      // Most general: no graph parent is biased (with adequate size).
+      for (size_t a = 0; a < p.num_attributes(); ++a) {
+        if (!p.IsSpecified(a)) continue;
+        Pattern parent = p.Without(a);
+        if (parent.IsEmpty()) continue;
+        const bool parent_biased =
+            input.index().PatternCount(parent) >= 4 &&
+            static_cast<double>(
+                input.index().TopKCount(parent, static_cast<size_t>(k))) <
+                2.0;
+        EXPECT_FALSE(parent_biased)
+            << "parent of a reported pattern is biased at k=" << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairtopk

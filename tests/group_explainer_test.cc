@@ -1,0 +1,159 @@
+#include "explain/group_explainer.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/running_example.h"
+#include "datagen/student_like.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+
+TEST(GroupExplainerTest, IdentifiesGradeAsRankingDriverOnRunningExample) {
+  Result<Table> table = RunningExampleTable();
+  ASSERT_TRUE(table.ok());
+  auto ranker = RunningExampleRanker();
+  auto ranking = ranker->Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+
+  ExplainerOptions options;
+  auto explainer = GroupExplainer::Create(*table, *ranking, options);
+  ASSERT_TRUE(explainer.ok()) << explainer.status().ToString();
+  // Rank is (inverse) grade: a linear model should fit very well.
+  EXPECT_GT(explainer->TrainingR2(), 0.9);
+
+  auto space = PatternSpace::CreateAllCategorical(table->schema());
+  ASSERT_TRUE(space.ok());
+  // Explain the {School=GP} group (biased at k=5, Example 2.3).
+  auto explanation =
+      explainer->Explain(PatternOf(4, {{1, 1}}), *space, 5);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  EXPECT_EQ(explanation->effects.front().attribute, "Grade");
+  // Effects cover every encoded attribute, sorted by |mean_shapley|.
+  EXPECT_EQ(explanation->effects.size(), 5u);
+  for (size_t i = 1; i < explanation->effects.size(); ++i) {
+    EXPECT_GE(std::abs(explanation->effects[i - 1].mean_shapley),
+              std::abs(explanation->effects[i].mean_shapley));
+  }
+}
+
+TEST(GroupExplainerTest, DistributionComparesTopKAgainstGroup) {
+  Result<Table> table = RunningExampleTable();
+  auto ranker = RunningExampleRanker();
+  auto ranking = ranker->Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  auto explainer =
+      GroupExplainer::Create(*table, *ranking, ExplainerOptions{});
+  ASSERT_TRUE(explainer.ok());
+  auto space = PatternSpace::CreateAllCategorical(table->schema());
+  auto explanation = explainer->Explain(PatternOf(4, {{1, 1}}), *space, 5);
+  ASSERT_TRUE(explanation.ok());
+  const auto& dist = explanation->top_attribute_distribution;
+  EXPECT_EQ(dist.attribute, "Grade");
+  double top_total = 0.0;
+  double group_total = 0.0;
+  for (const auto& bin : dist.bins) {
+    top_total += bin.top_k_fraction;
+    group_total += bin.group_fraction;
+  }
+  EXPECT_NEAR(top_total, 1.0, 1e-9);
+  EXPECT_NEAR(group_total, 1.0, 1e-9);
+}
+
+TEST(GroupExplainerTest, StudentLikeTopAttributeIsTheFinalGrade) {
+  auto table = StudentLikeTable();
+  ASSERT_TRUE(table.ok());
+  auto ranker = StudentRanker();
+  auto ranking = ranker->Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  auto explainer =
+      GroupExplainer::Create(*table, *ranking, ExplainerOptions{});
+  ASSERT_TRUE(explainer.ok());
+  auto space =
+      PatternSpace::Create(table->schema(), StudentPatternAttributes());
+  ASSERT_TRUE(space.ok());
+  // The Medu=primary group of Section VI-C (code 1 in our domain).
+  std::vector<std::string> attrs = StudentPatternAttributes();
+  auto medu_pos =
+      std::find(attrs.begin(), attrs.end(), "Medu") - attrs.begin();
+  Pattern group = PatternOf(space->num_attributes(),
+                            {{static_cast<size_t>(medu_pos), 1}});
+  auto explanation = explainer->Explain(group, *space, 49);
+  ASSERT_TRUE(explanation.ok());
+  // Figure 10a: the final grade G3 carries the largest Shapley value
+  // because it is the attribute the ranker actually uses.
+  EXPECT_EQ(explanation->effects.front().attribute, "G3");
+}
+
+TEST(GroupExplainerTest, TreeModelPathProducesExplanations) {
+  Result<Table> table = RunningExampleTable();
+  auto ranker = RunningExampleRanker();
+  auto ranking = ranker->Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  ExplainerOptions options;
+  options.model = RankModelKind::kTree;
+  options.sampling.num_permutations = 200;
+  auto explainer = GroupExplainer::Create(*table, *ranking, options);
+  ASSERT_TRUE(explainer.ok());
+  auto space = PatternSpace::CreateAllCategorical(table->schema());
+  auto explanation = explainer->Explain(PatternOf(4, {{1, 1}}), *space, 5);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->effects.front().attribute, "Grade");
+}
+
+TEST(GroupExplainerTest, BoostedModelPathProducesExplanations) {
+  Result<Table> table = RunningExampleTable();
+  auto ranker = RunningExampleRanker();
+  auto ranking = ranker->Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  ExplainerOptions options;
+  options.model = RankModelKind::kBoosted;
+  options.boosting.num_trees = 40;
+  options.sampling.num_permutations = 200;
+  auto explainer = GroupExplainer::Create(*table, *ranking, options);
+  ASSERT_TRUE(explainer.ok());
+  // Boosted trees fit the grade-driven ranking well.
+  EXPECT_GT(explainer->TrainingR2(), 0.8);
+  auto space = PatternSpace::CreateAllCategorical(table->schema());
+  auto explanation = explainer->Explain(PatternOf(4, {{1, 1}}), *space, 5);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->effects.front().attribute, "Grade");
+}
+
+TEST(GroupExplainerTest, ExcludedAttributeNeverAppears) {
+  Result<Table> table = RunningExampleTable();
+  auto ranker = RunningExampleRanker();
+  auto ranking = ranker->Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  ExplainerOptions options;
+  options.exclude_attributes = {"Grade"};
+  auto explainer = GroupExplainer::Create(*table, *ranking, options);
+  ASSERT_TRUE(explainer.ok());
+  auto space = PatternSpace::CreateAllCategorical(table->schema());
+  auto explanation = explainer->Explain(PatternOf(4, {{1, 1}}), *space, 5);
+  ASSERT_TRUE(explanation.ok());
+  for (const auto& effect : explanation->effects) {
+    EXPECT_NE(effect.attribute, "Grade");
+  }
+}
+
+TEST(GroupExplainerTest, RejectsBadArguments) {
+  Result<Table> table = RunningExampleTable();
+  auto ranker = RunningExampleRanker();
+  auto ranking = ranker->Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  auto explainer =
+      GroupExplainer::Create(*table, *ranking, ExplainerOptions{});
+  ASSERT_TRUE(explainer.ok());
+  auto space = PatternSpace::CreateAllCategorical(table->schema());
+  // k out of range.
+  EXPECT_FALSE(explainer->Explain(PatternOf(4, {{1, 1}}), *space, 0).ok());
+  EXPECT_FALSE(explainer->Explain(PatternOf(4, {{1, 1}}), *space, 17).ok());
+  // Mismatched pattern arity.
+  EXPECT_FALSE(explainer->Explain(PatternOf(2, {{1, 1}}), *space, 5).ok());
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,97 @@
+// Empirical check of Theorem 3.3: the hardness construction produces
+// exactly C(n, n/2) most general biased patterns under both problem
+// definitions.
+#include "datagen/hardness.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/itertd.h"
+
+namespace fairtopk {
+namespace {
+
+TEST(HardnessTableTest, ConstructionShape) {
+  auto table = HardnessTable(6);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 7u);
+  EXPECT_EQ(table->num_attributes(), 6u);
+  // Tuple i carries 1 exactly in attribute i.
+  for (size_t t = 0; t < 6; ++t) {
+    for (size_t a = 0; a < 6; ++a) {
+      EXPECT_EQ(table->CodeAt(t, a), t == a ? 1 : 0);
+    }
+  }
+  for (size_t a = 0; a < 6; ++a) {
+    EXPECT_EQ(table->CodeAt(6, a), 0);
+  }
+}
+
+TEST(HardnessTableTest, RejectsOddOrTinyN) {
+  EXPECT_FALSE(HardnessTable(3).ok());
+  EXPECT_FALSE(HardnessTable(0).ok());
+}
+
+TEST(HardnessExpectedCountTest, BinomialValues) {
+  EXPECT_EQ(HardnessExpectedCount(2), 2u);
+  EXPECT_EQ(HardnessExpectedCount(4), 6u);
+  EXPECT_EQ(HardnessExpectedCount(6), 20u);
+  EXPECT_EQ(HardnessExpectedCount(8), 70u);
+  EXPECT_EQ(HardnessExpectedCount(12), 924u);
+}
+
+class HardnessDetectionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HardnessDetectionTest, GlobalBoundsYieldBinomialManyPatterns) {
+  const int n = GetParam();
+  auto table = HardnessTable(n);
+  ASSERT_TRUE(table.ok());
+  auto input =
+      DetectionInput::PrepareWithRanking(*table, HardnessRanking(n));
+  ASSERT_TRUE(input.ok());
+  // Theorem 3.3 setting: k_min = k_max = n, L_k = n/2 + 1. The size
+  // threshold 2 excludes the size-1 groups {A_i = 1} so the result is
+  // exactly the n/2-zeros family of the proof (each of size n/2 + 1).
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(n / 2.0 + 1.0);
+  DetectionConfig config;
+  config.k_min = n;
+  config.k_max = n;
+  config.size_threshold = 2;
+  auto result = DetectGlobalIterTD(*input, bounds, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->AtK(n).size(), HardnessExpectedCount(n));
+  // Every reported pattern assigns 0 to exactly n/2 attributes.
+  for (const Pattern& p : result->AtK(n)) {
+    EXPECT_EQ(p.NumSpecified(), static_cast<size_t>(n) / 2);
+    for (size_t a = 0; a < p.num_attributes(); ++a) {
+      if (p.IsSpecified(a)) {
+        EXPECT_EQ(p.value(a), 0);
+      }
+    }
+  }
+}
+
+TEST_P(HardnessDetectionTest, ProportionalBoundsYieldBinomialManyPatterns) {
+  const int n = GetParam();
+  auto table = HardnessTable(n);
+  ASSERT_TRUE(table.ok());
+  auto input =
+      DetectionInput::PrepareWithRanking(*table, HardnessRanking(n));
+  ASSERT_TRUE(input.ok());
+  // alpha = (n+3)/(n+4) per the proof of Theorem 3.3.
+  PropBoundSpec bounds;
+  bounds.alpha = (n + 3.0) / (n + 4.0);
+  DetectionConfig config;
+  config.k_min = n;
+  config.k_max = n;
+  config.size_threshold = 1;
+  auto result = DetectPropIterTD(*input, bounds, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->AtK(n).size(), HardnessExpectedCount(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenN, HardnessDetectionTest,
+                         ::testing::Values(2, 4, 6, 8, 10));
+
+}  // namespace
+}  // namespace fairtopk

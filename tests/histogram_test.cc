@@ -1,0 +1,76 @@
+#include "explain/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/running_example.h"
+
+namespace fairtopk {
+namespace {
+
+TEST(CompareDistributionsTest, CategoricalProportions) {
+  Result<Table> table = RunningExampleTable();
+  ASSERT_TRUE(table.ok());
+  // Top "k" rows 0-3 (students 1-4): genders F,M,M,M -> F 0.25, M 0.75.
+  // Group rows 0,5,8 (students 1,6,9): all F -> F 1.0.
+  auto comparison =
+      CompareDistributions(*table, "Gender", {0, 1, 2, 3}, {0, 5, 8});
+  ASSERT_TRUE(comparison.ok());
+  ASSERT_EQ(comparison->bins.size(), 2u);
+  EXPECT_EQ(comparison->bins[0].label, "F");
+  EXPECT_DOUBLE_EQ(comparison->bins[0].top_k_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(comparison->bins[0].group_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(comparison->bins[1].top_k_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(comparison->bins[1].group_fraction, 0.0);
+}
+
+TEST(CompareDistributionsTest, NumericBucketization) {
+  Result<Table> table = RunningExampleTable();
+  // Grades span [4, 20]; 4 equal-width bins -> width 4.
+  auto comparison = CompareDistributions(*table, "Grade", {11, 4},  // 20, 19
+                                         {3, 5},                    // 4, 4
+                                         4);
+  ASSERT_TRUE(comparison.ok());
+  ASSERT_EQ(comparison->bins.size(), 4u);
+  EXPECT_DOUBLE_EQ(comparison->bins.back().top_k_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(comparison->bins.front().group_fraction, 1.0);
+}
+
+TEST(CompareDistributionsTest, FractionsSumToOne) {
+  Result<Table> table = RunningExampleTable();
+  std::vector<uint32_t> top = {0, 1, 2, 3, 4};
+  std::vector<uint32_t> group = {7, 9, 12, 14};
+  for (const char* attr : {"Gender", "School", "Failures"}) {
+    auto comparison = CompareDistributions(*table, attr, top, group);
+    ASSERT_TRUE(comparison.ok());
+    double t = 0.0;
+    double g = 0.0;
+    for (const auto& bin : comparison->bins) {
+      t += bin.top_k_fraction;
+      g += bin.group_fraction;
+    }
+    EXPECT_NEAR(t, 1.0, 1e-12) << attr;
+    EXPECT_NEAR(g, 1.0, 1e-12) << attr;
+  }
+}
+
+TEST(CompareDistributionsTest, ValidatesInputs) {
+  Result<Table> table = RunningExampleTable();
+  EXPECT_EQ(CompareDistributions(*table, "Nope", {0}, {1}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(CompareDistributions(*table, "Gender", {}, {1}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RenderDistributionTest, ListsEveryBin) {
+  Result<Table> table = RunningExampleTable();
+  auto comparison =
+      CompareDistributions(*table, "School", {0, 1}, {2, 3});
+  ASSERT_TRUE(comparison.ok());
+  std::string text = RenderDistribution(*comparison);
+  EXPECT_NE(text.find("MS"), std::string::npos);
+  EXPECT_NE(text.find("GP"), std::string::npos);
+  EXPECT_NE(text.find("School"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairtopk

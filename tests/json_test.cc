@@ -1,0 +1,80 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace fairtopk {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  {
+    JsonWriter w;
+    w.BeginObject().EndObject();
+    EXPECT_EQ(w.str(), "{}");
+  }
+  {
+    JsonWriter w;
+    w.BeginArray().EndArray();
+    EXPECT_EQ(w.str(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String("x");
+  w.Key("i").Int(-3);
+  w.Key("u").Uint(7);
+  w.Key("d").Double(2.5);
+  w.Key("b").Bool(true);
+  w.Key("n").Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"x\",\"i\":-3,\"u\":7,\"d\":2.5,\"b\":true,"
+            "\"n\":null}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("list").BeginArray();
+  w.Int(1);
+  w.BeginObject().Key("k").String("v").EndObject();
+  w.BeginArray().Int(2).Int(3).EndArray();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"list\":[1,{\"k\":\"v\"},[2,3]]}");
+}
+
+TEST(JsonWriterTest, ArrayCommaPlacement) {
+  JsonWriter w;
+  w.BeginArray().Int(1).Int(2).Int(3).EndArray();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(1.0);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,1]");
+}
+
+TEST(JsonWriterTest, EscapedKeys) {
+  JsonWriter w;
+  w.BeginObject().Key("we\"ird").Int(1).EndObject();
+  EXPECT_EQ(w.str(), "{\"we\\\"ird\":1}");
+}
+
+}  // namespace
+}  // namespace fairtopk

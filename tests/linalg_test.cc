@@ -1,0 +1,91 @@
+#include "explain/linalg.h"
+
+#include <gtest/gtest.h>
+
+namespace fairtopk {
+namespace {
+
+TEST(MatrixTest, TransposeTimesSelf) {
+  Matrix m(3, 2);
+  // Rows: (1,2), (3,4), (5,6).
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 3;
+  m.at(1, 1) = 4;
+  m.at(2, 0) = 5;
+  m.at(2, 1) = 6;
+  Matrix g = m.TransposeTimesSelf();
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 35.0);   // 1+9+25
+  EXPECT_DOUBLE_EQ(g.at(0, 1), 44.0);   // 2+12+30
+  EXPECT_DOUBLE_EQ(g.at(1, 0), 44.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 1), 56.0);   // 4+16+36
+}
+
+TEST(MatrixTest, TransposeTimesVector) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 0;
+  m.at(0, 2) = 2;
+  m.at(1, 0) = -1;
+  m.at(1, 1) = 3;
+  m.at(1, 2) = 1;
+  auto out = m.TransposeTimesVector({2.0, 1.0});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  EXPECT_DOUBLE_EQ(out[2], 5.0);
+}
+
+TEST(MatrixTest, AddToDiagonal) {
+  Matrix m(2, 2);
+  m.AddToDiagonal(3.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 3.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(CholeskySolveTest, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [8, 7] -> x = [1.25, 1.5].
+  Matrix a(2, 2);
+  a.at(0, 0) = 4;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 3;
+  auto x = CholeskySolve(a, {8.0, 7.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.25, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.5, 1e-12);
+}
+
+TEST(CholeskySolveTest, IdentitySolvesToRhs) {
+  Matrix a(3, 3);
+  a.AddToDiagonal(1.0);
+  auto x = CholeskySolve(a, {1.0, -2.0, 0.5});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*x)[1], -2.0);
+  EXPECT_DOUBLE_EQ((*x)[2], 0.5);
+}
+
+TEST(CholeskySolveTest, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 1;  // eigenvalues 3 and -1
+  EXPECT_EQ(CholeskySolve(a, {1.0, 1.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskySolveTest, RejectsShapeMismatch) {
+  Matrix a(2, 3);
+  EXPECT_EQ(CholeskySolve(a, {1.0, 1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  Matrix square(2, 2);
+  square.AddToDiagonal(1.0);
+  EXPECT_EQ(CholeskySolve(square, {1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fairtopk

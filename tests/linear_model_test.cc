@@ -1,0 +1,88 @@
+#include "explain/linear_model.h"
+
+
+#include <cmath>
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fairtopk {
+namespace {
+
+TEST(RidgeRegressionTest, RecoversPlantedLinearModel) {
+  Rng rng(42);
+  const std::vector<double> true_w = {2.0, -1.5, 0.5};
+  const double true_b = 3.0;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> row = {rng.UniformDouble() * 4.0,
+                               rng.UniformDouble() * 2.0 - 1.0,
+                               rng.Gaussian()};
+    double target = true_b;
+    for (size_t f = 0; f < 3; ++f) target += true_w[f] * row[f];
+    x.push_back(row);
+    y.push_back(target);
+  }
+  auto model = RidgeRegression::Fit(x, y, 1e-6);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  for (size_t f = 0; f < 3; ++f) {
+    EXPECT_NEAR(model->weights()[f], true_w[f], 1e-3);
+  }
+  EXPECT_NEAR(model->intercept(), true_b, 1e-3);
+  EXPECT_NEAR(model->Predict({1.0, 1.0, 1.0}), 3.0 + 2.0 - 1.5 + 0.5, 1e-2);
+}
+
+TEST(RidgeRegressionTest, HandlesCollinearOneHotBlocks) {
+  // Two-column one-hot block (x0 + x1 == 1 always): singular without
+  // regularization; the floor keeps the solve well-posed.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const bool flag = i % 2 == 0;
+    x.push_back({flag ? 1.0 : 0.0, flag ? 0.0 : 1.0});
+    y.push_back(flag ? 5.0 : 1.0);
+  }
+  auto model = RidgeRegression::Fit(x, y, 0.0);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Predict({1.0, 0.0}), 5.0, 0.05);
+  EXPECT_NEAR(model->Predict({0.0, 1.0}), 1.0, 0.05);
+}
+
+TEST(RidgeRegressionTest, LargerLambdaShrinksWeights) {
+  Rng rng(7);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    double v = rng.Gaussian();
+    x.push_back({v});
+    y.push_back(4.0 * v);
+  }
+  auto small = RidgeRegression::Fit(x, y, 1e-6);
+  auto large = RidgeRegression::Fit(x, y, 1e4);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(std::abs(small->weights()[0]), std::abs(large->weights()[0]));
+  EXPECT_NEAR(small->weights()[0], 4.0, 0.01);
+}
+
+TEST(RidgeRegressionTest, RejectsBadInput) {
+  EXPECT_FALSE(RidgeRegression::Fit({}, {}, 1.0).ok());
+  EXPECT_FALSE(RidgeRegression::Fit({{1.0}}, {1.0, 2.0}, 1.0).ok());
+  EXPECT_FALSE(RidgeRegression::Fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}, 1.0)
+                   .ok());
+  EXPECT_FALSE(RidgeRegression::Fit({{1.0}}, {1.0}, -1.0).ok());
+}
+
+TEST(RidgeRegressionTest, ConstantTargetYieldsInterceptOnly) {
+  std::vector<std::vector<double>> x = {{1.0}, {2.0}, {3.0}};
+  std::vector<double> y = {7.0, 7.0, 7.0};
+  auto model = RidgeRegression::Fit(x, y, 1e-3);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->weights()[0], 0.0, 1e-9);
+  EXPECT_NEAR(model->Predict({10.0}), 7.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace fairtopk

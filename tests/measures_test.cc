@@ -1,0 +1,156 @@
+#include "fairness/measures.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/running_example.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+
+DetectionInput RunningInput() {
+  Result<Table> table = RunningExampleTable();
+  EXPECT_TRUE(table.ok());
+  auto ranker = RunningExampleRanker();
+  auto input = DetectionInput::Prepare(*table, *ranker);
+  EXPECT_TRUE(input.ok());
+  return std::move(input).value();
+}
+
+/// A 2-attribute table whose rows alternate group membership perfectly
+/// under `interleaved`, or are fully segregated otherwise.
+DetectionInput TwoGroupInput(bool interleaved) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("g", {"a", "b"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("x", {"0", "1"}).ok());
+  auto table = Table::Create(std::move(schema));
+  const size_t n = 40;
+  for (size_t i = 0; i < n; ++i) {
+    int16_t code;
+    if (interleaved) {
+      code = static_cast<int16_t>(i % 2);
+    } else {
+      code = static_cast<int16_t>(i < n / 2 ? 0 : 1);
+    }
+    EXPECT_TRUE(
+        table->AppendRow({Cell::Code(code), Cell::Code(0)}).ok());
+  }
+  std::vector<uint32_t> ranking(n);
+  for (size_t i = 0; i < n; ++i) ranking[i] = static_cast<uint32_t>(i);
+  auto input = DetectionInput::PrepareWithRanking(*table, ranking);
+  EXPECT_TRUE(input.ok());
+  return std::move(input).value();
+}
+
+TEST(AttributePartitionTest, OnePatternPerValue) {
+  DetectionInput input = RunningInput();
+  auto partition = AttributePartition(input.space(), 1);  // School
+  ASSERT_EQ(partition.size(), 2u);
+  EXPECT_EQ(partition[0], PatternOf(4, {{1, 0}}));
+  EXPECT_EQ(partition[1], PatternOf(4, {{1, 1}}));
+}
+
+TEST(NdklTest, PerfectInterleavingIsNearZero) {
+  DetectionInput input = TwoGroupInput(/*interleaved=*/true);
+  auto partition = AttributePartition(input.space(), 0);
+  NdklOptions options;
+  options.step = 2;
+  auto ndkl = NormalizedDiscountedKL(input, partition, options);
+  ASSERT_TRUE(ndkl.ok());
+  EXPECT_LT(*ndkl, 1e-3);
+}
+
+TEST(NdklTest, SegregatedRankingIsLarge) {
+  DetectionInput interleaved = TwoGroupInput(true);
+  DetectionInput segregated = TwoGroupInput(false);
+  auto partition = AttributePartition(interleaved.space(), 0);
+  NdklOptions options;
+  options.step = 2;
+  auto fair = NormalizedDiscountedKL(interleaved, partition, options);
+  auto unfair = NormalizedDiscountedKL(segregated, partition, options);
+  ASSERT_TRUE(fair.ok());
+  ASSERT_TRUE(unfair.ok());
+  EXPECT_GT(*unfair, 10.0 * *fair);
+  EXPECT_GT(*unfair, 0.1);
+}
+
+TEST(NdklTest, RunningExampleSchoolPartition) {
+  DetectionInput input = RunningInput();
+  auto partition = AttributePartition(input.space(), 1);
+  NdklOptions options;
+  options.step = 4;
+  auto ndkl = NormalizedDiscountedKL(input, partition, options);
+  ASSERT_TRUE(ndkl.ok());
+  // Schools are 8/8 overall but the top-4 is 3 MS / 1 GP: positive
+  // divergence, far from the segregated extreme.
+  EXPECT_GT(*ndkl, 0.0);
+  EXPECT_LT(*ndkl, 1.0);
+}
+
+TEST(NdklTest, RejectsNonPartitions) {
+  DetectionInput input = RunningInput();
+  NdklOptions options;
+  // Overlapping: {School=MS} and {Gender=F} share tuples.
+  auto overlap = NormalizedDiscountedKL(
+      input, {PatternOf(4, {{1, 0}}), PatternOf(4, {{0, 0}})}, options);
+  EXPECT_FALSE(overlap.ok());
+  // Non-covering: a single school misses half the data.
+  auto partial = NormalizedDiscountedKL(
+      input, {PatternOf(4, {{1, 0}}), PatternOf(4, {{1, 0}, {0, 0}})},
+      options);
+  EXPECT_FALSE(partial.ok());
+  // Too few groups / bad options.
+  EXPECT_FALSE(
+      NormalizedDiscountedKL(input, {PatternOf(4, {{1, 0}})}, options)
+          .ok());
+  options.step = 0;
+  auto partition = AttributePartition(input.space(), 1);
+  EXPECT_FALSE(NormalizedDiscountedKL(input, partition, options).ok());
+}
+
+TEST(AverageExposureTest, TopRankedGroupGetsMoreExposure) {
+  DetectionInput input = TwoGroupInput(/*interleaved=*/false);
+  auto partition = AttributePartition(input.space(), 0);
+  auto exposures = AverageExposure(input, partition);
+  ASSERT_TRUE(exposures.ok());
+  ASSERT_EQ(exposures->size(), 2u);
+  // Group "a" fills the first 20 positions.
+  EXPECT_GT((*exposures)[0].average_exposure,
+            (*exposures)[1].average_exposure);
+  EXPECT_EQ((*exposures)[0].size, 20u);
+  auto ratio = ExposureRatio(*exposures);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_GT(*ratio, 1.3);
+}
+
+TEST(AverageExposureTest, InterleavedIsNearParity) {
+  DetectionInput input = TwoGroupInput(/*interleaved=*/true);
+  auto partition = AttributePartition(input.space(), 0);
+  auto exposures = AverageExposure(input, partition);
+  ASSERT_TRUE(exposures.ok());
+  auto ratio = ExposureRatio(*exposures);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_LT(*ratio, 1.2);
+}
+
+TEST(AverageExposureTest, ExposureIsPositionDiscount) {
+  DetectionInput input = RunningInput();
+  // Singleton group: the top-ranked student (row 12, rank 1).
+  Pattern top = PatternOf(4, {{0, 0}, {1, 1}, {2, 1}, {3, 0}});
+  auto exposures = AverageExposure(input, {top});
+  ASSERT_TRUE(exposures.ok());
+  ASSERT_EQ((*exposures)[0].size, 1u);
+  EXPECT_DOUBLE_EQ((*exposures)[0].average_exposure, 1.0);  // 1/log2(2)
+}
+
+TEST(AverageExposureTest, ValidatesInput) {
+  DetectionInput input = RunningInput();
+  EXPECT_FALSE(AverageExposure(input, {}).ok());
+  EXPECT_FALSE(AverageExposure(input, {PatternOf(2, {{0, 0}})}).ok());
+  EXPECT_FALSE(ExposureRatio({}).ok());
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,141 @@
+#include "pattern/pattern.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+
+Schema RunningSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("Gender", {"F", "M"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("School", {"MS", "GP"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("Address", {"R", "U"}).ok());
+  EXPECT_TRUE(schema.AddNumeric("Grade").ok());
+  return schema;
+}
+
+TEST(PatternSpaceTest, CreateSelectsNamedAttributes) {
+  Schema schema = RunningSchema();
+  auto space = PatternSpace::Create(schema, {"School", "Gender"});
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->num_attributes(), 2u);
+  EXPECT_EQ(space->name(0), "School");
+  EXPECT_EQ(space->name(1), "Gender");
+  EXPECT_EQ(space->domain_size(0), 2);
+  EXPECT_EQ(space->table_index(0), 1u);
+  EXPECT_EQ(space->label(0, 1), "GP");
+}
+
+TEST(PatternSpaceTest, CreateAllCategoricalSkipsNumeric) {
+  auto space = PatternSpace::CreateAllCategorical(RunningSchema());
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->num_attributes(), 3u);
+}
+
+TEST(PatternSpaceTest, RejectsNumericAndUnknownAttributes) {
+  Schema schema = RunningSchema();
+  EXPECT_EQ(PatternSpace::Create(schema, {"Grade"}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PatternSpace::Create(schema, {"Nope"}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(PatternSpace::Create(schema, {}).ok());
+}
+
+TEST(PatternSpaceTest, PatternGraphSize) {
+  auto space = PatternSpace::CreateAllCategorical(RunningSchema());
+  // (2+1) * (2+1) * (2+1) = 27 patterns including the empty one.
+  EXPECT_EQ(space->PatternGraphSize(), 27u);
+}
+
+TEST(PatternTest, EmptyPattern) {
+  Pattern p = Pattern::Empty(4);
+  EXPECT_TRUE(p.IsEmpty());
+  EXPECT_EQ(p.NumSpecified(), 0u);
+  EXPECT_EQ(p.MaxSpecifiedIndex(), -1);
+  for (size_t i = 0; i < 4; ++i) EXPECT_FALSE(p.IsSpecified(i));
+}
+
+TEST(PatternTest, WithAndWithout) {
+  Pattern p = Pattern::Empty(3).With(1, 2);
+  EXPECT_EQ(p.NumSpecified(), 1u);
+  EXPECT_TRUE(p.IsSpecified(1));
+  EXPECT_EQ(p.value(1), 2);
+  EXPECT_EQ(p.MaxSpecifiedIndex(), 1);
+  Pattern q = p.Without(1);
+  EXPECT_TRUE(q.IsEmpty());
+  // Original unchanged (value semantics).
+  EXPECT_TRUE(p.IsSpecified(1));
+}
+
+TEST(PatternTest, SubsumptionIsNonStrictSubset) {
+  Pattern general = PatternOf(4, {{0, 1}});
+  Pattern specific = PatternOf(4, {{0, 1}, {2, 0}});
+  EXPECT_TRUE(general.Subsumes(specific));
+  EXPECT_TRUE(general.Subsumes(general));
+  EXPECT_FALSE(specific.Subsumes(general));
+  EXPECT_TRUE(Pattern::Empty(4).Subsumes(specific));
+}
+
+TEST(PatternTest, SubsumptionRequiresMatchingValues) {
+  Pattern a = PatternOf(4, {{0, 1}});
+  Pattern b = PatternOf(4, {{0, 0}, {2, 0}});
+  EXPECT_FALSE(a.Subsumes(b));
+  EXPECT_FALSE(b.Subsumes(a));
+}
+
+TEST(PatternTest, ProperAncestorExcludesSelf) {
+  Pattern a = PatternOf(4, {{0, 1}});
+  Pattern b = PatternOf(4, {{0, 1}, {3, 2}});
+  EXPECT_TRUE(a.IsProperAncestorOf(b));
+  EXPECT_FALSE(a.IsProperAncestorOf(a));
+  EXPECT_FALSE(b.IsProperAncestorOf(a));
+}
+
+TEST(PatternTest, SiblingsAreUnrelated) {
+  Pattern a = PatternOf(4, {{1, 0}});
+  Pattern b = PatternOf(4, {{1, 1}});
+  EXPECT_FALSE(a.Subsumes(b));
+  EXPECT_FALSE(b.Subsumes(a));
+}
+
+TEST(PatternTest, ToStringUsesSpaceLabels) {
+  auto space = PatternSpace::CreateAllCategorical(RunningSchema());
+  Pattern p = PatternOf(3, {{0, 0}, {1, 1}});
+  EXPECT_EQ(p.ToString(*space), "{Gender=F, School=GP}");
+  EXPECT_EQ(Pattern::Empty(3).ToString(*space), "{}");
+}
+
+TEST(PatternTest, EqualityAndOrdering) {
+  Pattern a = PatternOf(3, {{0, 0}});
+  Pattern b = PatternOf(3, {{0, 0}});
+  Pattern c = PatternOf(3, {{0, 1}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a < c);  // -1,-1 vs lexicographic on codes
+}
+
+TEST(PatternHashTest, EqualPatternsHashEqual) {
+  PatternHash hash;
+  Pattern a = PatternOf(5, {{1, 2}, {4, 0}});
+  Pattern b = PatternOf(5, {{4, 0}, {1, 2}});
+  EXPECT_EQ(hash(a), hash(b));
+}
+
+TEST(PatternHashTest, WorksInUnorderedSet) {
+  std::unordered_set<Pattern, PatternHash> set;
+  set.insert(PatternOf(3, {{0, 0}}));
+  set.insert(PatternOf(3, {{0, 0}}));
+  set.insert(PatternOf(3, {{0, 1}}));
+  set.insert(Pattern::Empty(3));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.count(PatternOf(3, {{0, 1}})) > 0);
+}
+
+}  // namespace
+}  // namespace fairtopk

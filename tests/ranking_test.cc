@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "datagen/running_example.h"
+#include "ranking/attribute_ranker.h"
+#include "ranking/precomputed_ranker.h"
+#include "ranking/ranker.h"
+#include "ranking/score_ranker.h"
+
+namespace fairtopk {
+namespace {
+
+// The Rank column of Figure 1, per row (1-based ranks).
+constexpr int kFigure1Ranks[] = {8, 3,  10, 16, 2, 15, 11, 13,
+                                 4, 12, 6,  1,  7, 5,  14, 9};
+
+TEST(AttributeRankerTest, ReproducesFigure1Ranking) {
+  Result<Table> table = RunningExampleTable();
+  ASSERT_TRUE(table.ok());
+  auto ranker = RunningExampleRanker();
+  Result<std::vector<uint32_t>> ranking = ranker->Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  ASSERT_EQ(ranking->size(), 16u);
+  for (size_t pos = 0; pos < 16; ++pos) {
+    const uint32_t row = (*ranking)[pos];
+    EXPECT_EQ(kFigure1Ranks[row], static_cast<int>(pos) + 1)
+        << "row " << row << " at position " << pos;
+  }
+}
+
+TEST(AttributeRankerTest, TieBreaksByRowId) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddNumeric("v").ok());
+  auto table = Table::Create(std::move(schema));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(table->AppendRow({Cell::Value(1.0)}).ok());
+  }
+  AttributeRanker ranker({{"v", false}});
+  auto ranking = ranker.Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_EQ(*ranking, (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(AttributeRankerTest, AscendingKeyInverts) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddNumeric("v").ok());
+  auto table = Table::Create(std::move(schema));
+  for (double v : {3.0, 1.0, 2.0}) {
+    ASSERT_TRUE(table->AppendRow({Cell::Value(v)}).ok());
+  }
+  AttributeRanker asc({{"v", true}});
+  auto ranking = asc.Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_EQ(*ranking, (std::vector<uint32_t>{1, 2, 0}));
+}
+
+TEST(AttributeRankerTest, RejectsUnknownKeyAndEmptyKeys) {
+  Result<Table> table = RunningExampleTable();
+  AttributeRanker unknown({{"Nope", false}});
+  EXPECT_EQ(unknown.Rank(*table).status().code(), StatusCode::kNotFound);
+  AttributeRanker empty({});
+  EXPECT_EQ(empty.Rank(*table).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ScoreRankerTest, NormalizesAndSums) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddNumeric("a").ok());
+  ASSERT_TRUE(schema.AddNumeric("b").ok());
+  auto table = Table::Create(std::move(schema));
+  // a in [0,10], b in [0,1]: normalization makes them comparable.
+  ASSERT_TRUE(table->AppendRow({Cell::Value(10.0), Cell::Value(0.0)}).ok());
+  ASSERT_TRUE(table->AppendRow({Cell::Value(0.0), Cell::Value(1.0)}).ok());
+  ASSERT_TRUE(table->AppendRow({Cell::Value(10.0), Cell::Value(1.0)}).ok());
+  ScoreRanker ranker({{"a", 1.0, true}, {"b", 1.0, true}});
+  auto scores = ranker.Scores(*table);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ((*scores)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*scores)[1], 1.0);
+  EXPECT_DOUBLE_EQ((*scores)[2], 2.0);
+  auto ranking = ranker.Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_EQ((*ranking)[0], 2u);
+}
+
+TEST(ScoreRankerTest, ReversedTermLowersScoreForLargeValues) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddNumeric("age").ok());
+  auto table = Table::Create(std::move(schema));
+  ASSERT_TRUE(table->AppendRow({Cell::Value(20.0)}).ok());
+  ASSERT_TRUE(table->AppendRow({Cell::Value(60.0)}).ok());
+  ScoreRanker ranker({{"age", 1.0, /*higher_is_better=*/false}});
+  auto ranking = ranker.Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  // Younger first, as in the paper's COMPAS ranking.
+  EXPECT_EQ((*ranking)[0], 0u);
+}
+
+TEST(ScoreRankerTest, ConstantColumnContributesZero) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddNumeric("c").ok());
+  ASSERT_TRUE(schema.AddNumeric("v").ok());
+  auto table = Table::Create(std::move(schema));
+  ASSERT_TRUE(table->AppendRow({Cell::Value(5.0), Cell::Value(1.0)}).ok());
+  ASSERT_TRUE(table->AppendRow({Cell::Value(5.0), Cell::Value(2.0)}).ok());
+  ScoreRanker ranker({{"c", 1.0, true}, {"v", 1.0, true}});
+  auto ranking = ranker.Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_EQ((*ranking)[0], 1u);
+}
+
+TEST(ScoreRankerTest, RejectsCategoricalTerm) {
+  Result<Table> table = RunningExampleTable();
+  ScoreRanker ranker({{"School", 1.0, true}});
+  EXPECT_EQ(ranker.Rank(*table).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PrecomputedScoreRankerTest, RanksByScoreColumn) {
+  Result<Table> table = RunningExampleTable();
+  PrecomputedScoreRanker ranker("Grade");
+  auto ranking = ranker.Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  // Highest grade (20, row 11) first.
+  EXPECT_EQ((*ranking)[0], 11u);
+  // Grade ties (rows 10 and 13 both have 13) break by row id.
+  auto pos = [&](uint32_t row) {
+    for (size_t i = 0; i < ranking->size(); ++i) {
+      if ((*ranking)[i] == row) return i;
+    }
+    return size_t{999};
+  };
+  EXPECT_LT(pos(10), pos(13));
+}
+
+TEST(FixedRankerTest, ReturnsGivenPermutation) {
+  Result<Table> table = RunningExampleTable();
+  std::vector<uint32_t> perm(16);
+  for (size_t i = 0; i < 16; ++i) perm[i] = static_cast<uint32_t>(15 - i);
+  FixedRanker ranker(perm);
+  auto ranking = ranker.Rank(*table);
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_EQ(*ranking, perm);
+}
+
+TEST(FixedRankerTest, RejectsNonPermutation) {
+  Result<Table> table = RunningExampleTable();
+  FixedRanker ranker(std::vector<uint32_t>(16, 0));
+  EXPECT_FALSE(ranker.Rank(*table).ok());
+}
+
+TEST(RankingUtilTest, ValidateAndInvert) {
+  EXPECT_TRUE(ValidateRanking({2, 0, 1}, 3).ok());
+  EXPECT_FALSE(ValidateRanking({0, 0, 1}, 3).ok());
+  EXPECT_FALSE(ValidateRanking({0, 1}, 3).ok());
+  EXPECT_FALSE(ValidateRanking({0, 1, 3}, 3).ok());
+  auto inverse = InvertRanking({2, 0, 1});
+  EXPECT_EQ(inverse, (std::vector<uint32_t>{1, 2, 0}));
+}
+
+}  // namespace
+}  // namespace fairtopk

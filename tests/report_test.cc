@@ -1,0 +1,94 @@
+#include "report/json_report.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/running_example.h"
+#include "detect/itertd.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+
+struct Fixture {
+  DetectionInput input;
+  DetectionResult result;
+};
+
+Fixture MakeFixture() {
+  Result<Table> table = RunningExampleTable();
+  EXPECT_TRUE(table.ok());
+  auto ranker = RunningExampleRanker();
+  auto input = DetectionInput::Prepare(*table, *ranker);
+  EXPECT_TRUE(input.ok());
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(2.0);
+  DetectionConfig config;
+  config.k_min = 4;
+  config.k_max = 5;
+  config.size_threshold = 4;
+  auto result = DetectGlobalIterTD(*input, bounds, config);
+  EXPECT_TRUE(result.ok());
+  return Fixture{std::move(input).value(), std::move(result).value()};
+}
+
+TEST(PatternToJsonTest, RendersAssignments) {
+  Fixture f = MakeFixture();
+  EXPECT_EQ(PatternToJson(PatternOf(4, {{1, 1}, {3, 1}}), f.input.space()),
+            "{\"School\":\"GP\",\"Failures\":\"1\"}");
+  EXPECT_EQ(PatternToJson(Pattern::Empty(4), f.input.space()), "{}");
+}
+
+TEST(DetectionResultToJsonTest, ContainsAllSections) {
+  Fixture f = MakeFixture();
+  ReportContext context{"running-example", "global", "IterTD"};
+  std::string json = DetectionResultToJson(f.result, f.input, context);
+  EXPECT_NE(json.find("\"dataset\":\"running-example\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"measure\":\"global\""), std::string::npos);
+  EXPECT_NE(json.find("\"k_min\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"k_max\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"nodes_visited\""), std::string::npos);
+  EXPECT_NE(json.find("\"results\":["), std::string::npos);
+  EXPECT_NE(json.find("\"k\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"k\":5"), std::string::npos);
+  // One of the known detected groups appears with counts.
+  EXPECT_NE(json.find("\"Address\":\"U\""), std::string::npos);
+  EXPECT_NE(json.find("\"top_k_count\""), std::string::npos);
+}
+
+TEST(DetectionResultToJsonTest, GroupCountsMatchResult) {
+  Fixture f = MakeFixture();
+  ReportContext context{"d", "global", "a"};
+  std::string json = DetectionResultToJson(f.result, f.input, context);
+  // Count pattern objects: every group contributes one "pattern" key.
+  size_t occurrences = 0;
+  size_t pos = 0;
+  while ((pos = json.find("\"pattern\"", pos)) != std::string::npos) {
+    ++occurrences;
+    pos += 9;
+  }
+  EXPECT_EQ(occurrences,
+            f.result.AtK(4).size() + f.result.AtK(5).size());
+}
+
+TEST(ExplanationToJsonTest, SerializesEffectsAndDistribution) {
+  Fixture f = MakeFixture();
+  GroupExplanation explanation;
+  explanation.pattern = PatternOf(4, {{1, 1}});
+  explanation.effects = {{"Grade", -3.25}, {"School", 0.5}};
+  explanation.top_attribute_distribution.attribute = "Grade";
+  explanation.top_attribute_distribution.bins = {
+      {"[0, 10)", 0.0, 0.75}, {"[10, 20)", 1.0, 0.25}};
+  std::string json = ExplanationToJson(explanation, f.input.space());
+  EXPECT_NE(json.find("\"School\":\"GP\""), std::string::npos);
+  EXPECT_NE(json.find("\"attribute\":\"Grade\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_shapley\":-3.25"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"[0, 10)\""), std::string::npos);
+  EXPECT_NE(json.find("\"top_k\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"group\":0.75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,190 @@
+#include "mitigate/rerank.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/running_example.h"
+#include "detect/itertd.h"
+#include "detect/verify.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+
+DetectionInput RunningInput() {
+  Result<Table> table = RunningExampleTable();
+  EXPECT_TRUE(table.ok());
+  auto ranker = RunningExampleRanker();
+  auto input = DetectionInput::Prepare(*table, *ranker);
+  EXPECT_TRUE(input.ok());
+  return std::move(input).value();
+}
+
+TEST(KendallTauDistanceTest, BasicProperties) {
+  EXPECT_EQ(KendallTauDistance({0, 1, 2, 3}, {0, 1, 2, 3}), 0u);
+  // One adjacent swap = one inverted pair.
+  EXPECT_EQ(KendallTauDistance({0, 1, 2, 3}, {1, 0, 2, 3}), 1u);
+  // Full reversal = C(4,2) = 6 inverted pairs.
+  EXPECT_EQ(KendallTauDistance({0, 1, 2, 3}, {3, 2, 1, 0}), 6u);
+  // Symmetry.
+  EXPECT_EQ(KendallTauDistance({2, 0, 3, 1}, {0, 1, 2, 3}),
+            KendallTauDistance({0, 1, 2, 3}, {2, 0, 3, 1}));
+}
+
+// Example 2.4: the GP school has one member in the top-5 but L_5 = 2.
+// The repair must promote a GP student into the top-5 with minimal
+// movement.
+TEST(RepairRankingTest, FixesExample24SchoolFloor) {
+  DetectionInput input = RunningInput();
+  RepresentationConstraint gp{PatternOf(4, {{1, 1}}),
+                              StepFunction::Constant(2.0)};
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 5;
+  auto outcome = RepairRanking(input, {gp}, config);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->feasible);
+  EXPECT_TRUE(outcome->unsatisfied.empty());
+
+  // Re-verify with the fairness checker on the repaired ranking.
+  Result<Table> table = RunningExampleTable();
+  auto repaired_input =
+      DetectionInput::PrepareWithRanking(*table, outcome->ranking);
+  ASSERT_TRUE(repaired_input.ok());
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(2.0);
+  auto report = VerifyGlobalFairness(*repaired_input,
+                                     PatternOf(4, {{1, 1}}), bounds, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->fair());
+
+  // The repair is small: the paper's ranking needs exactly one
+  // promotion into the top-5.
+  EXPECT_GT(outcome->tuples_moved, 0u);
+  EXPECT_LE(outcome->kendall_tau_distance, 8u);
+}
+
+TEST(RepairRankingTest, AlreadyFairRankingIsUntouched) {
+  DetectionInput input = RunningInput();
+  // MS school already has 4 of the top-5.
+  RepresentationConstraint ms{PatternOf(4, {{1, 0}}),
+                              StepFunction::Constant(2.0)};
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 10;
+  auto outcome = RepairRanking(input, {ms}, config);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->feasible);
+  EXPECT_EQ(outcome->tuples_moved, 0u);
+  EXPECT_EQ(outcome->kendall_tau_distance, 0u);
+  EXPECT_EQ(outcome->ranking, input.ranking());
+}
+
+TEST(RepairRankingTest, RepairedRankingIsAPermutation) {
+  DetectionInput input = RunningInput();
+  RepresentationConstraint gender{PatternOf(4, {{0, 0}}),
+                                  StepFunction::Constant(3.0)};
+  DetectionConfig config;
+  config.k_min = 6;
+  config.k_max = 10;
+  auto outcome = RepairRanking(input, {gender}, config);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(ValidateRanking(outcome->ranking, 16).ok());
+}
+
+TEST(RepairRankingTest, MultipleConstraintsAcrossRange) {
+  DetectionInput input = RunningInput();
+  std::vector<RepresentationConstraint> constraints = {
+      {PatternOf(4, {{1, 1}}), StepFunction::Constant(2.0)},  // School=GP
+      {PatternOf(4, {{2, 1}}), StepFunction::Constant(2.0)},  // Address=U
+      {PatternOf(4, {{0, 0}}), StepFunction::Constant(2.0)},  // Gender=F
+  };
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 8;
+  auto outcome = RepairRanking(input, constraints, config);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->feasible) << "unsatisfied: "
+                                 << outcome->unsatisfied.size();
+
+  Result<Table> table = RunningExampleTable();
+  auto repaired =
+      DetectionInput::PrepareWithRanking(*table, outcome->ranking);
+  ASSERT_TRUE(repaired.ok());
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(2.0);
+  for (const auto& c : constraints) {
+    auto report = VerifyGlobalFairness(*repaired, c.group, bounds, config);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->fair()) << c.group.ToString(input.space());
+  }
+}
+
+TEST(RepairRankingTest, InfeasibleFloorIsReported) {
+  DetectionInput input = RunningInput();
+  // Demand 10 GP students in the top-5: impossible.
+  RepresentationConstraint gp{PatternOf(4, {{1, 1}}),
+                              StepFunction::Constant(10.0)};
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 5;
+  auto outcome = RepairRanking(input, {gp}, config);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->feasible);
+  ASSERT_EQ(outcome->unsatisfied.size(), 1u);
+  EXPECT_EQ(outcome->unsatisfied[0], gp.group);
+  // Still a valid permutation.
+  EXPECT_TRUE(ValidateRanking(outcome->ranking, 16).ok());
+}
+
+TEST(RepairRankingTest, DetectThenRepairPipeline) {
+  DetectionInput input = RunningInput();
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(2.0);
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 6;
+  config.size_threshold = 8;  // only the broad groups
+  auto detected = DetectGlobalIterTD(input, bounds, config);
+  ASSERT_TRUE(detected.ok());
+  ASSERT_FALSE(detected->AllDistinct().empty());
+
+  auto constraints = ConstraintsFromDetection(*detected, bounds);
+  EXPECT_EQ(constraints.size(), detected->AllDistinct().size());
+  auto outcome = RepairRanking(input, constraints, config);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->feasible);
+
+  // After the repair, detection under the same parameters reports
+  // nothing for the constrained groups.
+  Result<Table> table = RunningExampleTable();
+  auto repaired =
+      DetectionInput::PrepareWithRanking(*table, outcome->ranking);
+  ASSERT_TRUE(repaired.ok());
+  auto after = DetectGlobalIterTD(*repaired, bounds, config);
+  ASSERT_TRUE(after.ok());
+  for (int k = config.k_min; k <= config.k_max; ++k) {
+    for (const Pattern& p : after->AtK(k)) {
+      for (const auto& c : constraints) {
+        EXPECT_FALSE(p == c.group)
+            << "constrained group still reported at k=" << k;
+      }
+    }
+  }
+}
+
+TEST(RepairRankingTest, ValidatesArguments) {
+  DetectionInput input = RunningInput();
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 5;
+  RepresentationConstraint bad{PatternOf(2, {{0, 0}}),
+                               StepFunction::Constant(1.0)};
+  EXPECT_FALSE(RepairRanking(input, {bad}, config).ok());
+  config.k_max = 100;
+  EXPECT_FALSE(RepairRanking(input, {}, config).ok());
+}
+
+}  // namespace
+}  // namespace fairtopk

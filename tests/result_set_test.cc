@@ -1,0 +1,140 @@
+#include "pattern/result_set.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+
+TEST(MostGeneralResultSetTest, InsertsUnrelatedPatterns) {
+  MostGeneralResultSet res;
+  EXPECT_TRUE(res.Update(PatternOf(3, {{0, 0}})).inserted);
+  EXPECT_TRUE(res.Update(PatternOf(3, {{1, 1}})).inserted);
+  EXPECT_EQ(res.size(), 2u);
+}
+
+TEST(MostGeneralResultSetTest, RejectsDescendantOfMember) {
+  MostGeneralResultSet res;
+  ASSERT_TRUE(res.Update(PatternOf(3, {{0, 0}})).inserted);
+  auto outcome = res.Update(PatternOf(3, {{0, 0}, {2, 1}}));
+  EXPECT_FALSE(outcome.inserted);
+  EXPECT_TRUE(outcome.evicted.empty());
+  EXPECT_EQ(res.size(), 1u);
+}
+
+TEST(MostGeneralResultSetTest, RejectsDuplicate) {
+  MostGeneralResultSet res;
+  ASSERT_TRUE(res.Update(PatternOf(3, {{0, 0}})).inserted);
+  EXPECT_FALSE(res.Update(PatternOf(3, {{0, 0}})).inserted);
+  EXPECT_EQ(res.size(), 1u);
+}
+
+TEST(MostGeneralResultSetTest, EvictsDescendantsOnGeneralInsert) {
+  MostGeneralResultSet res;
+  ASSERT_TRUE(res.Update(PatternOf(3, {{0, 0}, {1, 1}})).inserted);
+  ASSERT_TRUE(res.Update(PatternOf(3, {{0, 0}, {2, 0}})).inserted);
+  ASSERT_TRUE(res.Update(PatternOf(3, {{1, 0}})).inserted);
+  auto outcome = res.Update(PatternOf(3, {{0, 0}}));
+  EXPECT_TRUE(outcome.inserted);
+  EXPECT_EQ(outcome.evicted.size(), 2u);
+  EXPECT_EQ(res.size(), 2u);
+  EXPECT_TRUE(res.Contains(PatternOf(3, {{0, 0}})));
+  EXPECT_TRUE(res.Contains(PatternOf(3, {{1, 0}})));
+}
+
+TEST(MostGeneralResultSetTest, HasProperAncestorOf) {
+  MostGeneralResultSet res;
+  ASSERT_TRUE(res.Update(PatternOf(3, {{0, 0}})).inserted);
+  EXPECT_TRUE(res.HasProperAncestorOf(PatternOf(3, {{0, 0}, {1, 1}})));
+  EXPECT_FALSE(res.HasProperAncestorOf(PatternOf(3, {{0, 0}})));
+  EXPECT_FALSE(res.HasProperAncestorOf(PatternOf(3, {{0, 1}, {1, 1}})));
+}
+
+TEST(MostGeneralResultSetTest, RemoveAndContains) {
+  MostGeneralResultSet res;
+  Pattern p = PatternOf(3, {{2, 1}});
+  ASSERT_TRUE(res.Update(p).inserted);
+  EXPECT_TRUE(res.Contains(p));
+  EXPECT_TRUE(res.Remove(p));
+  EXPECT_FALSE(res.Contains(p));
+  EXPECT_FALSE(res.Remove(p));
+}
+
+TEST(MostGeneralResultSetTest, SortedIsDeterministic) {
+  MostGeneralResultSet res;
+  res.Update(PatternOf(2, {{1, 1}}));
+  res.Update(PatternOf(2, {{0, 0}}));
+  auto sorted = res.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_TRUE(sorted[0] < sorted[1]);
+}
+
+// Property: after arbitrary updates, the set equals the most-general
+// subset of everything inserted.
+TEST(MostGeneralResultSetTest, InvariantUnderRandomInsertionOrder) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random pool of patterns over 4 binary attributes.
+    std::vector<Pattern> pool;
+    for (int i = 0; i < 12; ++i) {
+      Pattern p = Pattern::Empty(4);
+      for (size_t a = 0; a < 4; ++a) {
+        const int choice = static_cast<int>(rng.UniformUint64(3));
+        if (choice < 2) p = p.With(a, static_cast<int16_t>(choice));
+      }
+      if (!p.IsEmpty()) pool.push_back(p);
+    }
+    MostGeneralResultSet res;
+    for (const Pattern& p : pool) res.Update(p);
+
+    // Oracle: most general of the distinct pool.
+    std::vector<Pattern> distinct = pool;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    std::vector<Pattern> expected;
+    for (const Pattern& p : distinct) {
+      bool has_ancestor = false;
+      for (const Pattern& q : distinct) {
+        if (q.IsProperAncestorOf(p)) has_ancestor = true;
+      }
+      if (!has_ancestor) expected.push_back(p);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(res.Sorted(), expected);
+  }
+}
+
+TEST(MostSpecificResultSetTest, KeepsOnlyMostSpecific) {
+  MostSpecificResultSet res;
+  ASSERT_TRUE(res.Update(PatternOf(3, {{0, 0}})).inserted);
+  // More specific pattern evicts its ancestor.
+  auto outcome = res.Update(PatternOf(3, {{0, 0}, {1, 1}}));
+  EXPECT_TRUE(outcome.inserted);
+  EXPECT_EQ(outcome.evicted.size(), 1u);
+  EXPECT_EQ(res.size(), 1u);
+  // Ancestor of a member is rejected.
+  EXPECT_FALSE(res.Update(PatternOf(3, {{1, 1}})).inserted);
+}
+
+TEST(MostSpecificResultSetTest, HasProperDescendantOf) {
+  MostSpecificResultSet res;
+  ASSERT_TRUE(res.Update(PatternOf(3, {{0, 0}, {1, 1}})).inserted);
+  EXPECT_TRUE(res.HasProperDescendantOf(PatternOf(3, {{0, 0}})));
+  EXPECT_FALSE(res.HasProperDescendantOf(PatternOf(3, {{2, 0}})));
+}
+
+TEST(MostSpecificResultSetTest, UnrelatedPatternsCoexist) {
+  MostSpecificResultSet res;
+  ASSERT_TRUE(res.Update(PatternOf(3, {{0, 0}})).inserted);
+  ASSERT_TRUE(res.Update(PatternOf(3, {{0, 1}})).inserted);
+  ASSERT_TRUE(res.Update(PatternOf(3, {{1, 0}})).inserted);
+  EXPECT_EQ(res.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,54 @@
+#include "relation/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace fairtopk {
+namespace {
+
+TEST(SchemaTest, AddCategoricalAndLookUp) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("color", {"red", "green"}).ok());
+  ASSERT_TRUE(schema.AddNumeric("score").ok());
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_EQ(schema.IndexOf("color"), 0u);
+  EXPECT_EQ(schema.IndexOf("score"), 1u);
+  EXPECT_FALSE(schema.IndexOf("missing").has_value());
+  EXPECT_EQ(schema.attribute(0).type, AttributeType::kCategorical);
+  EXPECT_EQ(schema.attribute(0).domain_size(), 2u);
+  EXPECT_EQ(schema.attribute(1).type, AttributeType::kNumeric);
+  EXPECT_EQ(schema.attribute(1).domain_size(), 0u);
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("x", {"a"}).ok());
+  EXPECT_EQ(schema.AddCategorical("x", {"b"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.AddNumeric("x").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsEmptyDomain) {
+  Schema schema;
+  EXPECT_EQ(schema.AddCategorical("x", {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, CategoricalIndicesSkipNumeric) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddNumeric("n0").ok());
+  ASSERT_TRUE(schema.AddCategorical("c0", {"a", "b"}).ok());
+  ASSERT_TRUE(schema.AddNumeric("n1").ok());
+  ASSERT_TRUE(schema.AddCategorical("c1", {"x", "y"}).ok());
+  EXPECT_EQ(schema.CategoricalIndices(), (std::vector<size_t>{1, 3}));
+}
+
+TEST(SchemaTest, CodeOfResolvesLabels) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("c", {"low", "mid", "high"}).ok());
+  EXPECT_EQ(schema.CodeOf(0, "low"), 0);
+  EXPECT_EQ(schema.CodeOf(0, "high"), 2);
+  EXPECT_FALSE(schema.CodeOf(0, "absent").has_value());
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,98 @@
+#include "pattern/search_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+
+PatternSpace TwoByTwoSpace() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("G", {"F", "M"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("S", {"MS", "GP"}).ok());
+  return std::move(PatternSpace::CreateAllCategorical(schema)).value();
+}
+
+TEST(SearchTreeTest, RootChildrenAreAllSinglePredicates) {
+  PatternSpace space = TwoByTwoSpace();
+  auto children = GenerateChildren(Pattern::Empty(2), space);
+  EXPECT_EQ(children.size(), 4u);
+  std::set<Pattern> expected = {
+      PatternOf(2, {{0, 0}}), PatternOf(2, {{0, 1}}),
+      PatternOf(2, {{1, 0}}), PatternOf(2, {{1, 1}})};
+  EXPECT_EQ(std::set<Pattern>(children.begin(), children.end()), expected);
+}
+
+// Example 4.2 of the paper: {G=F, S=GP} is a search-tree child of
+// {G=F} but not of {S=GP}.
+TEST(SearchTreeTest, ChildrenOnlyExtendHigherIndices) {
+  PatternSpace space = TwoByTwoSpace();
+  auto children_of_gender = GenerateChildren(PatternOf(2, {{0, 0}}), space);
+  EXPECT_EQ(children_of_gender.size(), 2u);
+  EXPECT_TRUE(std::count(children_of_gender.begin(),
+                         children_of_gender.end(),
+                         PatternOf(2, {{0, 0}, {1, 1}})) == 1);
+  // {S=GP} has maximal index already; no further attribute to add.
+  auto children_of_school = GenerateChildren(PatternOf(2, {{1, 1}}), space);
+  EXPECT_TRUE(children_of_school.empty());
+}
+
+TEST(SearchTreeTest, TraversalVisitsEveryPatternExactlyOnce) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("a", {"0", "1"}).ok());
+  ASSERT_TRUE(schema.AddCategorical("b", {"0", "1", "2"}).ok());
+  ASSERT_TRUE(schema.AddCategorical("c", {"0", "1"}).ok());
+  auto space = PatternSpace::CreateAllCategorical(schema);
+  std::vector<Pattern> stack = {Pattern::Empty(3)};
+  std::vector<Pattern> visited;
+  while (!stack.empty()) {
+    Pattern p = stack.back();
+    stack.pop_back();
+    visited.push_back(p);
+    AppendChildren(p, *space, stack);
+  }
+  // (2+1)*(3+1)*(2+1) = 36 patterns including the empty one.
+  EXPECT_EQ(visited.size(), 36u);
+  std::sort(visited.begin(), visited.end());
+  EXPECT_EQ(std::adjacent_find(visited.begin(), visited.end()),
+            visited.end());
+}
+
+TEST(SearchTreeTest, TreeParentRemovesHighestIndex) {
+  Pattern p = PatternOf(4, {{1, 0}, {3, 2}});
+  EXPECT_EQ(TreeParent(p), PatternOf(4, {{1, 0}}));
+  EXPECT_EQ(TreeParent(PatternOf(4, {{0, 1}})), Pattern::Empty(4));
+}
+
+TEST(SearchTreeTest, TreeParentChildRelationIsConsistent) {
+  PatternSpace space = TwoByTwoSpace();
+  std::vector<Pattern> stack = {Pattern::Empty(2)};
+  while (!stack.empty()) {
+    Pattern p = stack.back();
+    stack.pop_back();
+    for (const Pattern& child : GenerateChildren(p, space)) {
+      EXPECT_EQ(TreeParent(child), p);
+      stack.push_back(child);
+    }
+  }
+}
+
+TEST(SearchTreeTest, GraphParentsDropAnyOnePredicate) {
+  Pattern p = PatternOf(4, {{0, 1}, {2, 0}, {3, 1}});
+  auto parents = GraphParents(p);
+  ASSERT_EQ(parents.size(), 3u);
+  for (const Pattern& parent : parents) {
+    EXPECT_EQ(parent.NumSpecified(), 2u);
+    EXPECT_TRUE(parent.IsProperAncestorOf(p));
+  }
+  EXPECT_TRUE(GraphParents(Pattern::Empty(4)).empty());
+}
+
+}  // namespace
+}  // namespace fairtopk

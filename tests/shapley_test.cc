@@ -1,0 +1,162 @@
+#include "explain/shapley.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "explain/tree_model.h"
+
+namespace fairtopk {
+namespace {
+
+// A feature space with two categorical groups (2 + 3 features) and one
+// numeric group.
+struct Fixture {
+  Table table;
+  FeatureSpace space;
+};
+
+Fixture MakeFixture() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("a", {"a0", "a1"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("b", {"b0", "b1", "b2"}).ok());
+  EXPECT_TRUE(schema.AddNumeric("z").ok());
+  auto table = Table::Create(std::move(schema));
+  Rng rng(3);
+  for (int i = 0; i < 120; ++i) {
+    EXPECT_TRUE(
+        table
+            ->AppendRow({Cell::Code(static_cast<int16_t>(
+                             rng.UniformUint64(2))),
+                         Cell::Code(static_cast<int16_t>(
+                             rng.UniformUint64(3))),
+                         Cell::Value(rng.Gaussian())})
+            .ok());
+  }
+  auto space = FeatureSpace::Create(table->schema(), {});
+  EXPECT_TRUE(space.ok());
+  return Fixture{std::move(table).value(), std::move(space).value()};
+}
+
+RidgeRegression FitLinear(const Fixture& f) {
+  auto x = f.space.EncodeAll(f.table);
+  std::vector<double> y;
+  for (const auto& row : x) {
+    // Planted model over the encoded features.
+    double target = 1.0;
+    const std::vector<double> w = {2.0, -2.0, 1.0, 0.0, -1.0, 3.0};
+    for (size_t i = 0; i < w.size(); ++i) target += w[i] * row[i];
+    y.push_back(target);
+  }
+  auto model = RidgeRegression::Fit(x, y, 1e-6);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+TEST(ExactLinearShapleyTest, EfficiencyPropertyHoldsExactly) {
+  Fixture f = MakeFixture();
+  RidgeRegression model = FitLinear(f);
+  auto background = f.space.EncodeAll(f.table);
+  std::vector<double> x = background[7];
+  auto shapley = ExactLinearShapley(model, f.space, x, background);
+  ASSERT_TRUE(shapley.ok());
+  ASSERT_EQ(shapley->size(), 3u);
+
+  double mean_prediction = 0.0;
+  for (const auto& row : background) mean_prediction += model.Predict(row);
+  mean_prediction /= static_cast<double>(background.size());
+  const double total =
+      std::accumulate(shapley->begin(), shapley->end(), 0.0);
+  EXPECT_NEAR(total, model.Predict(x) - mean_prediction, 1e-9);
+}
+
+TEST(ExactLinearShapleyTest, IrrelevantGroupGetsZero) {
+  Fixture f = MakeFixture();
+  auto x_rows = f.space.EncodeAll(f.table);
+  // Target ignores group b entirely.
+  std::vector<double> y;
+  for (const auto& row : x_rows) y.push_back(5.0 * row[5]);  // z only
+  auto model = RidgeRegression::Fit(x_rows, y, 1e-6);
+  ASSERT_TRUE(model.ok());
+  auto shapley = ExactLinearShapley(*model, f.space, x_rows[0], x_rows);
+  ASSERT_TRUE(shapley.ok());
+  EXPECT_NEAR((*shapley)[0], 0.0, 1e-6);
+  EXPECT_NEAR((*shapley)[1], 0.0, 1e-6);
+}
+
+TEST(SamplingShapleyTest, AgreesWithExactOnLinearModel) {
+  Fixture f = MakeFixture();
+  RidgeRegression model = FitLinear(f);
+  auto background = f.space.EncodeAll(f.table);
+  std::vector<double> x = background[3];
+  auto exact = ExactLinearShapley(model, f.space, x, background);
+  ASSERT_TRUE(exact.ok());
+  Rng rng(77);
+  SamplingShapleyOptions options;
+  options.num_permutations = 3000;
+  auto sampled =
+      SamplingShapley(model, f.space, x, background, options, rng);
+  ASSERT_TRUE(sampled.ok());
+  for (size_t g = 0; g < exact->size(); ++g) {
+    EXPECT_NEAR((*sampled)[g], (*exact)[g], 0.25) << "group " << g;
+  }
+}
+
+TEST(SamplingShapleyTest, DeterministicGivenSeed) {
+  Fixture f = MakeFixture();
+  RidgeRegression model = FitLinear(f);
+  auto background = f.space.EncodeAll(f.table);
+  SamplingShapleyOptions options;
+  options.num_permutations = 50;
+  Rng rng1(9);
+  Rng rng2(9);
+  auto a = SamplingShapley(model, f.space, background[0], background,
+                           options, rng1);
+  auto b = SamplingShapley(model, f.space, background[0], background,
+                           options, rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SamplingShapleyTest, WorksWithTreeModel) {
+  Fixture f = MakeFixture();
+  auto x_rows = f.space.EncodeAll(f.table);
+  std::vector<double> y;
+  for (const auto& row : x_rows) {
+    y.push_back(row[0] > 0.5 ? 10.0 : 0.0);  // depends only on a=a0
+  }
+  auto tree = RegressionTree::Fit(x_rows, y, TreeOptions{});
+  ASSERT_TRUE(tree.ok());
+  Rng rng(13);
+  SamplingShapleyOptions options;
+  options.num_permutations = 800;
+  auto shapley = SamplingShapley(*tree, f.space, x_rows[0], x_rows,
+                                 options, rng);
+  ASSERT_TRUE(shapley.ok());
+  // Group a dominates; groups b and z are noise.
+  EXPECT_GT(std::abs((*shapley)[0]),
+            5.0 * std::abs((*shapley)[1]) + 1e-9);
+  EXPECT_GT(std::abs((*shapley)[0]),
+            5.0 * std::abs((*shapley)[2]) + 1e-9);
+}
+
+TEST(SamplingShapleyTest, ValidatesInputs) {
+  Fixture f = MakeFixture();
+  RidgeRegression model = FitLinear(f);
+  auto background = f.space.EncodeAll(f.table);
+  Rng rng(1);
+  SamplingShapleyOptions options;
+  EXPECT_FALSE(SamplingShapley(model, f.space, {1.0}, background, options,
+                               rng)
+                   .ok());
+  EXPECT_FALSE(
+      SamplingShapley(model, f.space, background[0], {}, options, rng).ok());
+  options.num_permutations = 0;
+  EXPECT_FALSE(SamplingShapley(model, f.space, background[0], background,
+                               options, rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace fairtopk

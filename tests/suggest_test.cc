@@ -1,0 +1,130 @@
+#include "detect/suggest.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/german_like.h"
+#include "detect/itertd.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+DetectionInput GermanInput() {
+  static Result<Table> table = GermanLikeTable();
+  EXPECT_TRUE(table.ok());
+  auto ranker = GermanRanker();
+  std::vector<std::string> all = GermanPatternAttributes();
+  std::vector<std::string> attrs(all.begin(), all.begin() + 8);
+  auto input = DetectionInput::Prepare(*table, *ranker, attrs);
+  EXPECT_TRUE(input.ok());
+  return std::move(input).value();
+}
+
+TEST(SuggestParametersTest, RespectsGroupBudgetWhenFeasible) {
+  DetectionInput input = GermanInput();
+  DetectionConfig config;
+  config.k_min = 10;
+  config.k_max = 49;
+  SuggestOptions options;
+  options.max_groups = 100;  // generous budget: certainly feasible
+  auto suggestion = SuggestParameters(input, config, options);
+  ASSERT_TRUE(suggestion.ok()) << suggestion.status().ToString();
+  EXPECT_LE(suggestion->groups_at_kmax_global, 100u);
+  EXPECT_LE(suggestion->groups_at_kmax_prop, 100u);
+  EXPECT_GT(suggestion->alpha, 0.0);
+  EXPECT_LE(suggestion->alpha, 1.0);
+  EXPECT_GE(suggestion->size_threshold, 10);
+}
+
+TEST(SuggestParametersTest, InfeasibleBudgetFallsBackToMinimalCount) {
+  DetectionInput input = GermanInput();
+  DetectionConfig config;
+  config.k_min = 10;
+  config.k_max = 49;
+  SuggestOptions tight;
+  tight.max_groups = 1;  // likely infeasible on this data
+  auto t = SuggestParameters(input, config, tight);
+  ASSERT_TRUE(t.ok());
+  SuggestOptions loose;
+  loose.max_groups = 1000;
+  auto l = SuggestParameters(input, config, loose);
+  ASSERT_TRUE(l.ok());
+  // The tight suggestion never reports MORE groups than the loose one.
+  EXPECT_LE(t->groups_at_kmax_global, l->groups_at_kmax_global);
+  EXPECT_LE(t->groups_at_kmax_prop, l->groups_at_kmax_prop);
+}
+
+TEST(SuggestParametersTest, SuggestionReproducesWithDetector) {
+  DetectionInput input = GermanInput();
+  DetectionConfig config;
+  config.k_min = 10;
+  config.k_max = 49;
+  SuggestOptions options;
+  options.max_groups = 15;
+  auto suggestion = SuggestParameters(input, config, options);
+  ASSERT_TRUE(suggestion.ok());
+
+  // Running the detector with the suggested parameters yields exactly
+  // the reported count at k_max.
+  config.size_threshold = suggestion->size_threshold;
+  auto global =
+      DetectGlobalIterTD(input, suggestion->global_bounds, config);
+  ASSERT_TRUE(global.ok());
+  EXPECT_EQ(global->AtK(config.k_max).size(),
+            suggestion->groups_at_kmax_global);
+
+  PropBoundSpec prop;
+  prop.alpha = suggestion->alpha;
+  auto prop_result = DetectPropIterTD(input, prop, config);
+  ASSERT_TRUE(prop_result.ok());
+  EXPECT_EQ(prop_result->AtK(config.k_max).size(),
+            suggestion->groups_at_kmax_prop);
+}
+
+TEST(SuggestParametersTest, SuggestedLevelsAreOnTheSearchGrid) {
+  DetectionInput input = GermanInput();
+  DetectionConfig config;
+  config.k_min = 10;
+  config.k_max = 49;
+  SuggestOptions options;
+  options.search_steps = 10;
+  auto suggestion = SuggestParameters(input, config, options);
+  ASSERT_TRUE(suggestion.ok());
+  const double g = suggestion->global_level * 10.0;
+  const double a = suggestion->alpha * 10.0;
+  EXPECT_NEAR(g, std::round(g), 1e-9);
+  EXPECT_NEAR(a, std::round(a), 1e-9);
+}
+
+TEST(SuggestParametersTest, SizeThresholdScalesWithData) {
+  DetectionInput input = GermanInput();  // 1000 rows
+  DetectionConfig config;
+  config.k_min = 10;
+  config.k_max = 49;
+  SuggestOptions options;
+  options.size_fraction = 0.08;
+  auto suggestion = SuggestParameters(input, config, options);
+  ASSERT_TRUE(suggestion.ok());
+  EXPECT_EQ(suggestion->size_threshold, 80);
+}
+
+TEST(SuggestParametersTest, ValidatesOptions) {
+  DetectionInput input = GermanInput();
+  DetectionConfig config;
+  config.k_min = 10;
+  config.k_max = 49;
+  SuggestOptions bad;
+  bad.max_groups = 0;
+  EXPECT_FALSE(SuggestParameters(input, config, bad).ok());
+  bad = SuggestOptions{};
+  bad.size_fraction = 0.0;
+  EXPECT_FALSE(SuggestParameters(input, config, bad).ok());
+  bad = SuggestOptions{};
+  bad.search_steps = 1;
+  EXPECT_FALSE(SuggestParameters(input, config, bad).ok());
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,89 @@
+#include "relation/table.h"
+
+#include <gtest/gtest.h>
+
+namespace fairtopk {
+namespace {
+
+Table MakeTable() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("cat", {"a", "b", "c"}).ok());
+  EXPECT_TRUE(schema.AddNumeric("num").ok());
+  Result<Table> table = Table::Create(std::move(schema));
+  EXPECT_TRUE(table.ok());
+  return std::move(table).value();
+}
+
+TEST(TableTest, CreateRejectsEmptySchema) {
+  EXPECT_EQ(Table::Create(Schema()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table table = MakeTable();
+  ASSERT_TRUE(table.AppendRow({Cell::Code(1), Cell::Value(2.5)}).ok());
+  ASSERT_TRUE(table.AppendRow({Cell::Code(2), Cell::Value(-1.0)}).ok());
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.CodeAt(0, 0), 1);
+  EXPECT_EQ(table.CodeAt(1, 0), 2);
+  EXPECT_DOUBLE_EQ(table.ValueAt(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(table.ValueAt(1, 1), -1.0);
+}
+
+TEST(TableTest, AppendRejectsWrongArity) {
+  Table table = MakeTable();
+  EXPECT_EQ(table.AppendRow({Cell::Code(0)}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TableTest, AppendRejectsTypeMismatch) {
+  Table table = MakeTable();
+  EXPECT_EQ(table.AppendRow({Cell::Value(1.0), Cell::Value(2.0)}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.AppendRow({Cell::Code(0), Cell::Code(0)}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, AppendRejectsOutOfDomainCode) {
+  Table table = MakeTable();
+  EXPECT_EQ(table.AppendRow({Cell::Code(3), Cell::Value(0.0)}).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(table.AppendRow({Cell::Code(-1), Cell::Value(0.0)}).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, FailedAppendLeavesTableUnchanged) {
+  Table table = MakeTable();
+  ASSERT_TRUE(table.AppendRow({Cell::Code(0), Cell::Value(1.0)}).ok());
+  EXPECT_FALSE(table.AppendRow({Cell::Code(9), Cell::Value(1.0)}).ok());
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.column(0).size(), 1u);
+  EXPECT_EQ(table.column(1).size(), 1u);
+}
+
+TEST(TableTest, DisplayAtRendersLabelsAndNumbers) {
+  Table table = MakeTable();
+  ASSERT_TRUE(table.AppendRow({Cell::Code(2), Cell::Value(1.5)}).ok());
+  EXPECT_EQ(table.DisplayAt(0, 0), "c");
+  EXPECT_EQ(table.DisplayAt(0, 1), "1.5000");
+}
+
+TEST(TableTest, ProjectSelectsAndReorders) {
+  Table table = MakeTable();
+  ASSERT_TRUE(table.AppendRow({Cell::Code(1), Cell::Value(7.0)}).ok());
+  Result<Table> projected = table.Project({"num", "cat"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->num_attributes(), 2u);
+  EXPECT_EQ(projected->schema().attribute(0).name, "num");
+  EXPECT_DOUBLE_EQ(projected->ValueAt(0, 0), 7.0);
+  EXPECT_EQ(projected->CodeAt(0, 1), 1);
+}
+
+TEST(TableTest, ProjectRejectsUnknownName) {
+  Table table = MakeTable();
+  EXPECT_EQ(table.Project({"nope"}).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace fairtopk

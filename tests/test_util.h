@@ -1,0 +1,122 @@
+// Shared helpers for the fairtopk test suite: compact pattern literals,
+// random dataset fixtures, and a brute-force most-general-biased oracle
+// used by the equivalence property tests.
+#ifndef FAIRTOPK_TESTS_TEST_UTIL_H_
+#define FAIRTOPK_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "detect/detection_result.h"
+#include "index/bitmap_index.h"
+#include "pattern/pattern.h"
+#include "pattern/result_set.h"
+#include "relation/table.h"
+
+namespace fairtopk::testing {
+
+/// Builds a pattern over `num_attributes` attributes from (index, code)
+/// pairs, e.g. PatternOf(4, {{0, 1}, {2, 0}}).
+inline Pattern PatternOf(size_t num_attributes,
+                         std::vector<std::pair<size_t, int16_t>> assignments) {
+  Pattern p = Pattern::Empty(num_attributes);
+  for (const auto& [attr, code] : assignments) {
+    p = p.With(attr, code);
+  }
+  return p;
+}
+
+/// A random categorical table: `num_attrs` attributes with the given
+/// domain sizes cycling through `domains`, `rows` tuples, deterministic
+/// in `seed`.
+inline Table RandomTable(size_t rows, size_t num_attrs,
+                         const std::vector<int>& domains, uint64_t seed) {
+  Schema schema;
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const int domain = domains[a % domains.size()];
+    std::vector<std::string> labels;
+    for (int v = 0; v < domain; ++v) {
+      labels.push_back(std::to_string(v));
+    }
+    Status s = schema.AddCategorical("a" + std::to_string(a), labels);
+    (void)s;
+  }
+  Result<Table> table = Table::Create(std::move(schema));
+  Rng rng(seed);
+  std::vector<Cell> row(num_attrs);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t a = 0; a < num_attrs; ++a) {
+      const int domain = domains[a % domains.size()];
+      row[a] = Cell::Code(
+          static_cast<int16_t>(rng.UniformUint64(static_cast<uint64_t>(domain))));
+    }
+    Status s = table->AppendRow(row);
+    (void)s;
+  }
+  return std::move(table).value();
+}
+
+/// A random ranking permutation of `rows` row ids.
+inline std::vector<uint32_t> RandomRanking(size_t rows, uint64_t seed) {
+  std::vector<uint32_t> ranking(rows);
+  for (size_t i = 0; i < rows; ++i) ranking[i] = static_cast<uint32_t>(i);
+  Rng rng(seed ^ 0xabcdef12345ULL);
+  rng.Shuffle(ranking);
+  return ranking;
+}
+
+/// Enumerates every non-empty pattern of `space` (exponential; only for
+/// small fixtures).
+inline std::vector<Pattern> AllPatterns(const PatternSpace& space) {
+  std::vector<Pattern> out;
+  std::vector<Pattern> frontier = {Pattern::Empty(space.num_attributes())};
+  for (size_t a = 0; a < space.num_attributes(); ++a) {
+    const size_t current = frontier.size();
+    for (size_t i = 0; i < current; ++i) {
+      for (int16_t v = 0; v < space.domain_size(a); ++v) {
+        frontier.push_back(frontier[i].With(a, v));
+      }
+    }
+  }
+  for (const Pattern& p : frontier) {
+    if (!p.IsEmpty()) out.push_back(p);
+  }
+  return out;
+}
+
+/// Brute-force oracle: the set of most general patterns with size >=
+/// `size_threshold` whose top-k count is strictly below
+/// `lower_bound(size_in_d)`. Sorted.
+template <typename BoundFn>
+std::vector<Pattern> BruteForceMostGeneralBiased(const BitmapIndex& index,
+                                                 int size_threshold, int k,
+                                                 const BoundFn& lower_bound) {
+  std::vector<Pattern> biased;
+  for (const Pattern& p : AllPatterns(index.space())) {
+    const size_t size_d = index.PatternCount(p);
+    if (size_d < static_cast<size_t>(size_threshold)) continue;
+    const size_t top_k = index.TopKCount(p, static_cast<size_t>(k));
+    if (static_cast<double>(top_k) < lower_bound(size_d)) {
+      biased.push_back(p);
+    }
+  }
+  std::vector<Pattern> most_general;
+  for (const Pattern& p : biased) {
+    bool has_ancestor = false;
+    for (const Pattern& q : biased) {
+      if (q.IsProperAncestorOf(p)) {
+        has_ancestor = true;
+        break;
+      }
+    }
+    if (!has_ancestor) most_general.push_back(p);
+  }
+  std::sort(most_general.begin(), most_general.end());
+  return most_general;
+}
+
+}  // namespace fairtopk::testing
+
+#endif  // FAIRTOPK_TESTS_TEST_UTIL_H_

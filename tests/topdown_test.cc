@@ -1,0 +1,142 @@
+// Tests Algorithm 1 (single-k top-down search) against the worked
+// examples of the paper and against the brute-force oracle.
+#include "detect/topdown.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "datagen/running_example.h"
+#include "detect/detection_result.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+
+// Pattern-space attribute order of the running example:
+// 0=Gender{F,M} 1=School{MS,GP} 2=Address{R,U} 3=Failures{0,1,2}.
+DetectionInput RunningInput() {
+  Result<Table> table = RunningExampleTable();
+  EXPECT_TRUE(table.ok());
+  auto ranker = RunningExampleRanker();
+  Result<DetectionInput> input = DetectionInput::Prepare(*table, *ranker);
+  EXPECT_TRUE(input.ok());
+  return std::move(input).value();
+}
+
+bool ContainsPattern(const std::vector<Pattern>& patterns, const Pattern& p) {
+  return std::find(patterns.begin(), patterns.end(), p) != patterns.end();
+}
+
+// Example 2.3 / Figure 1 sanity: s_D({School=GP}) = 8 and
+// s_R5({School=GP}) = 1.
+TEST(TopDownFixtureTest, Example23Counts) {
+  DetectionInput input = RunningInput();
+  Pattern gp = PatternOf(4, {{1, 1}});
+  EXPECT_EQ(input.index().PatternCount(gp), 8u);
+  EXPECT_EQ(input.index().TopKCount(gp, 5), 1u);
+}
+
+// Example 4.6, k = 4 state: with tau_s = 4 and L = 2, Res[4] contains
+// {Address=U} and {Failures=1}; the listed patterns are deferred
+// because an ancestor is already reported.
+TEST(TopDownSearchTest, Example46InitialSearch) {
+  DetectionInput input = RunningInput();
+  DetectionStats stats;
+  TopDownOutcome outcome = TopDownSearch(
+      input.index(), /*size_threshold=*/4, /*k=*/4,
+      [](size_t) { return 2.0; }, &stats);
+
+  EXPECT_TRUE(outcome.result.Contains(PatternOf(4, {{2, 1}})));  // Address=U
+  EXPECT_TRUE(outcome.result.Contains(PatternOf(4, {{3, 1}})));  // Failures=1
+  EXPECT_TRUE(outcome.result.Contains(PatternOf(4, {{1, 1}})));  // School=GP
+
+  // DRes members named in Example 4.6.
+  EXPECT_TRUE(ContainsPattern(outcome.deferred,
+                              PatternOf(4, {{0, 0}, {2, 1}})));  // F, U
+  EXPECT_TRUE(ContainsPattern(outcome.deferred,
+                              PatternOf(4, {{0, 1}, {2, 1}})));  // M, U
+  EXPECT_TRUE(ContainsPattern(outcome.deferred,
+                              PatternOf(4, {{0, 0}, {3, 1}})));  // F, fail=1
+  EXPECT_TRUE(ContainsPattern(outcome.deferred,
+                              PatternOf(4, {{2, 0}, {3, 1}})));  // R, fail=1
+  EXPECT_GT(stats.nodes_visited, 0u);
+}
+
+// Example 4.9, k = 4 proportional state: with tau_s = 5 and alpha = 0.9
+// the result is exactly { {School=GP}, {Address=U}, {Failures=1} }.
+TEST(TopDownSearchTest, Example49InitialSearchProp) {
+  DetectionInput input = RunningInput();
+  const double alpha = 0.9;
+  const double n = 16.0;
+  const int k = 4;
+  TopDownOutcome outcome = TopDownSearch(
+      input.index(), /*size_threshold=*/5, k,
+      [&](size_t size_d) {
+        return alpha * static_cast<double>(size_d) * k / n;
+      },
+      nullptr);
+  std::vector<Pattern> expected = {
+      PatternOf(4, {{1, 1}}),  // School=GP
+      PatternOf(4, {{2, 1}}),  // Address=U
+      PatternOf(4, {{3, 1}}),  // Failures=1
+  };
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(outcome.result.Sorted(), expected);
+}
+
+TEST(TopDownSearchTest, MatchesBruteForceOnRandomData) {
+  for (uint64_t seed : {11ull, 22ull, 33ull}) {
+    Table table = testing::RandomTable(80, 4, {2, 3}, seed);
+    auto ranking = testing::RandomRanking(80, seed);
+    auto input = DetectionInput::PrepareWithRanking(table, ranking);
+    ASSERT_TRUE(input.ok());
+    for (int k : {5, 17, 40}) {
+      for (int tau : {5, 15}) {
+        const double lower = 0.3 * k;
+        auto bound = [lower](size_t) { return lower; };
+        TopDownOutcome outcome =
+            TopDownSearch(input->index(), tau, k, bound, nullptr);
+        auto oracle = testing::BruteForceMostGeneralBiased(input->index(),
+                                                           tau, k, bound);
+        EXPECT_EQ(outcome.result.Sorted(), oracle)
+            << "seed=" << seed << " k=" << k << " tau=" << tau;
+      }
+    }
+  }
+}
+
+TEST(TopDownSearchTest, ResultAndDeferredAreDisjointAndCoverBiased) {
+  DetectionInput input = RunningInput();
+  TopDownOutcome outcome = TopDownSearch(
+      input.index(), 4, 4, [](size_t) { return 2.0; }, nullptr);
+  for (const Pattern& d : outcome.deferred) {
+    EXPECT_FALSE(outcome.result.Contains(d));
+    EXPECT_TRUE(outcome.result.HasProperAncestorOf(d));
+    // Deferred patterns are genuinely biased.
+    EXPECT_LT(input.index().TopKCount(d, 4), 2u);
+    EXPECT_GE(input.index().PatternCount(d), 4u);
+  }
+}
+
+TEST(TopDownSearchTest, HighThresholdPrunesEverything) {
+  DetectionInput input = RunningInput();
+  TopDownOutcome outcome = TopDownSearch(
+      input.index(), /*size_threshold=*/17, 4, [](size_t) { return 2.0; },
+      nullptr);
+  EXPECT_TRUE(outcome.result.empty());
+  EXPECT_TRUE(outcome.deferred.empty());
+}
+
+TEST(TopDownSearchTest, ZeroBoundReportsNothing) {
+  DetectionInput input = RunningInput();
+  TopDownOutcome outcome = TopDownSearch(
+      input.index(), 4, 4, [](size_t) { return 0.0; }, nullptr);
+  // Counts are never strictly below zero.
+  EXPECT_TRUE(outcome.result.empty());
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,117 @@
+#include "explain/tree_model.h"
+
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fairtopk {
+namespace {
+
+TEST(RegressionTreeTest, FitsPiecewiseConstantFunction) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double v = static_cast<double>(i) / 200.0;
+    x.push_back({v});
+    y.push_back(v < 0.5 ? 2.0 : 8.0);
+  }
+  TreeOptions options;
+  auto tree = RegressionTree::Fit(x, y, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NEAR(tree->Predict({0.2}), 2.0, 1e-9);
+  EXPECT_NEAR(tree->Predict({0.9}), 8.0, 1e-9);
+}
+
+TEST(RegressionTreeTest, SplitsOnTheInformativeFeature) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double informative = rng.UniformDouble();
+    const double noise_feature = rng.UniformDouble();
+    x.push_back({noise_feature, informative});
+    y.push_back(informative > 0.5 ? 10.0 : -10.0);
+  }
+  TreeOptions options;
+  options.max_depth = 2;
+  auto tree = RegressionTree::Fit(x, y, options);
+  ASSERT_TRUE(tree.ok());
+  // Root must split on feature 1; prediction error should be tiny.
+  double err = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    err += std::abs(tree->Predict(x[i]) - y[i]);
+  }
+  EXPECT_LT(err / static_cast<double>(x.size()), 1.0);
+}
+
+TEST(RegressionTreeTest, RespectsMaxDepth) {
+  Rng rng(11);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.UniformDouble();
+    x.push_back({v});
+    y.push_back(std::sin(12.0 * v));
+  }
+  TreeOptions options;
+  options.max_depth = 3;
+  options.min_samples_leaf = 1;
+  auto tree = RegressionTree::Fit(x, y, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->depth(), 4);  // root at depth 1
+}
+
+TEST(RegressionTreeTest, ConstantTargetsStayLeaf) {
+  std::vector<std::vector<double>> x = {{1.0}, {2.0}, {3.0}, {4.0},
+                                        {5.0}, {6.0}, {7.0}, {8.0},
+                                        {9.0}, {10.0}, {11.0}, {12.0}};
+  std::vector<double> y(12, 3.0);
+  auto tree = RegressionTree::Fit(x, y, TreeOptions{});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree->Predict({100.0}), 3.0);
+}
+
+TEST(RegressionTreeTest, MinSamplesLeafLimitsSplits) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 8; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 4 ? 0.0 : 1.0);
+  }
+  TreeOptions options;
+  options.min_samples_leaf = 5;  // 8 rows cannot produce two leaves >= 5
+  auto tree = RegressionTree::Fit(x, y, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+}
+
+TEST(RegressionTreeTest, OneHotFeaturesSplitAtHalf) {
+  // Categorical one-hot columns take values {0,1}: the tree should
+  // separate them cleanly.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 60; ++i) {
+    const bool is_a = i % 3 == 0;
+    x.push_back({is_a ? 1.0 : 0.0, is_a ? 0.0 : 1.0});
+    y.push_back(is_a ? 4.0 : -2.0);
+  }
+  auto tree = RegressionTree::Fit(x, y, TreeOptions{});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(tree->Predict({1.0, 0.0}), 4.0);
+  EXPECT_DOUBLE_EQ(tree->Predict({0.0, 1.0}), -2.0);
+}
+
+TEST(RegressionTreeTest, RejectsBadInput) {
+  EXPECT_FALSE(RegressionTree::Fit({}, {}, TreeOptions{}).ok());
+  EXPECT_FALSE(
+      RegressionTree::Fit({{1.0}}, {1.0, 2.0}, TreeOptions{}).ok());
+  TreeOptions bad;
+  bad.max_depth = 0;
+  EXPECT_FALSE(RegressionTree::Fit({{1.0}}, {1.0}, bad).ok());
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,138 @@
+// Tests for the upper-bound extension (most specific substantial
+// patterns exceeding U_k).
+#include "detect/upper_bounds.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "datagen/running_example.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+
+DetectionInput RunningInput() {
+  Result<Table> table = RunningExampleTable();
+  EXPECT_TRUE(table.ok());
+  auto ranker = RunningExampleRanker();
+  Result<DetectionInput> input = DetectionInput::Prepare(*table, *ranker);
+  EXPECT_TRUE(input.ok());
+  return std::move(input).value();
+}
+
+TEST(GlobalUpperBoundsTest, ReportsOverRepresentedGroups) {
+  DetectionInput input = RunningInput();
+  // Top-5 of Figure 1: rows 12,5,2,9,14 -> MS school appears 4 times.
+  GlobalBoundSpec bounds;
+  bounds.upper = StepFunction::Constant(3.0);
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 5;
+  config.size_threshold = 4;
+  auto result = DetectGlobalUpperBounds(input, bounds, config);
+  ASSERT_TRUE(result.ok());
+  const auto& at5 = result->AtK(5);
+  // {School=MS} exceeds (4 > 3) but is NOT most specific:
+  // {School=MS, Address=R} has 8 tuples in D and 3 in the top-5 —
+  // at most the bound — so check what is actually reported instead:
+  // every reported pattern must exceed the bound and have no reported
+  // descendant.
+  EXPECT_FALSE(at5.empty());
+  for (const Pattern& p : at5) {
+    EXPECT_GT(input.index().TopKCount(p, 5), 3u) << p.ToString(input.space());
+    EXPECT_GE(input.index().PatternCount(p), 4u);
+    for (const Pattern& q : at5) {
+      EXPECT_FALSE(p.IsProperAncestorOf(q));
+    }
+  }
+}
+
+TEST(GlobalUpperBoundsTest, MostSpecificSemanticsAgainstOracle) {
+  Table table = testing::RandomTable(90, 3, {2, 3}, 55);
+  auto input = DetectionInput::PrepareWithRanking(
+      table, testing::RandomRanking(90, 55));
+  ASSERT_TRUE(input.ok());
+  GlobalBoundSpec bounds;
+  bounds.upper = StepFunction::Constant(6.0);
+  DetectionConfig config;
+  config.k_min = 20;
+  config.k_max = 20;
+  config.size_threshold = 8;
+  auto result = DetectGlobalUpperBounds(*input, bounds, config);
+  ASSERT_TRUE(result.ok());
+
+  // Oracle: most specific among all substantial violators.
+  std::vector<Pattern> violators;
+  for (const Pattern& p : testing::AllPatterns(input->space())) {
+    if (input->index().PatternCount(p) >= 8 &&
+        static_cast<double>(input->index().TopKCount(p, 20)) > 6.0) {
+      violators.push_back(p);
+    }
+  }
+  std::vector<Pattern> expected;
+  for (const Pattern& p : violators) {
+    bool has_descendant = false;
+    for (const Pattern& q : violators) {
+      if (p.IsProperAncestorOf(q)) has_descendant = true;
+    }
+    if (!has_descendant) expected.push_back(p);
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(result->AtK(20), expected);
+}
+
+TEST(PropUpperBoundsTest, BetaBoundCatchesOverRepresentation) {
+  DetectionInput input = RunningInput();
+  PropBoundSpec bounds;
+  bounds.alpha = 0.8;
+  bounds.beta = 1.2;
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 5;
+  config.size_threshold = 4;
+  auto result = DetectPropUpperBounds(input, bounds, config);
+  ASSERT_TRUE(result.ok());
+  const double n = 16.0;
+  for (const Pattern& p : result->AtK(5)) {
+    const double size_d =
+        static_cast<double>(input.index().PatternCount(p));
+    EXPECT_GT(static_cast<double>(input.index().TopKCount(p, 5)),
+              1.2 * size_d * 5.0 / n);
+  }
+  // {School=MS}: 4 in top-5, bound 1.2*8*5/16 = 3 -> a violator exists
+  // somewhere at or below it.
+  EXPECT_FALSE(result->AtK(5).empty());
+}
+
+TEST(PropUpperBoundsTest, RejectsBetaNotAboveAlpha) {
+  DetectionInput input = RunningInput();
+  PropBoundSpec bounds;
+  bounds.alpha = 0.8;
+  bounds.beta = 0.8;
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 5;
+  config.size_threshold = 4;
+  EXPECT_EQ(DetectPropUpperBounds(input, bounds, config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GlobalUpperBoundsTest, InfiniteUpperBoundReportsNothing) {
+  DetectionInput input = RunningInput();
+  GlobalBoundSpec bounds;  // default upper = +inf
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 8;
+  config.size_threshold = 4;
+  auto result = DetectGlobalUpperBounds(input, bounds, config);
+  ASSERT_TRUE(result.ok());
+  for (int k = 5; k <= 8; ++k) {
+    EXPECT_TRUE(result->AtK(k).empty());
+  }
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,141 @@
+#include "detect/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/running_example.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+using testing::PatternOf;
+
+DetectionInput RunningInput() {
+  Result<Table> table = RunningExampleTable();
+  EXPECT_TRUE(table.ok());
+  auto ranker = RunningExampleRanker();
+  auto input = DetectionInput::Prepare(*table, *ranker);
+  EXPECT_TRUE(input.ok());
+  return std::move(input).value();
+}
+
+// Example 2.4 of the paper: with L_5 = 2 per school, the ranking is
+// unfair to the GP school (one member in the top-5).
+TEST(VerifyGlobalFairnessTest, Example24SchoolBounds) {
+  DetectionInput input = RunningInput();
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(2.0);
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 5;
+
+  auto gp = VerifyGlobalFairness(input, PatternOf(4, {{1, 1}}), bounds,
+                                 config);
+  ASSERT_TRUE(gp.ok());
+  EXPECT_FALSE(gp->fair());
+  ASSERT_EQ(gp->violations.size(), 1u);
+  EXPECT_EQ(gp->violations[0].k, 5);
+  EXPECT_EQ(gp->violations[0].count, 1u);
+  EXPECT_TRUE(gp->violations[0].below_lower);
+  EXPECT_FALSE(gp->violations[0].above_upper);
+
+  auto ms = VerifyGlobalFairness(input, PatternOf(4, {{1, 0}}), bounds,
+                                 config);
+  ASSERT_TRUE(ms.ok());
+  EXPECT_TRUE(ms->fair());
+}
+
+TEST(VerifyGlobalFairnessTest, UpperBoundViolations) {
+  DetectionInput input = RunningInput();
+  GlobalBoundSpec bounds;
+  bounds.upper = StepFunction::Constant(3.0);
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 5;
+  // MS school holds 4 of the top-5 seats: above the upper bound.
+  auto ms = VerifyGlobalFairness(input, PatternOf(4, {{1, 0}}), bounds,
+                                 config);
+  ASSERT_TRUE(ms.ok());
+  EXPECT_FALSE(ms->fair());
+  EXPECT_TRUE(ms->violations[0].above_upper);
+  EXPECT_FALSE(ms->violations[0].below_lower);
+}
+
+TEST(VerifyGlobalFairnessTest, RangeAccumulatesViolations) {
+  DetectionInput input = RunningInput();
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(2.0);
+  DetectionConfig config;
+  config.k_min = 4;
+  config.k_max = 8;
+  auto gp = VerifyGlobalFairness(input, PatternOf(4, {{1, 1}}), bounds,
+                                 config);
+  ASSERT_TRUE(gp.ok());
+  // GP has one top-k member until rank 7 (row 13 at rank 7 is GP).
+  for (const auto& v : gp->violations) {
+    EXPECT_LT(static_cast<double>(v.count), 2.0);
+    EXPECT_GE(v.k, 4);
+    EXPECT_LE(v.k, 8);
+  }
+  EXPECT_FALSE(gp->fair());
+}
+
+// Example 2.5 / 4.7: proportional check for {Gender=F} with alpha=0.9.
+TEST(VerifyPropFairnessTest, Example47GenderBounds) {
+  DetectionInput input = RunningInput();
+  PropBoundSpec bounds;
+  bounds.alpha = 0.9;
+  DetectionConfig config;
+  config.k_min = 4;
+  config.k_max = 5;
+  auto report = VerifyPropFairness(input, PatternOf(4, {{0, 0}}), bounds,
+                                   config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->size_in_d, 8u);
+  // Fair at k=4 (2 >= 1.8), biased at k=5 (2 < 2.25).
+  ASSERT_EQ(report->violations.size(), 1u);
+  EXPECT_EQ(report->violations[0].k, 5);
+  EXPECT_TRUE(report->violations[0].below_lower);
+  EXPECT_DOUBLE_EQ(report->violations[0].lower, 2.25);
+}
+
+TEST(VerifyPropFairnessTest, BetaUpperBand) {
+  DetectionInput input = RunningInput();
+  PropBoundSpec bounds;
+  bounds.alpha = 0.5;
+  bounds.beta = 1.2;
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 5;
+  // MS school: 4 of top-5, bound 1.2 * 8 * 5/16 = 3 -> above.
+  auto ms = VerifyPropFairness(input, PatternOf(4, {{1, 0}}), bounds,
+                               config);
+  ASSERT_TRUE(ms.ok());
+  ASSERT_EQ(ms->violations.size(), 1u);
+  EXPECT_TRUE(ms->violations[0].above_upper);
+}
+
+TEST(VerifyFairnessTest, ValidatesArguments) {
+  DetectionInput input = RunningInput();
+  GlobalBoundSpec bounds;
+  DetectionConfig config;
+  config.k_min = 5;
+  config.k_max = 5;
+  // Wrong pattern arity.
+  EXPECT_FALSE(
+      VerifyGlobalFairness(input, PatternOf(2, {{0, 0}}), bounds, config)
+          .ok());
+  // Bad k range.
+  config.k_max = 100;
+  EXPECT_FALSE(
+      VerifyGlobalFairness(input, PatternOf(4, {{0, 0}}), bounds, config)
+          .ok());
+  config.k_max = 5;
+  PropBoundSpec bad;
+  bad.alpha = 0.0;
+  EXPECT_FALSE(
+      VerifyPropFairness(input, PatternOf(4, {{0, 0}}), bad, config).ok());
+}
+
+}  // namespace
+}  // namespace fairtopk

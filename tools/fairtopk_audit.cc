@@ -1,0 +1,465 @@
+// fairtopk_audit: end-to-end ranked-representation audit of a CSV file.
+//
+// Usage:
+//   fairtopk_audit --csv data.csv --rank-by score [options]
+//
+// Pipeline: load the CSV (numeric columns inferred), bucketize numeric
+// attributes so they can participate in group definitions, rank by the
+// requested score column (descending by default), detect groups with
+// biased representation under the chosen fairness measure, and print a
+// text report (or JSON with --json). Optionally explains the most
+// biased group via the Shapley pipeline.
+//
+// Options:
+//   --csv PATH             input CSV file (required)
+//   --rank-by COLUMN       numeric column to rank by, descending
+//                          (required)
+//   --ascending            rank ascending instead
+//   --measure global|prop  fairness measure (default: prop)
+//   --alpha X              proportional multiplier (default 0.8)
+//   --lower X              global lower bound, fraction of k
+//                          (default 0.5: L_k = 0.5k staircase)
+//   --kmin K --kmax K      rank range (default 10..49, clamped to |D|)
+//   --tau N                group size threshold (default 5% of rows)
+//   --bins N               buckets per numeric attribute (default 4)
+//   --drop col1,col2       columns to ignore (ids, names, ...)
+//   --suggest              calibrate bounds automatically
+//   --explain              Shapley-explain the most biased group
+//   --json                 emit the detection report as JSON
+//   --verify "A=v;B=w"     instead of detecting, verify the given
+//                          group against the bounds and report the
+//                          violating k values
+//   --rerank PATH          after detection, repair the ranking so the
+//                          detected groups meet the bounds and write
+//                          the re-ranked table to PATH as CSV
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "detect/global_bounds.h"
+#include "detect/presentation.h"
+#include "detect/prop_bounds.h"
+#include "detect/suggest.h"
+#include "explain/group_explainer.h"
+#include "detect/verify.h"
+#include "mitigate/rerank.h"
+#include "ranking/attribute_ranker.h"
+#include "relation/bucketize.h"
+#include "relation/csv.h"
+#include "report/json_report.h"
+
+namespace fairtopk {
+namespace {
+
+struct Args {
+  std::string csv;
+  std::string rank_by;
+  bool ascending = false;
+  std::string measure = "prop";
+  double alpha = 0.8;
+  double lower_fraction = 0.5;
+  int k_min = 10;
+  int k_max = 49;
+  int tau = 0;  // 0 = 5% of rows
+  int bins = 4;
+  std::vector<std::string> drop;
+  bool suggest = false;
+  bool explain = false;
+  bool json = false;
+  std::string verify_group;
+  std::string rerank_path;
+};
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--csv") {
+      const char* v = next("--csv");
+      if (v == nullptr) return false;
+      args.csv = v;
+    } else if (flag == "--rank-by") {
+      const char* v = next("--rank-by");
+      if (v == nullptr) return false;
+      args.rank_by = v;
+    } else if (flag == "--ascending") {
+      args.ascending = true;
+    } else if (flag == "--measure") {
+      const char* v = next("--measure");
+      if (v == nullptr) return false;
+      args.measure = v;
+    } else if (flag == "--alpha") {
+      const char* v = next("--alpha");
+      if (v == nullptr) return false;
+      args.alpha = std::atof(v);
+    } else if (flag == "--lower") {
+      const char* v = next("--lower");
+      if (v == nullptr) return false;
+      args.lower_fraction = std::atof(v);
+    } else if (flag == "--kmin") {
+      const char* v = next("--kmin");
+      if (v == nullptr) return false;
+      args.k_min = std::atoi(v);
+    } else if (flag == "--kmax") {
+      const char* v = next("--kmax");
+      if (v == nullptr) return false;
+      args.k_max = std::atoi(v);
+    } else if (flag == "--tau") {
+      const char* v = next("--tau");
+      if (v == nullptr) return false;
+      args.tau = std::atoi(v);
+    } else if (flag == "--bins") {
+      const char* v = next("--bins");
+      if (v == nullptr) return false;
+      args.bins = std::atoi(v);
+    } else if (flag == "--drop") {
+      const char* v = next("--drop");
+      if (v == nullptr) return false;
+      args.drop = Split(v, ',');
+    } else if (flag == "--verify") {
+      const char* v = next("--verify");
+      if (v == nullptr) return false;
+      args.verify_group = v;
+    } else if (flag == "--rerank") {
+      const char* v = next("--rerank");
+      if (v == nullptr) return false;
+      args.rerank_path = v;
+    } else if (flag == "--suggest") {
+      args.suggest = true;
+    } else if (flag == "--explain") {
+      args.explain = true;
+    } else if (flag == "--json") {
+      args.json = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (args.csv.empty() || args.rank_by.empty()) {
+    std::fprintf(stderr,
+                 "usage: fairtopk_audit --csv data.csv --rank-by column "
+                 "[--measure global|prop] [--json] [--explain] ...\n");
+    return false;
+  }
+  if (args.measure != "global" && args.measure != "prop") {
+    std::fprintf(stderr, "--measure must be 'global' or 'prop'\n");
+    return false;
+  }
+  return true;
+}
+
+/// Parses "Attr=value;Attr2=value2" into a pattern over `space`.
+Result<Pattern> ParseGroupSpec(const std::string& spec,
+                               const PatternSpace& space) {
+  Pattern pattern = Pattern::Empty(space.num_attributes());
+  for (const std::string& term : Split(spec, ';')) {
+    auto parts = Split(term, '=');
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("bad group term: " + term);
+    }
+    const std::string name(Trim(parts[0]));
+    const std::string value(Trim(parts[1]));
+    bool found = false;
+    for (size_t a = 0; a < space.num_attributes() && !found; ++a) {
+      if (space.name(a) != name) continue;
+      for (int16_t v = 0; v < space.domain_size(a); ++v) {
+        if (space.label(a, v) == value) {
+          pattern = pattern.With(a, v);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("value '" + value +
+                                "' not in the domain of '" + name + "'");
+      }
+    }
+    if (!found) {
+      return Status::NotFound("attribute '" + name +
+                              "' not in the pattern space");
+    }
+  }
+  if (pattern.IsEmpty()) {
+    return Status::InvalidArgument("group spec assigns no attributes");
+  }
+  return pattern;
+}
+
+int RunAudit(const Args& args) {
+  CsvOptions csv_options;
+  csv_options.drop = args.drop;
+  Result<Table> raw = ReadCsvFile(args.csv, csv_options);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "failed to read %s: %s\n", args.csv.c_str(),
+                 raw.status().ToString().c_str());
+    return 1;
+  }
+
+  // Rank on the raw numeric column, then bucketize every OTHER numeric
+  // column so it can join group definitions.
+  auto rank_idx = raw->schema().IndexOf(args.rank_by);
+  if (!rank_idx.has_value() ||
+      raw->schema().attribute(*rank_idx).type != AttributeType::kNumeric) {
+    std::fprintf(stderr, "--rank-by column '%s' missing or not numeric\n",
+                 args.rank_by.c_str());
+    return 1;
+  }
+  Table table = *raw;
+  for (size_t c = 0; c < raw->schema().size(); ++c) {
+    const auto& attr = raw->schema().attribute(c);
+    if (attr.type != AttributeType::kNumeric || attr.name == args.rank_by) {
+      continue;
+    }
+    Result<Table> bucketized = BucketizeAttribute(
+        table, attr.name, args.bins, BucketStrategy::kEqualWidth);
+    if (!bucketized.ok()) {
+      std::fprintf(stderr, "bucketization of '%s' failed: %s\n",
+                   attr.name.c_str(),
+                   bucketized.status().ToString().c_str());
+      return 1;
+    }
+    table = std::move(bucketized).value();
+  }
+
+  AttributeRanker ranker({{args.rank_by, args.ascending}});
+  Result<DetectionInput> input = DetectionInput::Prepare(table, ranker);
+  if (!input.ok()) {
+    std::fprintf(stderr, "%s\n", input.status().ToString().c_str());
+    return 1;
+  }
+
+  DetectionConfig config;
+  config.k_min = args.k_min;
+  const int n = static_cast<int>(table.num_rows());
+  config.k_max = std::min(args.k_max, n);
+  if (config.k_min > config.k_max) config.k_min = 1;
+  config.size_threshold =
+      args.tau > 0 ? args.tau : std::max(2, n / 20);
+
+  GlobalBoundSpec gbounds;
+  {
+    std::vector<std::pair<int, double>> steps;
+    for (int start = std::min(config.k_min, 10); start <= config.k_max;
+         start += 10) {
+      steps.emplace_back(start,
+                         std::max(1.0, args.lower_fraction * start));
+    }
+    if (steps.empty()) {
+      steps.emplace_back(config.k_min, args.lower_fraction * config.k_min);
+    }
+    auto staircase = StepFunction::FromSteps(std::move(steps));
+    if (!staircase.ok()) {
+      std::fprintf(stderr, "%s\n", staircase.status().ToString().c_str());
+      return 1;
+    }
+    gbounds.lower = *staircase;
+  }
+  PropBoundSpec pbounds;
+  pbounds.alpha = args.alpha;
+
+  if (args.suggest) {
+    auto suggestion = SuggestParameters(*input, config, SuggestOptions{});
+    if (!suggestion.ok()) {
+      std::fprintf(stderr, "%s\n", suggestion.status().ToString().c_str());
+      return 1;
+    }
+    config.size_threshold = suggestion->size_threshold;
+    gbounds = suggestion->global_bounds;
+    pbounds.alpha = suggestion->alpha;
+    std::fprintf(stderr,
+                 "suggested: tau=%d global_level=%.2f alpha=%.2f\n",
+                 suggestion->size_threshold, suggestion->global_level,
+                 suggestion->alpha);
+  }
+
+  if (!args.verify_group.empty()) {
+    // Verification mode: check one declared group, skip detection.
+    Result<Pattern> group =
+        ParseGroupSpec(args.verify_group, input->space());
+    if (!group.ok()) {
+      std::fprintf(stderr, "%s\n", group.status().ToString().c_str());
+      return 1;
+    }
+    Result<FairnessReport> report =
+        args.measure == "global"
+            ? VerifyGlobalFairness(*input, *group, gbounds, config)
+            : VerifyPropFairness(*input, *group, pbounds, config);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("group %s: size=%zu, %s\n",
+                group->ToString(input->space()).c_str(),
+                report->size_in_d,
+                report->fair() ? "FAIR across the whole k range"
+                               : "BIASED");
+    for (const FairnessViolation& v : report->violations) {
+      std::printf("  k=%d count=%zu bounds=[%.2f, %s]%s%s\n", v.k,
+                  v.count, v.lower,
+                  std::isinf(v.upper) ? "inf"
+                                      : FormatDouble(v.upper, 2).c_str(),
+                  v.below_lower ? " BELOW" : "",
+                  v.above_upper ? " ABOVE" : "");
+    }
+    return report->fair() ? 0 : 3;
+  }
+
+  Result<DetectionResult> detected =
+      args.measure == "global"
+          ? DetectGlobalBounds(*input, gbounds, config)
+          : DetectPropBounds(*input, pbounds, config);
+  if (!detected.ok()) {
+    std::fprintf(stderr, "%s\n", detected.status().ToString().c_str());
+    return 1;
+  }
+
+  if (args.json) {
+    ReportContext context{args.csv, args.measure,
+                          args.measure == "global" ? "GlobalBounds"
+                                                   : "PropBounds"};
+    std::printf("%s\n",
+                DetectionResultToJson(*detected, *input, context).c_str());
+  } else {
+    for (int k = config.k_min; k <= config.k_max; ++k) {
+      if (detected->AtK(k).empty()) continue;
+      auto groups =
+          args.measure == "global"
+              ? AnnotateGlobal(*detected, *input, gbounds, k,
+                               GroupOrder::kByBiasDesc)
+              : AnnotateProp(*detected, *input, pbounds, k,
+                             GroupOrder::kByBiasDesc);
+      std::printf("%s", RenderReport(groups, input->space(), k).c_str());
+    }
+  }
+
+  if (!args.rerank_path.empty()) {
+    // Repair mode: detected groups become representation floors. The
+    // proportional measure is translated into per-group constant
+    // floors at k_max (a conservative approximation of the band).
+    std::vector<RepresentationConstraint> constraints;
+    for (const Pattern& p : detected->AllDistinct()) {
+      if (args.measure == "global") {
+        constraints.push_back({p, gbounds.lower});
+      } else {
+        const double floor_at_kmax = pbounds.LowerAt(
+            static_cast<int>(input->index().PatternCount(p)),
+            config.k_max, table.num_rows());
+        constraints.push_back(
+            {p, StepFunction::Constant(std::ceil(floor_at_kmax))});
+      }
+    }
+    Result<RepairOutcome> repair =
+        RepairRanking(*input, constraints, config);
+    if (!repair.ok()) {
+      std::fprintf(stderr, "%s\n", repair.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "repair: moved=%zu kendall_tau=%llu feasible=%s\n",
+                 repair->tuples_moved,
+                 static_cast<unsigned long long>(
+                     repair->kendall_tau_distance),
+                 repair->feasible ? "yes" : "no");
+    // Persist the table in repaired rank order, with an explicit
+    // `repaired_rank` column so the ordering survives re-ranking
+    // (audit the file again with `--rank-by repaired_rank
+    // --ascending`).
+    Result<Table> reordered = [&]() -> Result<Table> {
+      Schema schema = table.schema();
+      FAIRTOPK_RETURN_IF_ERROR(schema.AddNumeric("repaired_rank"));
+      FAIRTOPK_ASSIGN_OR_RETURN(Table out, Table::Create(schema));
+      std::vector<Cell> row(table.num_attributes() + 1);
+      double rank = 1.0;
+      for (uint32_t r : repair->ranking) {
+        for (size_t c = 0; c < table.num_attributes(); ++c) {
+          row[c] = table.schema().attribute(c).type ==
+                           AttributeType::kCategorical
+                       ? Cell::Code(table.CodeAt(r, c))
+                       : Cell::Value(table.ValueAt(r, c));
+        }
+        row[table.num_attributes()] = Cell::Value(rank);
+        rank += 1.0;
+        FAIRTOPK_RETURN_IF_ERROR(out.AppendRow(row));
+      }
+      return out;
+    }();
+    if (!reordered.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   reordered.status().ToString().c_str());
+      return 1;
+    }
+    Status written = WriteCsvFile(*reordered, args.rerank_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "repaired ranking written to %s\n",
+                 args.rerank_path.c_str());
+  }
+
+  if (args.explain) {
+    const int k = config.k_max;
+    auto groups = args.measure == "global"
+                      ? AnnotateGlobal(*detected, *input, gbounds, k,
+                                       GroupOrder::kByBiasDesc)
+                      : AnnotateProp(*detected, *input, pbounds, k,
+                                     GroupOrder::kByBiasDesc);
+    if (groups.empty()) {
+      std::fprintf(stderr, "nothing to explain at k=%d\n", k);
+      return 0;
+    }
+    auto ranking = ranker.Rank(table);
+    if (!ranking.ok()) {
+      std::fprintf(stderr, "%s\n", ranking.status().ToString().c_str());
+      return 1;
+    }
+    auto explainer =
+        GroupExplainer::Create(table, *ranking, ExplainerOptions{});
+    if (!explainer.ok()) {
+      std::fprintf(stderr, "%s\n", explainer.status().ToString().c_str());
+      return 1;
+    }
+    auto explanation =
+        explainer->Explain(groups.front().pattern, input->space(), k);
+    if (!explanation.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   explanation.status().ToString().c_str());
+      return 1;
+    }
+    if (args.json) {
+      std::printf("%s\n",
+                  ExplanationToJson(*explanation, input->space()).c_str());
+    } else {
+      std::printf("\nExplanation for %s (top attributes by |Shapley|):\n",
+                  groups.front().pattern.ToString(input->space()).c_str());
+      for (size_t i = 0; i < explanation->effects.size() && i < 6; ++i) {
+        std::printf("  %-20s %+.4f\n",
+                    explanation->effects[i].attribute.c_str(),
+                    explanation->effects[i].mean_shapley);
+      }
+      std::printf("\n%s",
+                  RenderDistribution(
+                      explanation->top_attribute_distribution)
+                      .c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairtopk
+
+int main(int argc, char** argv) {
+  fairtopk::Args args;
+  if (!fairtopk::ParseArgs(argc, argv, args)) return 2;
+  return fairtopk::RunAudit(args);
+}
