@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# CI entry point: tier-1 verify from a clean tree, then an ASan/UBSan
+# pass over the unit and property suites.
+#
+#   ./ci.sh            # both stages
+#   SKIP_SANITIZE=1 ./ci.sh   # tier-1 only
+set -eu
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+GENERATOR=""
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR="-GNinja"
+fi
+
+echo "== tier-1: configure + build + ctest =="
+rm -rf build-ci
+cmake -B build-ci -S . ${GENERATOR}
+cmake --build build-ci -j "${JOBS}"
+(cd build-ci && ctest --output-on-failure -j "${JOBS}")
+
+if [ "${SKIP_SANITIZE:-0}" = "1" ]; then
+  echo "== sanitize stage skipped (SKIP_SANITIZE=1) =="
+  exit 0
+fi
+
+echo "== stage 2: ASan/UBSan =="
+rm -rf build-ci-asan
+# Benches/examples/tools are skipped; with them off, cli_test and the
+# smoke tests are unregistered, so a plain ctest runs every library
+# test (unit + property + integration_test) under the sanitizers.
+cmake -B build-ci-asan -S . ${GENERATOR} -DFAIRTOPK_SANITIZE=ON \
+  -DFAIRTOPK_BUILD_BENCHES=OFF -DFAIRTOPK_BUILD_EXAMPLES=OFF \
+  -DFAIRTOPK_BUILD_TOOLS=OFF
+cmake --build build-ci-asan -j "${JOBS}"
+(cd build-ci-asan && ctest --output-on-failure -j "${JOBS}")
+
+echo "== ci.sh: all green =="

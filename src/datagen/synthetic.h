@@ -23,8 +23,17 @@ namespace fairtopk {
 
 /// One categorical attribute of a synthetic dataset.
 struct SyntheticAttribute {
+  SyntheticAttribute() : SyntheticAttribute(std::string()) {}
+  SyntheticAttribute(std::string name, int cardinality = 2,
+                     std::vector<double> weights = {},
+                     std::vector<std::string> labels = {})
+      : name(std::move(name)),
+        cardinality(cardinality),
+        weights(std::move(weights)),
+        labels(std::move(labels)) {}
+
   std::string name;
-  int cardinality = 2;
+  int cardinality;
   /// Unnormalized sampling weights per value; uniform when empty.
   std::vector<double> weights;
   /// Human-readable value labels; "v0".."vN-1" when empty. When given,

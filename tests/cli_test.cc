@@ -26,11 +26,26 @@ std::string TempPath(const std::string& name) {
   return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
 }
 
+/// Single-quotes `s` for the shell so TMPDIR-derived paths with spaces
+/// or metacharacters survive std::system().
+std::string Quote(const std::string& s) {
+  std::string quoted = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      quoted += "'\\''";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += "'";
+  return quoted;
+}
+
 /// Runs the CLI with `args`, capturing stdout into `out_path`.
 /// Returns the process exit code (-1 on system() failure).
 int RunCli(const std::string& args, const std::string& out_path) {
-  const std::string command = std::string(FAIRTOPK_AUDIT_PATH) + " " +
-                              args + " > " + out_path + " 2>/dev/null";
+  const std::string command = Quote(FAIRTOPK_AUDIT_PATH) + " " + args + " > " +
+                              Quote(out_path) + " 2>/dev/null";
   const int status = std::system(command.c_str());
   if (status < 0) return -1;
   return WEXITSTATUS(status);
@@ -77,7 +92,7 @@ TEST(CliTest, MissingArgumentsPrintUsageAndFail) {
 TEST(CliTest, DetectionReportsBiasedGroups) {
   const std::string csv = WriteDemoCsv();
   const std::string out = TempPath("cli_detect.out");
-  const int code = RunCli("--csv " + csv +
+  const int code = RunCli("--csv " + Quote(csv) +
                               " --rank-by score --measure prop --kmin 10 "
                               "--kmax 30 --tau 20",
                           out);
@@ -90,7 +105,7 @@ TEST(CliTest, DetectionReportsBiasedGroups) {
 TEST(CliTest, JsonModeEmitsParsableSkeleton) {
   const std::string csv = WriteDemoCsv();
   const std::string out = TempPath("cli_json.out");
-  const int code = RunCli("--csv " + csv +
+  const int code = RunCli("--csv " + Quote(csv) +
                               " --rank-by score --measure global --lower "
                               "0.3 --kmin 10 --kmax 20 --tau 20 --json",
                           out);
@@ -105,20 +120,20 @@ TEST(CliTest, VerifyModeUsesExitCodeThree) {
   const std::string csv = WriteDemoCsv();
   const std::string out = TempPath("cli_verify.out");
   // Females are demoted by the score: biased -> exit 3.
-  EXPECT_EQ(RunCli("--csv " + csv +
+  EXPECT_EQ(RunCli("--csv " + Quote(csv) +
                        " --rank-by score --measure global --lower 0.3 "
                        "--kmin 10 --kmax 30 --verify gender=F",
                    out),
             3);
   EXPECT_NE(ReadAll(out).find("BIASED"), std::string::npos);
   // Males dominate the top: fair -> exit 0.
-  EXPECT_EQ(RunCli("--csv " + csv +
+  EXPECT_EQ(RunCli("--csv " + Quote(csv) +
                        " --rank-by score --measure global --lower 0.3 "
                        "--kmin 10 --kmax 30 --verify gender=M",
                    out),
             0);
   // Unknown attribute -> error.
-  EXPECT_EQ(RunCli("--csv " + csv +
+  EXPECT_EQ(RunCli("--csv " + Quote(csv) +
                        " --rank-by score --verify nope=1 --kmin 5 "
                        "--kmax 10",
                    out),
@@ -130,10 +145,10 @@ TEST(CliTest, RerankRepairsAndRoundTrips) {
   const std::string repaired = TempPath("cli_repaired.csv");
   const std::string out = TempPath("cli_rerank.out");
   std::remove(repaired.c_str());
-  const int code = RunCli("--csv " + csv +
+  const int code = RunCli("--csv " + Quote(csv) +
                               " --rank-by score --measure global --lower "
                               "0.25 --kmin 10 --kmax 30 --tau 20 --rerank " +
-                              repaired,
+                              Quote(repaired),
                           out);
   EXPECT_EQ(code, 0);
   // The repaired CSV exists and carries the rank column.
@@ -141,7 +156,7 @@ TEST(CliTest, RerankRepairsAndRoundTrips) {
   ASSERT_FALSE(contents.empty());
   EXPECT_NE(contents.find("repaired_rank"), std::string::npos);
   // Auditing the repaired file by repaired_rank finds gender=F fair.
-  EXPECT_EQ(RunCli("--csv " + repaired +
+  EXPECT_EQ(RunCli("--csv " + Quote(repaired) +
                        " --rank-by repaired_rank --ascending --drop score "
                        "--measure global --lower 0.25 --kmin 10 --kmax 30 "
                        "--verify gender=F",

@@ -1,0 +1,39 @@
+# Smoke-test driver invoked by CTest as `cmake -P run_smoke.cmake` with:
+#   -DBINARY=<path to executable>   binary under test
+#   -DOUT=<path>                    where to capture stdout
+#   -DARGS=<semicolon list>         optional arguments
+#   -DEXPECT_JSON=ON                require output to be a JSON object
+# Fails (message FATAL_ERROR) unless the binary exits 0 and produces
+# non-empty output. The biased-demo CSV fixture lives next to this
+# script as demo.csv; pass its path through ARGS.
+
+if(NOT DEFINED BINARY OR NOT DEFINED OUT)
+  message(FATAL_ERROR "run_smoke.cmake requires -DBINARY and -DOUT")
+endif()
+
+execute_process(
+  COMMAND "${BINARY}" ${ARGS}
+  OUTPUT_FILE "${OUT}"
+  RESULT_VARIABLE exit_code
+)
+
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "${BINARY} exited with ${exit_code}")
+endif()
+
+file(READ "${OUT}" output)
+string(STRIP "${output}" stripped)
+if(stripped STREQUAL "")
+  message(FATAL_ERROR "${BINARY} produced no output")
+endif()
+
+if(EXPECT_JSON)
+  string(SUBSTRING "${stripped}" 0 1 first_char)
+  if(NOT first_char STREQUAL "{")
+    message(FATAL_ERROR "${BINARY} output is not a JSON object: ${stripped}")
+  endif()
+  string(FIND "${stripped}" "\"results\":" results_pos)
+  if(results_pos EQUAL -1)
+    message(FATAL_ERROR "${BINARY} JSON output lacks a results array")
+  endif()
+endif()

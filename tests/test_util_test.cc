@@ -1,0 +1,188 @@
+// Tests for the test harness itself (tests/test_util.h): the pattern
+// literal helper, the random fixtures, the exhaustive pattern
+// enumerator, and — most importantly — the brute-force
+// most-general-biased oracle that the equivalence property suites treat
+// as ground truth. Later performance PRs must not be able to silently
+// break the reference implementation.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/bitmap_index.h"
+#include "pattern/pattern.h"
+#include "relation/table.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+TEST(PatternOfTest, BuildsRequestedAssignments) {
+  const Pattern p = testing::PatternOf(4, {{0, 1}, {2, 0}});
+  EXPECT_EQ(p.NumSpecified(), 2u);
+  const Pattern expected = Pattern::Empty(4).With(0, 1).With(2, 0);
+  EXPECT_EQ(p, expected);
+  EXPECT_TRUE(testing::PatternOf(3, {}).IsEmpty());
+}
+
+TEST(RandomTableTest, ShapeAndDeterminism) {
+  const Table a = testing::RandomTable(50, 3, {2, 3}, 7);
+  const Table b = testing::RandomTable(50, 3, {2, 3}, 7);
+  const Table c = testing::RandomTable(50, 3, {2, 3}, 8);
+  ASSERT_EQ(a.num_rows(), 50u);
+  ASSERT_EQ(a.schema().size(), 3u);
+  // Same seed reproduces the exact same codes; a different seed does
+  // not (checked via the rank-order codes of an identity-ranked index).
+  auto space = PatternSpace::CreateAllCategorical(a.schema());
+  ASSERT_TRUE(space.ok());
+  std::vector<uint32_t> identity(a.num_rows());
+  for (size_t i = 0; i < identity.size(); ++i) identity[i] = uint32_t(i);
+  auto ia = BitmapIndex::Build(a, *space, identity);
+  auto ib = BitmapIndex::Build(b, *space, identity);
+  auto ic = BitmapIndex::Build(c, *space, identity);
+  ASSERT_TRUE(ia.ok() && ib.ok() && ic.ok());
+  bool differs_from_c = false;
+  for (size_t pos = 0; pos < a.num_rows(); ++pos) {
+    for (size_t attr = 0; attr < 3; ++attr) {
+      EXPECT_EQ(ia->RankedCode(pos, attr), ib->RankedCode(pos, attr));
+      differs_from_c |= ia->RankedCode(pos, attr) != ic->RankedCode(pos, attr);
+    }
+  }
+  EXPECT_TRUE(differs_from_c);
+  // Domains cycle through {2, 3}: attribute 2 wraps back to size 2.
+  EXPECT_EQ(space->domain_size(0), 2);
+  EXPECT_EQ(space->domain_size(1), 3);
+  EXPECT_EQ(space->domain_size(2), 2);
+}
+
+TEST(RandomRankingTest, IsDeterministicPermutation) {
+  const std::vector<uint32_t> r1 = testing::RandomRanking(100, 5);
+  const std::vector<uint32_t> r2 = testing::RandomRanking(100, 5);
+  const std::vector<uint32_t> r3 = testing::RandomRanking(100, 6);
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(r1, r3);
+  std::vector<uint32_t> sorted = r1;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    ASSERT_EQ(sorted[i], static_cast<uint32_t>(i));
+  }
+}
+
+TEST(AllPatternsTest, EnumeratesFullPatternGraph) {
+  const Table table = testing::RandomTable(20, 3, {2, 3, 2}, 11);
+  auto space = PatternSpace::CreateAllCategorical(table.schema());
+  ASSERT_TRUE(space.ok());
+  const std::vector<Pattern> all = testing::AllPatterns(*space);
+  // (2+1)*(3+1)*(2+1) - 1 non-empty patterns, all distinct.
+  EXPECT_EQ(all.size(), 3u * 4u * 3u - 1u);
+  EXPECT_EQ(all.size(), space->PatternGraphSize() - 1u);
+  std::set<Pattern> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), all.size());
+  for (const Pattern& p : all) EXPECT_FALSE(p.IsEmpty());
+}
+
+/// A hand-checkable fixture: 8 rows over two binary attributes, ranked
+/// by row id. Codes laid out so the top of the ranking is all a0=0.
+///
+///   rank pos:  0  1  2  3  4  5  6  7
+///   a0:        0  0  0  0  1  1  1  1
+///   a1:        0  1  0  1  0  1  0  1
+Table HandTable() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("a0", {"0", "1"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("a1", {"0", "1"}).ok());
+  auto table = Table::Create(std::move(schema));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(table
+                    ->AppendRow({Cell::Code(int16_t(i / 4)),
+                                 Cell::Code(int16_t(i % 2))})
+                    .ok());
+  }
+  return std::move(table).value();
+}
+
+TEST(BruteForceOracleTest, HandComputedFixture) {
+  const Table table = HandTable();
+  auto space = PatternSpace::CreateAllCategorical(table.schema());
+  ASSERT_TRUE(space.ok());
+  std::vector<uint32_t> identity(8);
+  for (size_t i = 0; i < 8; ++i) identity[i] = uint32_t(i);
+  auto index = BitmapIndex::Build(table, *space, identity);
+  ASSERT_TRUE(index.ok());
+
+  // k = 4, tau = 2, bound: every group of size >= 2 needs >= 2 of the
+  // top 4. Sizes/top-4 counts: {a0=1}: 4/0 biased; {a1=0}: 4/2 ok;
+  // {a1=1}: 4/2 ok; {a0=0}: 4/4 ok; {a0=1,a1=v}: 2/0 biased but
+  // dominated by {a0=1}. So the most general biased set is {a0=1}.
+  const auto biased = testing::BruteForceMostGeneralBiased(
+      *index, /*size_threshold=*/2, /*k=*/4, [](size_t) { return 2.0; });
+  ASSERT_EQ(biased.size(), 1u);
+  EXPECT_EQ(biased[0], testing::PatternOf(2, {{0, 1}}));
+
+  // Raising the threshold above the child sizes but keeping the same
+  // bound: still only {a0=1} (children fall below tau).
+  const auto biased_tau3 = testing::BruteForceMostGeneralBiased(
+      *index, /*size_threshold=*/3, /*k=*/4, [](size_t) { return 2.0; });
+  EXPECT_EQ(biased_tau3, biased);
+
+  // A bound nothing violates -> empty result.
+  const auto none = testing::BruteForceMostGeneralBiased(
+      *index, /*size_threshold=*/2, /*k=*/4, [](size_t) { return 0.0; });
+  EXPECT_TRUE(none.empty());
+
+  // A proportional-style bound size_d / 2 at k = 4: {a0=1} needs 2,
+  // has 0 -> biased; {a0=0} needs 2, has 4 -> ok; {a1=v} needs 2, has
+  // 2 -> ok (strict inequality).
+  const auto prop = testing::BruteForceMostGeneralBiased(
+      *index, /*size_threshold=*/2, /*k=*/4,
+      [](size_t size_d) { return 0.5 * double(size_d); });
+  ASSERT_EQ(prop.size(), 1u);
+  EXPECT_EQ(prop[0], testing::PatternOf(2, {{0, 1}}));
+}
+
+TEST(BruteForceOracleTest, InvariantsOnRandomFixtures) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    const Table table = testing::RandomTable(80, 3, {2, 3}, seed);
+    auto space = PatternSpace::CreateAllCategorical(table.schema());
+    ASSERT_TRUE(space.ok());
+    auto index =
+        BitmapIndex::Build(table, *space, testing::RandomRanking(80, seed));
+    ASSERT_TRUE(index.ok());
+    const int tau = 5;
+    const int k = 20;
+    const auto bound = [](size_t size_d) { return 0.3 * double(size_d); };
+    const auto result =
+        testing::BruteForceMostGeneralBiased(*index, tau, k, bound);
+
+    // Sorted, unique, and every member is genuinely biased.
+    EXPECT_TRUE(std::is_sorted(result.begin(), result.end()));
+    for (const Pattern& p : result) {
+      const size_t size_d = index->PatternCount(p);
+      EXPECT_GE(size_d, size_t(tau));
+      EXPECT_LT(double(index->TopKCount(p, k)), bound(size_d));
+    }
+    // Mutually incomparable (most-general): no member dominates
+    // another.
+    for (const Pattern& p : result) {
+      for (const Pattern& q : result) {
+        EXPECT_FALSE(q.IsProperAncestorOf(p));
+      }
+    }
+    // Complete: every biased pattern in the space is either in the
+    // result or has an ancestor there.
+    for (const Pattern& p : testing::AllPatterns(*space)) {
+      const size_t size_d = index->PatternCount(p);
+      if (size_d < size_t(tau)) continue;
+      if (double(index->TopKCount(p, k)) >= bound(size_d)) continue;
+      const bool covered = std::any_of(
+          result.begin(), result.end(), [&](const Pattern& q) {
+            return q == p || q.IsProperAncestorOf(p);
+          });
+      EXPECT_TRUE(covered) << "seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairtopk
