@@ -6,8 +6,10 @@
 #include "common/rng.h"
 #include "datagen/compas_like.h"
 #include "detect/detection_result.h"
+#include "detect/global_bounds.h"
 #include "detect/itertd.h"
 #include "index/bitmap_index.h"
+#include "index/pattern_cursor.h"
 #include "pattern/result_set.h"
 #include "pattern/search_tree.h"
 #include "ranking/score_ranker.h"
@@ -112,20 +114,71 @@ void BM_ScoreRanker(benchmark::State& state) {
 }
 BENCHMARK(BM_ScoreRanker);
 
+void BM_PatternCursorChildCounts(benchmark::State& state) {
+  const DetectionInput& input = CompasInput();
+  const size_t depth = static_cast<size_t>(state.range(0));
+  PatternCursor cursor(input.index());
+  for (size_t a = 0; a < depth; ++a) cursor.Push(a, 0);
+  size_t size_d = 0;
+  size_t top_k = 0;
+  for (auto _ : state) {
+    // Counting the child (parent ∪ {A_depth = 0}) reuses the parent's
+    // materialized intersection — contrast with BM_PatternCount /
+    // BM_TopKCount, which intersect all predicates from scratch.
+    cursor.ChildCounts(depth, 0, 500, &size_d, &top_k);
+    benchmark::DoNotOptimize(size_d);
+    benchmark::DoNotOptimize(top_k);
+  }
+}
+BENCHMARK(BM_PatternCursorChildCounts)->Arg(1)->Arg(3)->Arg(7);
+
+const DetectionInput& SmallDetectionInput() {
+  static const DetectionInput input = [] {
+    auto ranker = CompasRanker();
+    std::vector<std::string> all = CompasPatternAttributes();
+    std::vector<std::string> attrs(all.begin(), all.begin() + 6);
+    auto in = DetectionInput::Prepare(CompasTable(), *ranker, attrs);
+    if (!in.ok()) std::abort();
+    return std::move(in).value();
+  }();
+  return input;
+}
+
 void BM_DetectGlobalIterTDSmall(benchmark::State& state) {
-  auto ranker = CompasRanker();
-  std::vector<std::string> all = CompasPatternAttributes();
-  std::vector<std::string> attrs(all.begin(), all.begin() + 6);
-  auto input = DetectionInput::Prepare(CompasTable(), *ranker, attrs);
-  if (!input.ok()) std::abort();
+  const DetectionInput& input = SmallDetectionInput();
   GlobalBoundSpec bounds = GlobalBoundSpec::PaperDefault(49);
   DetectionConfig config{10, 49, 50};
   for (auto _ : state) {
-    auto result = DetectGlobalIterTD(*input, bounds, config);
+    auto result = DetectGlobalIterTD(input, bounds, config);
     benchmark::DoNotOptimize(result);
   }
 }
 BENCHMARK(BM_DetectGlobalIterTDSmall);
+
+void BM_DetectGlobalBoundsSmall(benchmark::State& state) {
+  const DetectionInput& input = SmallDetectionInput();
+  GlobalBoundSpec bounds = GlobalBoundSpec::PaperDefault(49);
+  DetectionConfig config{10, 49, 50};
+  for (auto _ : state) {
+    auto result = DetectGlobalBounds(input, bounds, config);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DetectGlobalBoundsSmall);
+
+// Thread-scaling of the sharded search (arg = num_threads). On the full
+// COMPAS pattern space the per-k searches are wide enough to shard.
+void BM_DetectGlobalIterTDThreads(benchmark::State& state) {
+  const DetectionInput& input = CompasInput();
+  GlobalBoundSpec bounds = GlobalBoundSpec::PaperDefault(49);
+  DetectionConfig config{10, 49, 50};
+  config.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = DetectGlobalIterTD(input, bounds, config);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DetectGlobalIterTDThreads)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 }  // namespace fairtopk

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # CI entry point: tier-1 verify from a clean tree, then an ASan/UBSan
-# pass over the unit and property suites.
+# pass over the unit and property suites, then a ThreadSanitizer pass
+# over the detection tests (which exercise num_threads > 1 through the
+# parallel-equivalence property suite).
 #
-#   ./ci.sh            # both stages
+#   ./ci.sh            # all stages
 #   SKIP_SANITIZE=1 ./ci.sh   # tier-1 only
 set -eu
 
@@ -33,5 +35,16 @@ cmake -B build-ci-asan -S . ${GENERATOR} -DFAIRTOPK_SANITIZE=ON \
   -DFAIRTOPK_BUILD_TOOLS=OFF
 cmake --build build-ci-asan -j "${JOBS}"
 (cd build-ci-asan && ctest --output-on-failure -j "${JOBS}")
+
+echo "== stage 3: TSan (multi-threaded detection) =="
+rm -rf build-ci-tsan
+# The detection suites cover the search engine's sharded parallelism;
+# parallel_equivalence_test runs every algorithm with num_threads > 1.
+cmake -B build-ci-tsan -S . ${GENERATOR} -DFAIRTOPK_SANITIZE=thread \
+  -DFAIRTOPK_BUILD_BENCHES=OFF -DFAIRTOPK_BUILD_EXAMPLES=OFF \
+  -DFAIRTOPK_BUILD_TOOLS=OFF
+cmake --build build-ci-tsan -j "${JOBS}"
+(cd build-ci-tsan && ctest --output-on-failure -j "${JOBS}" \
+  -R 'parallel_equivalence|topdown|global_bounds|prop_bounds|upper_bounds|variants|pattern_cursor')
 
 echo "== ci.sh: all green =="

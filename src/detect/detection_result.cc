@@ -59,6 +59,10 @@ Status DetectionInput::ValidateConfig(const DetectionConfig& config) const {
   if (config.size_threshold < 1) {
     return Status::InvalidArgument("size threshold must be positive");
   }
+  if (config.num_threads < 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 0 (0 = hardware concurrency)");
+  }
   return Status::OK();
 }
 

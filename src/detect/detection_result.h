@@ -21,6 +21,12 @@ struct DetectionConfig {
   /// Minimum group size in D (τs). Groups smaller than this are never
   /// reported (and, by anti-monotonicity, never expanded).
   int size_threshold = 50;
+  /// Worker threads for the full top-down searches: 1 (default) runs
+  /// sequentially, N > 1 shards the first-predicate subtrees across N
+  /// threads, 0 uses the hardware concurrency. Results are identical
+  /// for every value (the engine merges shard results in a fixed
+  /// subtree order).
+  int num_threads = 1;
 };
 
 /// Work counters for the search-space experiments of Section VI-B.
@@ -28,8 +34,21 @@ struct DetectionStats {
   /// Number of pattern nodes whose representation was evaluated —
   /// the "patterns examined during the search" count the paper compares.
   uint64_t nodes_visited = 0;
+  /// Node evaluations served from a materialized parent intersection in
+  /// the search engine's PatternCursor: each hit cost one single-bitset
+  /// AND instead of |p| full intersections.
+  uint64_t cursor_reuse_hits = 0;
   /// Wall-clock seconds spent inside the algorithm.
   double seconds = 0.0;
+
+  /// Accumulates another worker's counters. Parallel searches give each
+  /// worker its own DetectionStats and merge on join; workers never
+  /// share a mutable counter.
+  void Merge(const DetectionStats& other) {
+    nodes_visited += other.nodes_visited;
+    cursor_reuse_hits += other.cursor_reuse_hits;
+    seconds += other.seconds;
+  }
 };
 
 /// Per-k most-general biased patterns plus stats.

@@ -1,0 +1,29 @@
+#include "detect/engine/search_driver.h"
+
+namespace fairtopk::engine {
+
+std::vector<RootBranch> RootBranches(const PatternSpace& space) {
+  std::vector<RootBranch> branches;
+  for (size_t j = 0; j < space.num_attributes(); ++j) {
+    const int domain = space.domain_size(j);
+    for (int16_t v = 0; v < domain; ++v) {
+      branches.push_back(RootBranch{j, v});
+    }
+  }
+  return branches;
+}
+
+int ResolveThreadCount(int requested, size_t num_branches) {
+  int threads = requested;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  if (threads < 1) threads = 1;
+  if (static_cast<size_t>(threads) > num_branches && num_branches > 0) {
+    threads = static_cast<int>(num_branches);
+  }
+  return threads;
+}
+
+}  // namespace fairtopk::engine

@@ -4,46 +4,8 @@
 
 #include "common/timer.h"
 #include "detect/topdown.h"
-#include "pattern/search_tree.h"
 
 namespace fairtopk {
-
-namespace {
-
-/// Resumes the top-down search below `from` at the current k: `from`
-/// just stopped being biased, so its subtree — never explored while
-/// `from` was a biased leaf — must now be searched (procedure
-/// searchFromNode of Algorithm 2).
-void ExpandFrom(const Pattern& from, const BitmapIndex& index,
-                int size_threshold, int k, double lower,
-                MostGeneralResultSet& res, std::vector<Pattern>& deferred,
-                DetectionStats* stats) {
-  const PatternSpace& space = index.space();
-  std::vector<Pattern> stack;
-  AppendChildren(from, space, stack);
-  while (!stack.empty()) {
-    Pattern p = std::move(stack.back());
-    stack.pop_back();
-    if (stats != nullptr) ++stats->nodes_visited;
-    const size_t size_d = index.PatternCount(p);
-    if (size_d < static_cast<size_t>(size_threshold)) continue;
-    const size_t top_k = index.TopKCount(p, static_cast<size_t>(k));
-    if (static_cast<double>(top_k) < lower) {
-      if (res.HasProperAncestorOf(p)) {
-        deferred.push_back(p);
-      } else {
-        UpdateOutcome update = res.Update(p);
-        for (Pattern& evicted : update.evicted) {
-          deferred.push_back(std::move(evicted));
-        }
-      }
-      continue;
-    }
-    AppendChildren(p, space, stack);
-  }
-}
-
-}  // namespace
 
 Result<DetectionResult> DetectGlobalBounds(const DetectionInput& input,
                                            const GlobalBoundSpec& bounds,
@@ -65,9 +27,9 @@ Result<DetectionResult> DetectGlobalBounds(const DetectionInput& input,
   // Initial full search at k_min.
   {
     const double lower = bounds.lower.At(config.k_min);
-    TopDownOutcome outcome =
-        TopDownSearch(index, config.size_threshold, config.k_min,
-                      [lower](size_t) { return lower; }, stats);
+    TopDownOutcome outcome = TopDownSearch(
+        index, config.size_threshold, config.k_min,
+        [lower](size_t) { return lower; }, stats, config.num_threads);
     res = std::move(outcome.result);
     deferred = std::move(outcome.deferred);
     result.MutableAtK(config.k_min) = res.Sorted();
@@ -75,12 +37,17 @@ Result<DetectionResult> DetectGlobalBounds(const DetectionInput& input,
 
   for (int k = config.k_min + 1; k <= config.k_max; ++k) {
     const double lower = bounds.lower.At(k);
+    // The resumed searches of this iteration run sequentially (they are
+    // interleaved with the serial incremental bookkeeping).
+    const engine::SearchParams resume_params{config.size_threshold,
+                                             static_cast<size_t>(k), 1};
+    const auto flat_bound = [lower](size_t) { return lower; };
     if (lower != bounds.lower.At(k - 1)) {
       // Bound stepped up: restart with a fresh search (Algorithm 2,
       // line 5).
       TopDownOutcome outcome =
-          TopDownSearch(index, config.size_threshold, k,
-                        [lower](size_t) { return lower; }, stats);
+          TopDownSearch(index, config.size_threshold, k, flat_bound, stats,
+                        config.num_threads);
       res = std::move(outcome.result);
       deferred = std::move(outcome.deferred);
       result.MutableAtK(k) = res.Sorted();
@@ -92,19 +59,22 @@ Result<DetectionResult> DetectGlobalBounds(const DetectionInput& input,
     // biased -> not biased, and only for patterns the tuple satisfies.
     const size_t new_pos = static_cast<size_t>(k - 1);
 
-    // Phase 1: members of Res satisfied by the new tuple.
+    // Phase 1: members of Res satisfied by the new tuple. Processed in
+    // sorted order so the incremental walk (and its work counters) is
+    // identical however the preceding full search was sharded.
     std::vector<Pattern> candidates;
     for (const Pattern& p : res.patterns()) {
       if (index.RankedRowSatisfies(p, new_pos)) candidates.push_back(p);
     }
+    std::sort(candidates.begin(), candidates.end());
     for (const Pattern& p : candidates) {
       if (!res.Contains(p)) continue;  // evicted by an earlier expansion
       if (stats != nullptr) ++stats->nodes_visited;
       const size_t top_k = index.TopKCount(p, static_cast<size_t>(k));
       if (static_cast<double>(top_k) >= lower) {
         res.Remove(p);
-        ExpandFrom(p, index, config.size_threshold, k, lower, res, deferred,
-                   stats);
+        engine::MostGeneralBelowFrom(index, resume_params, p, flat_bound, res,
+                                     deferred, stats);
       }
     }
 
@@ -113,12 +83,13 @@ Result<DetectionResult> DetectGlobalBounds(const DetectionInput& input,
     // (their subsuming ancestor left), or stay deferred.
     std::vector<Pattern> pending;
     pending.swap(deferred);
+    std::sort(pending.begin(), pending.end());
     for (Pattern& d : pending) {
       if (stats != nullptr) ++stats->nodes_visited;
       const size_t top_k = index.TopKCount(d, static_cast<size_t>(k));
       if (static_cast<double>(top_k) >= lower) {
-        ExpandFrom(d, index, config.size_threshold, k, lower, res, deferred,
-                   stats);
+        engine::MostGeneralBelowFrom(index, resume_params, d, flat_bound, res,
+                                     deferred, stats);
         continue;
       }
       if (res.HasProperAncestorOf(d)) {

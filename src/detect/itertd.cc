@@ -13,9 +13,10 @@ Result<DetectionResult> DetectGlobalIterTD(const DetectionInput& input,
   DetectionResult result(config.k_min, config.k_max);
   for (int k = config.k_min; k <= config.k_max; ++k) {
     const double lower = bounds.lower.At(k);
-    TopDownOutcome outcome =
-        TopDownSearch(input.index(), config.size_threshold, k,
-                      [lower](size_t) { return lower; }, &result.stats());
+    TopDownOutcome outcome = TopDownSearch(
+        input.index(), config.size_threshold, k,
+        [lower](size_t) { return lower; }, &result.stats(),
+        config.num_threads);
     result.MutableAtK(k) = outcome.result.Sorted();
   }
   result.stats().seconds = timer.ElapsedSeconds();
@@ -42,7 +43,7 @@ Result<DetectionResult> DetectPropIterTD(const DetectionInput& input,
         [&bounds, k, n](size_t size_d) {
           return bounds.LowerAt(static_cast<int>(size_d), k, n);
         },
-        &result.stats());
+        &result.stats(), config.num_threads);
     result.MutableAtK(k) = outcome.result.Sorted();
   }
   result.stats().seconds = timer.ElapsedSeconds();

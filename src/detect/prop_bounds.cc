@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "detect/engine/search_driver.h"
 #include "pattern/result_set.h"
 #include "pattern/search_tree.h"
 
@@ -27,11 +28,69 @@ class PropSearch {
         alpha_(bounds.alpha),
         n_(static_cast<double>(index.num_rows())) {}
 
-  /// Full top-down search at k_min (TopDownSearch of Algorithm 3).
+  /// Full top-down search at k_min (TopDownSearch of Algorithm 3), run
+  /// through the engine: each first-predicate subtree is harvested
+  /// independently (and in parallel when configured), then the
+  /// harvests are folded into the shared state in branch order — the
+  /// exact pre-order the sequential search would have produced. The
+  /// sequential path skips the harvest buffering and writes into the
+  /// shared maps directly (same pre-order, so identical state).
   void InitialSearch() {
-    std::vector<Pattern> roots =
-        GenerateChildren(Pattern::Empty(space_.num_attributes()), space_);
-    for (const Pattern& p : roots) Visit(p, config_.k_min, /*full=*/true);
+    const int k = config_.k_min;
+    const engine::SearchParams params{config_.size_threshold,
+                                      static_cast<size_t>(k),
+                                      config_.num_threads};
+    if (engine::RunsSequentially(params)) {
+      struct DirectVisitor {
+        PropSearch* s;
+        int k;
+        bool operator()(const Pattern& p, size_t size_d, size_t top_k) {
+          if (s->Biased(top_k, size_d, k)) {
+            s->store_.emplace(p, NodeInfo{size_d, false});
+            s->Place(p);
+            return false;
+          }
+          s->store_.emplace(p, NodeInfo{size_d, true});
+          s->RegisterKTilde(p, top_k, size_d, k);
+          return true;
+        }
+      };
+      DirectVisitor visitor{this, k};
+      engine::SequentialTopDown(index_, params, visitor, stats_);
+      return;
+    }
+    struct Harvest {
+      const PropSearch* owner;
+      int k;
+      // Pre-order records; folded into the shared maps on merge.
+      std::vector<std::pair<Pattern, NodeInfo>> store;
+      std::vector<Pattern> biased;
+      std::vector<std::pair<int, Pattern>> schedule;
+      bool operator()(const Pattern& p, size_t size_d, size_t top_k) {
+        if (owner->Biased(top_k, size_d, k)) {
+          store.emplace_back(p, NodeInfo{size_d, false});
+          biased.push_back(p);
+          return false;
+        }
+        store.emplace_back(p, NodeInfo{size_d, true});
+        const int kt = owner->KTilde(top_k, size_d, k);
+        if (kt != 0) schedule.emplace_back(kt, p);
+        return true;
+      }
+    };
+    engine::ShardedTopDown(
+        index_, params, [&] { return Harvest{this, k, {}, {}, {}}; },
+        [this](size_t, Harvest&& h) {
+          // Subtrees are disjoint, so every store/schedule entry is new.
+          for (auto& entry : h.store) {
+            store_.emplace(std::move(entry.first), entry.second);
+          }
+          for (auto& reg : h.schedule) {
+            schedule_[reg.first].push_back(std::move(reg.second));
+          }
+          for (const Pattern& p : h.biased) Place(p);
+        },
+        stats_);
   }
 
   /// One incremental step: process the arrival of the tuple at rank k
@@ -178,6 +237,33 @@ class PropSearch {
     }
   }
 
+  /// Full engine-driven expansion below `d` mirroring Visit(·, k,
+  /// full=true): used when a deferred pattern stops being biased and
+  /// nothing shadows its (never-explored) subtree anymore.
+  void ExpandFullyBelow(const Pattern& d, int k) {
+    struct ExpandVisitor {
+      PropSearch* s;
+      int k;
+      bool operator()(const Pattern& p, size_t size_d, size_t top_k) {
+        if (s->Biased(top_k, size_d, k)) {
+          s->store_.try_emplace(p, NodeInfo{size_d, false});
+          s->Place(p);
+          return false;
+        }
+        s->res_.Remove(p);
+        s->deferred_.erase(p);
+        s->RegisterKTilde(p, top_k, size_d, k);
+        auto [it, inserted] = s->store_.try_emplace(p, NodeInfo{size_d, true});
+        if (!inserted) it->second.expanded = true;
+        return true;
+      }
+    };
+    const engine::SearchParams params{config_.size_threshold,
+                                      static_cast<size_t>(k), 1};
+    ExpandVisitor visitor{this, k};
+    engine::VisitBelowFrom(index_, params, d, visitor, stats_);
+  }
+
   void ReconcileDeferred(int k) {
     std::vector<Pattern> pending(deferred_.begin(), deferred_.end());
     // Deterministic order keeps promotion cascades reproducible.
@@ -195,9 +281,7 @@ class PropSearch {
         // region; expand now if nothing shadows it anymore.
         if (!res_.HasProperAncestorOf(d)) {
           store_[d].expanded = true;
-          for (const Pattern& child : GenerateChildren(d, space_)) {
-            Visit(child, k, /*full=*/true);
-          }
+          ExpandFullyBelow(d, k);
         }
         continue;
       }

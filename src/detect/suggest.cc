@@ -26,11 +26,13 @@ GlobalBoundSpec StaircaseFor(double level, int k_min, int k_max) {
   return spec;
 }
 
-/// Number of most-general groups reported at k_max for a bound.
+/// Number of most-general groups reported at k_max for a bound (any
+/// callable double(size_t size_in_d)).
+template <typename BoundFn>
 size_t GroupsAt(const DetectionInput& input, int tau, int k,
-                const LowerBoundFn& bound) {
-  TopDownOutcome outcome =
-      TopDownSearch(input.index(), tau, k, bound, nullptr);
+                const BoundFn& bound, int num_threads) {
+  TopDownOutcome outcome = TopDownSearch(input.index(), tau, k, bound,
+                                         nullptr, num_threads);
   return outcome.result.size();
 }
 
@@ -97,7 +99,8 @@ Result<SuggestedParameters> SuggestParameters(const DetectionInput& input,
             StaircaseFor(level, config.k_min, config.k_max);
         const double bound = candidate.lower.At(config.k_max);
         return GroupsAt(input, out.size_threshold, config.k_max,
-                        [bound](size_t) { return bound; });
+                        [bound](size_t) { return bound; },
+                        config.num_threads);
       });
   out.global_level = global.level;
   out.global_bounds =
@@ -111,10 +114,12 @@ Result<SuggestedParameters> SuggestParameters(const DetectionInput& input,
         PropBoundSpec spec;
         spec.alpha = alpha;
         const int k = config.k_max;
-        return GroupsAt(input, out.size_threshold, k,
-                        [&spec, k, n](size_t size_d) {
-                          return spec.LowerAt(static_cast<int>(size_d), k, n);
-                        });
+        return GroupsAt(
+            input, out.size_threshold, k,
+            [&spec, k, n](size_t size_d) {
+              return spec.LowerAt(static_cast<int>(size_d), k, n);
+            },
+            config.num_threads);
       });
   out.alpha = prop.level;
   out.groups_at_kmax_prop = prop.groups;

@@ -8,35 +8,40 @@
 // size in D, which covers both problems:
 //   global:       bound(size) = L_k
 //   proportional: bound(size) = alpha * size * k / |D|
+//
+// This header is a thin entry point over the unified search engine
+// (detect/engine/search_driver.h), which owns the DFS, the cursor-based
+// incremental counting, and the sharded parallelism. The bound is a
+// template parameter so the per-node test inlines — pass a lambda or a
+// small struct, never a std::function.
 #ifndef FAIRTOPK_DETECT_TOPDOWN_H_
 #define FAIRTOPK_DETECT_TOPDOWN_H_
 
-#include <functional>
 #include <vector>
 
 #include "detect/detection_result.h"
+#include "detect/engine/search_driver.h"
 #include "index/bitmap_index.h"
 #include "pattern/result_set.h"
 
 namespace fairtopk {
 
-/// Lower bound on the top-k count of a pattern, as a function of its
-/// size in D.
-using LowerBoundFn = std::function<double(size_t size_in_d)>;
-
 /// Output of one top-down search: the most-general biased patterns
 /// (Res) and the biased patterns encountered that are subsumed by a
 /// member of Res (DRes), which the incremental algorithms reuse.
-struct TopDownOutcome {
-  MostGeneralResultSet result;
-  std::vector<Pattern> deferred;
-};
+using TopDownOutcome = engine::SearchOutcome;
 
 /// Runs Algorithm 1 at a single `k`. Visited-node counts are added to
-/// `stats` when provided.
+/// `stats` when provided; `num_threads` follows
+/// DetectionConfig::num_threads (results are identical for any value).
+template <typename BoundFn>
 TopDownOutcome TopDownSearch(const BitmapIndex& index, int size_threshold,
-                             int k, const LowerBoundFn& lower_bound,
-                             DetectionStats* stats);
+                             int k, const BoundFn& lower_bound,
+                             DetectionStats* stats, int num_threads = 1) {
+  engine::SearchParams params{size_threshold, static_cast<size_t>(k),
+                              num_threads};
+  return engine::MostGeneralBelow(index, params, lower_bound, stats);
+}
 
 }  // namespace fairtopk
 

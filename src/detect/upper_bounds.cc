@@ -1,42 +1,29 @@
 #include "detect/upper_bounds.h"
 
-#include <functional>
-
 #include "common/timer.h"
+#include "detect/engine/search_driver.h"
 #include "pattern/result_set.h"
-#include "pattern/search_tree.h"
 
 namespace fairtopk {
 
 namespace {
 
-/// Upper bound on the top-k count of a pattern of the given size in D.
-using UpperBoundFn = std::function<double(size_t size_in_d)>;
-
-/// Explores every substantial pattern (size >= threshold) and keeps
-/// the most specific violators of the upper bound. Violation is not
-/// anti-monotone downward in the subtree (counts shrink as predicates
-/// are added), so the search prunes only by size and filters via the
-/// most-specific result set.
-void SearchUpper(const BitmapIndex& index, int size_threshold, int k,
-                 const UpperBoundFn& upper, MostSpecificResultSet& res,
-                 DetectionStats* stats) {
-  const PatternSpace& space = index.space();
-  std::vector<Pattern> stack;
-  AppendChildren(Pattern::Empty(space.num_attributes()), space, stack);
-  while (!stack.empty()) {
-    Pattern p = std::move(stack.back());
-    stack.pop_back();
-    if (stats != nullptr) ++stats->nodes_visited;
-    const size_t size_d = index.PatternCount(p);
-    if (size_d < static_cast<size_t>(size_threshold)) continue;
-    const size_t top_k = index.TopKCount(p, static_cast<size_t>(k));
-    if (static_cast<double>(top_k) > upper(size_d)) {
-      res.Update(p);
-    }
-    AppendChildren(p, space, stack);
+/// Exceeds-a-flat-upper-bound test, inlined into the engine's hot loop.
+struct AboveConstant {
+  double bound;
+  bool operator()(size_t, size_t top_k) const {
+    return static_cast<double>(top_k) > bound;
   }
-}
+};
+
+/// Exceeds the proportional upper bound beta * size_d * k / n.
+struct AboveLinear {
+  double factor;  // beta * k / n
+  bool operator()(size_t size_d, size_t top_k) const {
+    return static_cast<double>(top_k) >
+           factor * static_cast<double>(size_d);
+  }
+};
 
 }  // namespace
 
@@ -47,10 +34,13 @@ Result<DetectionResult> DetectGlobalUpperBounds(
   WallTimer timer;
   DetectionResult result(config.k_min, config.k_max);
   for (int k = config.k_min; k <= config.k_max; ++k) {
-    const double upper = bounds.upper.At(k);
-    MostSpecificResultSet res;
-    SearchUpper(input.index(), config.size_threshold, k,
-                [upper](size_t) { return upper; }, res, &result.stats());
+    const engine::SearchParams params{config.size_threshold,
+                                      static_cast<size_t>(k),
+                                      config.num_threads};
+    MostSpecificResultSet res =
+        engine::ExhaustiveViolations<MostSpecificResultSet>(
+            input.index(), params, AboveConstant{bounds.upper.At(k)},
+            &result.stats());
     result.MutableAtK(k) = res.Sorted();
   }
   result.stats().seconds = timer.ElapsedSeconds();
@@ -68,14 +58,13 @@ Result<DetectionResult> DetectPropUpperBounds(const DetectionInput& input,
   const double n = static_cast<double>(input.num_rows());
   DetectionResult result(config.k_min, config.k_max);
   for (int k = config.k_min; k <= config.k_max; ++k) {
+    const engine::SearchParams params{config.size_threshold,
+                                      static_cast<size_t>(k),
+                                      config.num_threads};
     const double factor = bounds.beta * static_cast<double>(k) / n;
-    MostSpecificResultSet res;
-    SearchUpper(
-        input.index(), config.size_threshold, k,
-        [factor](size_t size_d) {
-          return factor * static_cast<double>(size_d);
-        },
-        res, &result.stats());
+    MostSpecificResultSet res =
+        engine::ExhaustiveViolations<MostSpecificResultSet>(
+            input.index(), params, AboveLinear{factor}, &result.stats());
     result.MutableAtK(k) = res.Sorted();
   }
   result.stats().seconds = timer.ElapsedSeconds();

@@ -1,60 +1,85 @@
 #include "detect/variants.h"
 
-#include <functional>
-
 #include "common/timer.h"
+#include "detect/engine/search_driver.h"
 #include "pattern/result_set.h"
-#include "pattern/search_tree.h"
 
 namespace fairtopk {
 
 namespace {
 
-/// Predicate deciding whether a (size, count) pair violates at `k`.
-using ViolationFn = std::function<bool(size_t size_d, size_t top_k, int k)>;
+// Per-node violation tests, inlined into the engine's hot loop (one
+// instantiation per policy — no type-erased dispatch). The proportional
+// policies evaluate through PropBoundSpec::LowerAt/UpperAt so boundary
+// cases classify exactly as in the optimized algorithms and the oracle.
 
-/// Enumerates every substantial pattern (size >= threshold; prune is
-/// anti-monotone) and reports violators under the chosen semantics.
-void EnumerateAndFilter(const BitmapIndex& index, int size_threshold, int k,
-                        const ViolationFn& violates,
-                        ReportingSemantics semantics,
-                        std::vector<Pattern>& out, DetectionStats* stats) {
-  MostGeneralResultSet most_general;
-  MostSpecificResultSet most_specific;
-  const PatternSpace& space = index.space();
-  std::vector<Pattern> stack;
-  AppendChildren(Pattern::Empty(space.num_attributes()), space, stack);
-  while (!stack.empty()) {
-    Pattern p = std::move(stack.back());
-    stack.pop_back();
-    if (stats != nullptr) ++stats->nodes_visited;
-    const size_t size_d = index.PatternCount(p);
-    if (size_d < static_cast<size_t>(size_threshold)) continue;
-    const size_t top_k = index.TopKCount(p, static_cast<size_t>(k));
-    if (violates(size_d, top_k, k)) {
-      if (semantics == ReportingSemantics::kMostGeneral) {
-        most_general.Update(p);
-      } else {
-        most_specific.Update(p);
-      }
-    }
-    AppendChildren(p, space, stack);
+struct BelowGlobal {
+  double bound;
+  bool operator()(size_t, size_t top_k) const {
+    return static_cast<double>(top_k) < bound;
   }
-  out = semantics == ReportingSemantics::kMostGeneral
-            ? most_general.Sorted()
-            : most_specific.Sorted();
+};
+
+struct AboveGlobal {
+  double bound;
+  bool operator()(size_t, size_t top_k) const {
+    return static_cast<double>(top_k) > bound;
+  }
+};
+
+struct BelowProp {
+  const PropBoundSpec* bounds;
+  int k;
+  size_t n;
+  bool operator()(size_t size_d, size_t top_k) const {
+    return static_cast<double>(top_k) <
+           bounds->LowerAt(static_cast<int>(size_d), k, n);
+  }
+};
+
+struct AboveProp {
+  const PropBoundSpec* bounds;
+  int k;
+  size_t n;
+  bool operator()(size_t size_d, size_t top_k) const {
+    return static_cast<double>(top_k) >
+           bounds->UpperAt(static_cast<int>(size_d), k, n);
+  }
+};
+
+/// Enumerates every substantial pattern at `k` through the engine and
+/// reports violators under the chosen semantics.
+template <typename ViolatesFn>
+void EnumerateAtK(const DetectionInput& input, const DetectionConfig& config,
+                  int k, const ViolatesFn& violates,
+                  ReportingSemantics semantics, std::vector<Pattern>& out,
+                  DetectionStats* stats) {
+  const engine::SearchParams params{config.size_threshold,
+                                    static_cast<size_t>(k),
+                                    config.num_threads};
+  if (semantics == ReportingSemantics::kMostGeneral) {
+    out = engine::ExhaustiveViolations<MostGeneralResultSet>(
+              input.index(), params, violates, stats)
+              .Sorted();
+  } else {
+    out = engine::ExhaustiveViolations<MostSpecificResultSet>(
+              input.index(), params, violates, stats)
+              .Sorted();
+  }
 }
 
+/// `make_violates(k)` builds the per-k violation policy.
+template <typename MakeViolates>
 Result<DetectionResult> RunVariant(const DetectionInput& input,
                                    const DetectionConfig& config,
-                                   const ViolationFn& violates,
+                                   const MakeViolates& make_violates,
                                    ReportingSemantics semantics) {
   FAIRTOPK_RETURN_IF_ERROR(input.ValidateConfig(config));
   WallTimer timer;
   DetectionResult result(config.k_min, config.k_max);
   for (int k = config.k_min; k <= config.k_max; ++k) {
-    EnumerateAndFilter(input.index(), config.size_threshold, k, violates,
-                       semantics, result.MutableAtK(k), &result.stats());
+    EnumerateAtK(input, config, k, make_violates(k), semantics,
+                 result.MutableAtK(k), &result.stats());
   }
   result.stats().seconds = timer.ElapsedSeconds();
   return result;
@@ -67,17 +92,16 @@ Result<DetectionResult> DetectGlobalVariant(const DetectionInput& input,
                                             const DetectionConfig& config,
                                             ViolationSide side,
                                             ReportingSemantics semantics) {
-  ViolationFn violates;
   if (side == ViolationSide::kBelowLower) {
-    violates = [&bounds](size_t, size_t top_k, int k) {
-      return static_cast<double>(top_k) < bounds.lower.At(k);
-    };
-  } else {
-    violates = [&bounds](size_t, size_t top_k, int k) {
-      return static_cast<double>(top_k) > bounds.upper.At(k);
-    };
+    return RunVariant(
+        input, config,
+        [&bounds](int k) { return BelowGlobal{bounds.lower.At(k)}; },
+        semantics);
   }
-  return RunVariant(input, config, violates, semantics);
+  return RunVariant(
+      input, config,
+      [&bounds](int k) { return AboveGlobal{bounds.upper.At(k)}; },
+      semantics);
 }
 
 Result<DetectionResult> DetectPropVariant(const DetectionInput& input,
@@ -92,19 +116,14 @@ Result<DetectionResult> DetectPropVariant(const DetectionInput& input,
     return Status::InvalidArgument("beta must exceed alpha");
   }
   const size_t n = input.num_rows();
-  ViolationFn violates;
   if (side == ViolationSide::kBelowLower) {
-    violates = [&bounds, n](size_t size_d, size_t top_k, int k) {
-      return static_cast<double>(top_k) <
-             bounds.LowerAt(static_cast<int>(size_d), k, n);
-    };
-  } else {
-    violates = [&bounds, n](size_t size_d, size_t top_k, int k) {
-      return static_cast<double>(top_k) >
-             bounds.UpperAt(static_cast<int>(size_d), k, n);
-    };
+    return RunVariant(
+        input, config,
+        [&bounds, n](int k) { return BelowProp{&bounds, k, n}; }, semantics);
   }
-  return RunVariant(input, config, violates, semantics);
+  return RunVariant(
+      input, config,
+      [&bounds, n](int k) { return AboveProp{&bounds, k, n}; }, semantics);
 }
 
 }  // namespace fairtopk

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
-#include "pattern/search_tree.h"
+#include "detect/engine/search_driver.h"
 
 namespace fairtopk {
 
@@ -15,22 +16,16 @@ Result<std::vector<DivergentGroup>> FindDivergentGroups(
   if (options.k < 1 || static_cast<size_t>(options.k) > index.num_rows()) {
     return Status::InvalidArgument("k outside [1, |D|]");
   }
-  const PatternSpace& space = index.space();
   const double n = static_cast<double>(index.num_rows());
   const double overall_outcome = static_cast<double>(options.k) / n;
-  const size_t min_count = static_cast<size_t>(
-      std::ceil(options.min_support * n));
+  const size_t min_count =
+      static_cast<size_t>(std::ceil(options.min_support * n));
 
   std::vector<DivergentGroup> out;
-  std::vector<Pattern> stack;
-  AppendChildren(Pattern::Empty(space.num_attributes()), space, stack);
-  while (!stack.empty()) {
-    Pattern p = std::move(stack.back());
-    stack.pop_back();
-    const size_t size = index.PatternCount(p);
-    if (size < min_count) continue;  // support is anti-monotone
-    const size_t top_k =
-        index.TopKCount(p, static_cast<size_t>(options.k));
+  // Support pruning is anti-monotone, so the engine's size threshold
+  // implements it; the visitor scores every substantial pattern and
+  // always descends.
+  auto score = [&](const Pattern& p, size_t size, size_t top_k) {
     DivergentGroup group;
     group.pattern = p;
     group.size = size;
@@ -40,12 +35,18 @@ Result<std::vector<DivergentGroup>> FindDivergentGroups(
     // Welch t-statistic over Bernoulli outcomes: variance o(1-o).
     const double var_g = group.outcome * (1.0 - group.outcome);
     const double var_d = overall_outcome * (1.0 - overall_outcome);
-    const double se2 =
-        var_g / static_cast<double>(size) + var_d / n;
+    const double se2 = var_g / static_cast<double>(size) + var_d / n;
     group.t_statistic = se2 > 0.0 ? group.divergence / std::sqrt(se2) : 0.0;
     out.push_back(std::move(group));
-    AppendChildren(p, space, stack);
-  }
+    return true;
+  };
+  const int threshold =
+      min_count > static_cast<size_t>(std::numeric_limits<int>::max())
+          ? std::numeric_limits<int>::max()
+          : static_cast<int>(min_count);
+  const engine::SearchParams params{threshold,
+                                    static_cast<size_t>(options.k), 1};
+  engine::SequentialTopDown(index, params, score, nullptr);
 
   std::sort(out.begin(), out.end(),
             [](const DivergentGroup& a, const DivergentGroup& b) {

@@ -8,6 +8,21 @@ namespace fairtopk {
 namespace {
 constexpr size_t kWordBits = 64;
 
+/// Per-word popcount. With hardware support compiled in (-mpopcnt /
+/// x86-64-v2, or any AArch64), std::popcount is a single instruction;
+/// otherwise GCC lowers it to a libgcc CALL per word, which dominated
+/// the counting loops — so fall back to an inline SWAR popcount there.
+inline size_t PopCount(uint64_t w) {
+#if defined(__POPCNT__) || defined(__aarch64__)
+  return static_cast<size_t>(std::popcount(w));
+#else
+  w = w - ((w >> 1) & 0x5555555555555555ULL);
+  w = (w & 0x3333333333333333ULL) + ((w >> 2) & 0x3333333333333333ULL);
+  w = (w + (w >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  return static_cast<size_t>((w * 0x0101010101010101ULL) >> 56);
+#endif
+}
+
 size_t WordsFor(size_t num_bits) {
   return (num_bits + kWordBits - 1) / kWordBits;
 }
@@ -38,7 +53,7 @@ bool Bitset::Test(size_t pos) const {
 
 size_t Bitset::Count() const {
   size_t total = 0;
-  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  for (uint64_t w : words_) total += PopCount(w);
   return total;
 }
 
@@ -47,14 +62,36 @@ size_t Bitset::CountPrefix(size_t k) const {
   size_t total = 0;
   size_t full_words = k / kWordBits;
   for (size_t i = 0; i < full_words; ++i) {
-    total += static_cast<size_t>(std::popcount(words_[i]));
+    total += PopCount(words_[i]);
   }
   size_t rem = k % kWordBits;
   if (rem != 0) {
-    total += static_cast<size_t>(
-        std::popcount(words_[full_words] & PrefixMask(rem)));
+    total += PopCount(words_[full_words] & PrefixMask(rem));
   }
   return total;
+}
+
+void Bitset::Counts(size_t k, size_t* total, size_t* prefix) const {
+  assert(k <= num_bits_);
+  const size_t full_words = k / kWordBits;
+  const size_t rem = k % kWordBits;
+  size_t in_prefix = 0;
+  size_t all = 0;
+  for (size_t i = 0; i < full_words; ++i) {
+    const size_t c = PopCount(words_[i]);
+    in_prefix += c;
+    all += c;
+  }
+  if (rem != 0) {
+    const uint64_t w = words_[full_words];
+    in_prefix += PopCount(w & PrefixMask(rem));
+    all += PopCount(w);
+  }
+  for (size_t i = full_words + (rem != 0 ? 1 : 0); i < words_.size(); ++i) {
+    all += PopCount(words_[i]);
+  }
+  *total = all;
+  *prefix = in_prefix;
 }
 
 void Bitset::AndWith(const Bitset& other) {
@@ -71,7 +108,7 @@ size_t Bitset::AndCount(const Bitset& other) const {
   assert(num_bits_ == other.num_bits_);
   size_t total = 0;
   for (size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+    total += PopCount(words_[i] & other.words_[i]);
   }
   return total;
 }
@@ -82,14 +119,48 @@ size_t Bitset::AndCountPrefix(const Bitset& other, size_t k) const {
   size_t total = 0;
   size_t full_words = k / kWordBits;
   for (size_t i = 0; i < full_words; ++i) {
-    total += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+    total += PopCount(words_[i] & other.words_[i]);
   }
   size_t rem = k % kWordBits;
   if (rem != 0) {
-    total += static_cast<size_t>(std::popcount(
-        words_[full_words] & other.words_[full_words] & PrefixMask(rem)));
+    total += PopCount(words_[full_words] & other.words_[full_words] &
+                      PrefixMask(rem));
   }
   return total;
+}
+
+void Bitset::AndCounts(const Bitset& other, size_t k, size_t* total,
+                       size_t* prefix) const {
+  assert(num_bits_ == other.num_bits_);
+  assert(k <= num_bits_);
+  const size_t full_words = k / kWordBits;
+  const size_t rem = k % kWordBits;
+  size_t in_prefix = 0;
+  size_t all = 0;
+  for (size_t i = 0; i < full_words; ++i) {
+    const size_t c = PopCount(words_[i] & other.words_[i]);
+    in_prefix += c;
+    all += c;
+  }
+  if (rem != 0) {
+    const uint64_t w = words_[full_words] & other.words_[full_words];
+    in_prefix += PopCount(w & PrefixMask(rem));
+    all += PopCount(w);
+  }
+  for (size_t i = full_words + (rem != 0 ? 1 : 0); i < words_.size(); ++i) {
+    all += PopCount(words_[i] & other.words_[i]);
+  }
+  *total = all;
+  *prefix = in_prefix;
+}
+
+void Bitset::AssignAnd(const Bitset& a, const Bitset& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  num_bits_ = a.num_bits_;
+  words_.resize(a.words_.size());
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = a.words_[i] & b.words_[i];
+  }
 }
 
 }  // namespace fairtopk

@@ -35,6 +35,9 @@ class Bitset {
   /// Number of set bits among positions [0, k). Requires k <= num_bits().
   size_t CountPrefix(size_t k) const;
 
+  /// Count() and CountPrefix(k) in a single pass over the words.
+  void Counts(size_t k, size_t* total, size_t* prefix) const;
+
   /// In-place intersection with `other` (same size required).
   void AndWith(const Bitset& other);
 
@@ -47,6 +50,14 @@ class Bitset {
 
   /// Cardinality of (this AND other) over positions [0, k).
   size_t AndCountPrefix(const Bitset& other, size_t k) const;
+
+  /// AndCount(other) and AndCountPrefix(other, k) in a single pass —
+  /// the per-node primitive of the search engine's cursor.
+  void AndCounts(const Bitset& other, size_t k, size_t* total,
+                 size_t* prefix) const;
+
+  /// Overwrites this bitset with (a AND b); resizes to match.
+  void AssignAnd(const Bitset& a, const Bitset& b);
 
   /// Raw 64-bit words (unused high bits are zero).
   const std::vector<uint64_t>& words() const { return words_; }

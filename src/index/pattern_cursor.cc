@@ -1,0 +1,23 @@
+#include "index/pattern_cursor.h"
+
+namespace fairtopk {
+
+void PatternCursor::Push(size_t attr, int16_t value) {
+  if (frames_.size() <= depth_) frames_.emplace_back();
+  const Bitset& bits = index_->ValueBitset(attr, value);
+  if (depth_ == 0) {
+    frames_[0].CopyFrom(bits);
+  } else {
+    frames_[depth_].AssignAnd(frames_[depth_ - 1], bits);
+  }
+  ++depth_;
+}
+
+void PatternCursor::SeedFrom(const Pattern& p) {
+  Reset();
+  for (size_t a = 0; a < p.num_attributes(); ++a) {
+    if (p.IsSpecified(a)) Push(a, p.value(a));
+  }
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,79 @@
+// PatternCursor: the incremental-counting companion of BitmapIndex for
+// set-enumeration-tree traversals. A DFS over the search tree extends
+// the current pattern by one predicate at a time; the cursor carries the
+// parent's materialized intersection bitset down the stack so each child
+// node costs ONE fused AND+popcount pass against a single (attribute,
+// value) bitset, instead of re-intersecting all |p| predicate bitsets
+// from scratch (as BitmapIndex::PatternCount/TopKCount must for an
+// arbitrary pattern).
+//
+// Stack invariant: after Push(a1,v1)..Push(ad,vd), frame i-1 holds the
+// materialized intersection of the first i pushed predicate bitsets, so
+// the top frame is exactly the row set of the current pattern. Frames
+// are pooled and reused across Pop/Push cycles — steady-state traversal
+// performs no allocation.
+#ifndef FAIRTOPK_INDEX_PATTERN_CURSOR_H_
+#define FAIRTOPK_INDEX_PATTERN_CURSOR_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "index/bitmap_index.h"
+#include "index/bitset.h"
+#include "pattern/pattern.h"
+
+namespace fairtopk {
+
+/// Mutable per-traversal state; one cursor per worker thread. The
+/// referenced BitmapIndex must outlive the cursor and is only read.
+class PatternCursor {
+ public:
+  explicit PatternCursor(const BitmapIndex& index) : index_(&index) {}
+
+  /// Number of predicates currently materialized (0 = empty pattern).
+  size_t depth() const { return depth_; }
+
+  /// Child-count evaluations answered from a materialized parent frame
+  /// (each one replaced |p| full intersections with a single AND).
+  uint64_t reuse_hits() const { return reuse_hits_; }
+
+  /// Back to the empty pattern; pooled frames are kept.
+  void Reset() { depth_ = 0; }
+
+  /// s_D and s_Rk of (current pattern ∪ {attr = value}) in one pass.
+  void ChildCounts(size_t attr, int16_t value, size_t k, size_t* size_d,
+                   size_t* top_k) {
+    const Bitset& bits = index_->ValueBitset(attr, value);
+    if (depth_ == 0) {
+      bits.Counts(k, size_d, top_k);
+      return;
+    }
+    ++reuse_hits_;
+    frames_[depth_ - 1].AndCounts(bits, k, size_d, top_k);
+  }
+
+  /// Descends into the child: materializes parent ∩ bitset(attr, value)
+  /// as the new top frame.
+  void Push(size_t attr, int16_t value);
+
+  /// Ascends to the parent frame.
+  void Pop() {
+    assert(depth_ > 0);
+    --depth_;
+  }
+
+  /// Resets, then pushes every predicate of `p` (used to resume a
+  /// search below an interior node).
+  void SeedFrom(const Pattern& p);
+
+ private:
+  const BitmapIndex* index_;
+  size_t depth_ = 0;
+  uint64_t reuse_hits_ = 0;
+  std::vector<Bitset> frames_;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_INDEX_PATTERN_CURSOR_H_

@@ -81,20 +81,6 @@ int Pattern::MaxSpecifiedIndex() const {
   return -1;
 }
 
-bool Pattern::Subsumes(const Pattern& other) const {
-  if (values_.size() != other.values_.size()) return false;
-  for (size_t i = 0; i < values_.size(); ++i) {
-    if (values_[i] != kUnspecified && values_[i] != other.values_[i]) {
-      return false;
-    }
-  }
-  return true;
-}
-
-bool Pattern::IsProperAncestorOf(const Pattern& other) const {
-  return Subsumes(other) && !(*this == other);
-}
-
 std::string Pattern::ToString(const PatternSpace& space) const {
   std::string out = "{";
   bool first = true;

@@ -94,6 +94,12 @@ class Pattern {
   /// True iff no attribute is assigned.
   bool IsEmpty() const { return NumSpecified() == 0; }
 
+  /// In-place assignment of attribute `i` (kUnspecified to clear).
+  /// Hot-path mutator for the search driver, which walks one Pattern up
+  /// and down the DFS stack instead of copying per node; everywhere
+  /// else prefer the immutable With/Without.
+  void SetValue(size_t i, int16_t code) { values_[i] = code; }
+
   /// Copy of this pattern with attribute `i` set to `code`.
   Pattern With(size_t i, int16_t code) const;
 
@@ -106,11 +112,37 @@ class Pattern {
 
   /// True iff every assignment of this pattern appears in `other`
   /// (non-strict subset: p ⊆ other). The empty pattern subsumes all.
-  bool Subsumes(const Pattern& other) const;
+  /// Inline: result-set maintenance calls this millions of times per
+  /// search, so it must not cost a cross-TU function call.
+  bool Subsumes(const Pattern& other) const {
+    const size_t n = values_.size();
+    if (n != other.values_.size()) return false;
+    const int16_t* a = values_.data();
+    const int16_t* b = other.values_.data();
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] != kUnspecified && a[i] != b[i]) return false;
+    }
+    return true;
+  }
 
   /// True iff this pattern is a proper ancestor of `other` in the
-  /// pattern graph (p ⊊ other).
-  bool IsProperAncestorOf(const Pattern& other) const;
+  /// pattern graph (p ⊊ other). Single fused pass (no separate
+  /// equality comparison).
+  bool IsProperAncestorOf(const Pattern& other) const {
+    const size_t n = values_.size();
+    if (n != other.values_.size()) return false;
+    const int16_t* a = values_.data();
+    const int16_t* b = other.values_.data();
+    bool strict = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] == kUnspecified) {
+        strict |= b[i] != kUnspecified;
+      } else if (a[i] != b[i]) {
+        return false;
+      }
+    }
+    return strict;
+  }
 
   /// Renders the pattern as "{Attr=val, ...}" using `space` for names
   /// and labels; the empty pattern renders as "{}".

@@ -10,6 +10,7 @@ UpdateOutcome MostGeneralResultSet::Update(const Pattern& p) {
     if (q.Subsumes(p)) {
       // q == p (already present) or q is a proper ancestor: p is not
       // most general, reject.
+      outcome.duplicate = q == p;
       return outcome;
     }
   }
@@ -52,6 +53,7 @@ UpdateOutcome MostSpecificResultSet::Update(const Pattern& p) {
   for (const Pattern& q : patterns_) {
     if (p.Subsumes(q)) {
       // q == p or q is more specific than p: p adds no information.
+      outcome.duplicate = q == p;
       return outcome;
     }
   }

@@ -14,6 +14,10 @@ namespace fairtopk {
 /// Outcome of a result-set update.
 struct UpdateOutcome {
   bool inserted = false;
+  /// Set when the rejection was caused by an identical member (as
+  /// opposed to a proper ancestor/descendant already covering `p`) —
+  /// lets report loops classify rejects without a second scan.
+  bool duplicate = false;
   /// Members evicted to keep the invariant (descendants of the inserted
   /// pattern for the most-general set; ancestors for most-specific).
   std::vector<Pattern> evicted;

@@ -37,6 +37,7 @@ std::string DetectionResultToJson(const DetectionResult& result,
   w.Key("k_max").Int(result.k_max());
   w.Key("stats").BeginObject();
   w.Key("nodes_visited").Uint(result.stats().nodes_visited);
+  w.Key("cursor_reuse_hits").Uint(result.stats().cursor_reuse_hits);
   w.Key("seconds").Double(result.stats().seconds);
   w.EndObject();
   w.Key("results").BeginArray();

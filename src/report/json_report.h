@@ -25,7 +25,8 @@ struct ReportContext {
 /// {
 ///   "dataset": ..., "measure": ..., "algorithm": ...,
 ///   "k_min": int, "k_max": int,
-///   "stats": {"nodes_visited": int, "seconds": double},
+///   "stats": {"nodes_visited": int, "cursor_reuse_hits": int,
+///             "seconds": double},
 ///   "results": [
 ///     {"k": int, "groups": [
 ///        {"pattern": {"Attr": "value", ...},

@@ -8,6 +8,7 @@
 #include "detect/global_bounds.h"
 #include "detect/itertd.h"
 #include "detect/prop_bounds.h"
+#include "detect/upper_bounds.h"
 #include "test_util.h"
 
 namespace fairtopk {
@@ -138,6 +139,51 @@ TEST_P(EquivalenceTest, IterTDMatchesBruteForceOracle) {
           return 0.8 * static_cast<double>(size_d) * k / n;
         });
     ASSERT_EQ(prop->AtK(k), prop_oracle) << "prop k=" << k;
+  }
+}
+
+// Pins the engine-backed optimized algorithms directly against the
+// brute-force oracles (not just against ITERTD): the incremental
+// GLOBALBOUNDS/PROPBOUNDS state and the exhaustive most-specific
+// upper-bound search must all land on the oracle sets.
+TEST_P(EquivalenceTest, EngineMatchesBruteForceOracle) {
+  const PropertyCase& c = GetParam();
+  if (c.attrs > 4) GTEST_SKIP() << "oracle too slow for this space";
+  Table table = testing::RandomTable(c.rows, c.attrs, c.domains, c.seed * 17);
+  auto input = DetectionInput::PrepareWithRanking(
+      table, testing::RandomRanking(c.rows, c.seed * 17));
+  ASSERT_TRUE(input.ok());
+  const double n = static_cast<double>(c.rows);
+  DetectionConfig config{c.k_min, c.k_max, c.tau};
+
+  GlobalBoundSpec gbounds;
+  const double lower = 0.25 * c.k_min + 2.0;
+  gbounds.lower = StepFunction::Constant(lower);
+  const double upper = 0.6 * c.k_min + 1.0;
+  gbounds.upper = StepFunction::Constant(upper);
+  auto global = DetectGlobalBounds(*input, gbounds, config);
+  ASSERT_TRUE(global.ok());
+  auto global_upper = DetectGlobalUpperBounds(*input, gbounds, config);
+  ASSERT_TRUE(global_upper.ok());
+
+  PropBoundSpec pbounds;
+  pbounds.alpha = 0.75;
+  auto prop = DetectPropBounds(*input, pbounds, config);
+  ASSERT_TRUE(prop.ok());
+
+  for (int k : {c.k_min, (c.k_min + c.k_max) / 2, c.k_max}) {
+    auto global_oracle = testing::BruteForceMostGeneralBiased(
+        input->index(), c.tau, k, [lower](size_t) { return lower; });
+    ASSERT_EQ(global->AtK(k), global_oracle) << "global-bounds k=" << k;
+    auto prop_oracle = testing::BruteForceMostGeneralBiased(
+        input->index(), c.tau, k, [&](size_t size_d) {
+          return pbounds.LowerAt(static_cast<int>(size_d), k,
+                                 static_cast<size_t>(n));
+        });
+    ASSERT_EQ(prop->AtK(k), prop_oracle) << "prop-bounds k=" << k;
+    auto upper_oracle = testing::BruteForceMostSpecificViolators(
+        input->index(), c.tau, k, [upper](size_t) { return upper; });
+    ASSERT_EQ(global_upper->AtK(k), upper_oracle) << "upper-bounds k=" << k;
   }
 }
 

@@ -1,0 +1,109 @@
+// Unit tests for PatternCursor: child counts through the materialized
+// parent intersection must equal the from-scratch BitmapIndex counts at
+// every depth, across push/pop cycles and re-seeding.
+#include "index/pattern_cursor.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/detection_result.h"
+#include "test_util.h"
+
+namespace fairtopk {
+namespace {
+
+DetectionInput RandomInput(uint64_t seed) {
+  Table table = testing::RandomTable(120, 4, {2, 3, 4}, seed);
+  auto input = DetectionInput::PrepareWithRanking(
+      table, testing::RandomRanking(120, seed));
+  EXPECT_TRUE(input.ok());
+  return std::move(input).value();
+}
+
+TEST(PatternCursorTest, RootChildCountsMatchIndex) {
+  DetectionInput input = RandomInput(3);
+  const BitmapIndex& index = input.index();
+  PatternCursor cursor(index);
+  const size_t k = 25;
+  for (size_t a = 0; a < input.space().num_attributes(); ++a) {
+    for (int16_t v = 0; v < input.space().domain_size(a); ++v) {
+      size_t size_d = 0;
+      size_t top_k = 0;
+      cursor.ChildCounts(a, v, k, &size_d, &top_k);
+      Pattern p = testing::PatternOf(input.space().num_attributes(),
+                                     {{a, v}});
+      EXPECT_EQ(size_d, index.PatternCount(p));
+      EXPECT_EQ(top_k, index.TopKCount(p, k));
+    }
+  }
+  // Depth-0 evaluations never reuse a parent frame.
+  EXPECT_EQ(cursor.reuse_hits(), 0u);
+}
+
+TEST(PatternCursorTest, DeepChildCountsMatchIndexAcrossPushPop) {
+  DetectionInput input = RandomInput(7);
+  const BitmapIndex& index = input.index();
+  const size_t attrs = input.space().num_attributes();
+  PatternCursor cursor(index);
+  const size_t k = 40;
+
+  // Walk a fixed path, checking every sibling at every depth.
+  Pattern path = Pattern::Empty(attrs);
+  std::vector<std::pair<size_t, int16_t>> steps = {{0, 1}, {1, 2}, {2, 0}};
+  uint64_t expected_hits = 0;
+  for (size_t depth = 0; depth < steps.size(); ++depth) {
+    for (size_t j = 0; j < attrs; ++j) {
+      if (path.IsSpecified(j)) continue;
+      for (int16_t v = 0; v < input.space().domain_size(j); ++v) {
+        size_t size_d = 0;
+        size_t top_k = 0;
+        cursor.ChildCounts(j, v, k, &size_d, &top_k);
+        if (cursor.depth() > 0) ++expected_hits;
+        Pattern child = path.With(j, v);
+        EXPECT_EQ(size_d, index.PatternCount(child))
+            << child.ToString(input.space());
+        EXPECT_EQ(top_k, index.TopKCount(child, k))
+            << child.ToString(input.space());
+      }
+    }
+    auto [attr, value] = steps[depth];
+    cursor.Push(attr, value);
+    path = path.With(attr, value);
+  }
+  EXPECT_EQ(cursor.reuse_hits(), expected_hits);
+
+  // Pop back up and re-verify a sibling at depth 1.
+  cursor.Pop();
+  cursor.Pop();
+  ASSERT_EQ(cursor.depth(), 1u);
+  size_t size_d = 0;
+  size_t top_k = 0;
+  cursor.ChildCounts(3, 0, k, &size_d, &top_k);
+  Pattern sibling =
+      testing::PatternOf(attrs, {{0, 1}, {3, 0}});
+  EXPECT_EQ(size_d, index.PatternCount(sibling));
+  EXPECT_EQ(top_k, index.TopKCount(sibling, k));
+}
+
+TEST(PatternCursorTest, SeedFromMatchesManualPushes) {
+  DetectionInput input = RandomInput(11);
+  const BitmapIndex& index = input.index();
+  const size_t attrs = input.space().num_attributes();
+  Pattern from = testing::PatternOf(attrs, {{1, 0}, {3, 1}});
+  PatternCursor cursor(index);
+  cursor.SeedFrom(from);
+  EXPECT_EQ(cursor.depth(), 2u);
+  const size_t k = 30;
+  size_t size_d = 0;
+  size_t top_k = 0;
+  cursor.ChildCounts(2, 1, k, &size_d, &top_k);
+  Pattern child = from.With(2, 1);
+  EXPECT_EQ(size_d, index.PatternCount(child));
+  EXPECT_EQ(top_k, index.TopKCount(child, k));
+
+  // Re-seeding resets the stack (pooled frames are reused).
+  cursor.SeedFrom(Pattern::Empty(attrs));
+  EXPECT_EQ(cursor.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace fairtopk

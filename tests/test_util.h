@@ -117,6 +117,37 @@ std::vector<Pattern> BruteForceMostGeneralBiased(const BitmapIndex& index,
   return most_general;
 }
 
+/// Brute-force oracle for the upper-bound problems: the set of most
+/// specific patterns with size >= `size_threshold` whose top-k count is
+/// strictly above `upper_bound(size_in_d)`. Sorted.
+template <typename BoundFn>
+std::vector<Pattern> BruteForceMostSpecificViolators(
+    const BitmapIndex& index, int size_threshold, int k,
+    const BoundFn& upper_bound) {
+  std::vector<Pattern> violators;
+  for (const Pattern& p : AllPatterns(index.space())) {
+    const size_t size_d = index.PatternCount(p);
+    if (size_d < static_cast<size_t>(size_threshold)) continue;
+    const size_t top_k = index.TopKCount(p, static_cast<size_t>(k));
+    if (static_cast<double>(top_k) > upper_bound(size_d)) {
+      violators.push_back(p);
+    }
+  }
+  std::vector<Pattern> most_specific;
+  for (const Pattern& p : violators) {
+    bool has_descendant = false;
+    for (const Pattern& q : violators) {
+      if (p.IsProperAncestorOf(q)) {
+        has_descendant = true;
+        break;
+      }
+    }
+    if (!has_descendant) most_specific.push_back(p);
+  }
+  std::sort(most_specific.begin(), most_specific.end());
+  return most_specific;
+}
+
 }  // namespace fairtopk::testing
 
 #endif  // FAIRTOPK_TESTS_TEST_UTIL_H_

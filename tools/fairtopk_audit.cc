@@ -21,6 +21,9 @@
 //                          (default 0.5: L_k = 0.5k staircase)
 //   --kmin K --kmax K      rank range (default 10..49, clamped to |D|)
 //   --tau N                group size threshold (default 5% of rows)
+//   --threads N            worker threads for the top-down searches
+//                          (default 1; 0 = hardware concurrency;
+//                          results are identical for every value)
 //   --bins N               buckets per numeric attribute (default 4)
 //   --drop col1,col2       columns to ignore (ids, names, ...)
 //   --suggest              calibrate bounds automatically
@@ -34,6 +37,7 @@
 //                          the re-ranked table to PATH as CSV
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -64,6 +68,7 @@ struct Args {
   int k_min = 10;
   int k_max = 49;
   int tau = 0;  // 0 = 5% of rows
+  int threads = 1;
   int bins = 4;
   std::vector<std::string> drop;
   bool suggest = false;
@@ -117,6 +122,21 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       const char* v = next("--tau");
       if (v == nullptr) return false;
       args.tau = std::atoi(v);
+    } else if (flag == "--threads") {
+      const char* v = next("--threads");
+      if (v == nullptr) return false;
+      // Strict parse: 0 means "hardware concurrency", so an atoi-style
+      // silent 0 on a typo would select maximal parallelism.
+      char* end = nullptr;
+      const long threads = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || threads < 0 || threads > 4096) {
+        std::fprintf(stderr,
+                     "--threads must be a non-negative integer "
+                     "(0 = hardware concurrency), got '%s'\n",
+                     v);
+        return false;
+      }
+      args.threads = static_cast<int>(threads);
     } else if (flag == "--bins") {
       const char* v = next("--bins");
       if (v == nullptr) return false;
@@ -147,7 +167,8 @@ bool ParseArgs(int argc, char** argv, Args& args) {
   if (args.csv.empty() || args.rank_by.empty()) {
     std::fprintf(stderr,
                  "usage: fairtopk_audit --csv data.csv --rank-by column "
-                 "[--measure global|prop] [--json] [--explain] ...\n");
+                 "[--measure global|prop] [--threads N] [--json] "
+                 "[--explain] ...\n");
     return false;
   }
   if (args.measure != "global" && args.measure != "prop") {
@@ -244,6 +265,7 @@ int RunAudit(const Args& args) {
   if (config.k_min > config.k_max) config.k_min = 1;
   config.size_threshold =
       args.tau > 0 ? args.tau : std::max(2, n / 20);
+  config.num_threads = args.threads;
 
   GlobalBoundSpec gbounds;
   {
