@@ -39,12 +39,14 @@ cmake --build build-ci-asan -j "${JOBS}"
 echo "== stage 3: TSan (multi-threaded detection) =="
 rm -rf build-ci-tsan
 # The detection suites cover the search engine's sharded parallelism;
-# parallel_equivalence_test runs every algorithm with num_threads > 1.
+# parallel_equivalence_test runs every algorithm with num_threads > 1,
+# and the service suites (audit_session, session_equivalence) drive
+# multi-threaded queries through the session layer.
 cmake -B build-ci-tsan -S . ${GENERATOR} -DFAIRTOPK_SANITIZE=thread \
   -DFAIRTOPK_BUILD_BENCHES=OFF -DFAIRTOPK_BUILD_EXAMPLES=OFF \
   -DFAIRTOPK_BUILD_TOOLS=OFF
 cmake --build build-ci-tsan -j "${JOBS}"
 (cd build-ci-tsan && ctest --output-on-failure -j "${JOBS}" \
-  -R 'parallel_equivalence|topdown|global_bounds|prop_bounds|upper_bounds|variants|pattern_cursor')
+  -R 'parallel_equivalence|session_equivalence|audit_session|topdown|global_bounds|prop_bounds|upper_bounds|variants|pattern_cursor')
 
 echo "== ci.sh: all green =="

@@ -1,5 +1,7 @@
 #include "detect/bounds.h"
 
+#include <algorithm>
+
 namespace fairtopk {
 
 StepFunction StepFunction::Constant(double value) {
@@ -49,6 +51,23 @@ GlobalBoundSpec GlobalBoundSpec::PaperDefault(int k_max) {
   GlobalBoundSpec spec;
   // Construction above guarantees strictly increasing starts.
   spec.lower = *StepFunction::FromSteps(std::move(steps));
+  return spec;
+}
+
+Result<GlobalBoundSpec> GlobalBoundSpec::FractionStaircase(double fraction,
+                                                           int k_min,
+                                                           int k_max) {
+  std::vector<std::pair<int, double>> steps;
+  for (int start = std::min(k_min, 10); start <= k_max; start += 10) {
+    steps.emplace_back(start, std::max(1.0, fraction * start));
+  }
+  if (steps.empty()) {
+    steps.emplace_back(k_min, fraction * k_min);
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(StepFunction staircase,
+                            StepFunction::FromSteps(std::move(steps)));
+  GlobalBoundSpec spec;
+  spec.lower = staircase;
   return spec;
 }
 

@@ -39,6 +39,11 @@ class StepFunction {
   /// True iff At(k) == At(k-1) — i.e. no step boundary at k.
   bool SameAsPrevious(int k) const { return At(k) == At(k - 1); }
 
+  /// The (start_k, value) steps, ascending by start. Exposed so the
+  /// serving layer can serialize bounds into cache keys and JSON
+  /// responses.
+  const std::vector<std::pair<int, double>>& steps() const { return steps_; }
+
  private:
   std::vector<std::pair<int, double>> steps_;
 };
@@ -55,6 +60,12 @@ struct GlobalBoundSpec {
   /// [30,40), [40,50); beyond 50 the staircase keeps climbing by 10
   /// every 10 ranks so larger k ranges (Figures 8-9) stay meaningful.
   static GlobalBoundSpec PaperDefault(int k_max);
+
+  /// Lower staircase L_k = max(1, fraction * start) with steps every 10
+  /// ranks across [k_min, k_max] — the `--lower` semantics shared by
+  /// fairtopk_audit and fairtopk_serve.
+  static Result<GlobalBoundSpec> FractionStaircase(double fraction, int k_min,
+                                                   int k_max);
 };
 
 /// Bounds for the proportional-representation problem (Problem 3.2).

@@ -44,6 +44,45 @@ Result<DetectionInput> DetectionInput::PrepareWithRanking(
   return DetectionInput(std::move(index), std::move(ranking));
 }
 
+Status DetectionInput::UpdateRanking(const Table& table,
+                                     std::vector<uint32_t> new_ranking,
+                                     double rebuild_threshold,
+                                     MaintenanceOutcome* outcome) {
+  const size_t n = new_ranking.size();
+  MaintenanceOutcome local;
+  size_t lo = 0;
+  const size_t shared = std::min(ranking_.size(), n);
+  while (lo < shared && ranking_[lo] == new_ranking[lo]) ++lo;
+  if (lo == n && n == ranking_.size()) {
+    if (outcome != nullptr) *outcome = local;
+    return Status::OK();
+  }
+  local.window = n - lo;
+  // The decision weighs the positions that actually changed, not the
+  // window span: scattered local moves leave most positions inside the
+  // window pointwise identical, and patching skips those for one
+  // row-id compare each.
+  size_t changed = n - shared;
+  for (size_t pos = lo; pos < shared; ++pos) {
+    changed += ranking_[pos] != new_ranking[pos] ? 1 : 0;
+  }
+  if (static_cast<double>(changed) >
+      rebuild_threshold * static_cast<double>(n)) {
+    FAIRTOPK_ASSIGN_OR_RETURN(
+        BitmapIndex rebuilt,
+        BitmapIndex::Build(table, index_.space(), new_ranking));
+    index_ = std::move(rebuilt);
+    local.kind = Maintenance::kRebuilt;
+  } else {
+    FAIRTOPK_RETURN_IF_ERROR(index_.ApplyRanking(
+        table, new_ranking, &local.patched_positions));
+    local.kind = Maintenance::kPatched;
+  }
+  ranking_ = std::move(new_ranking);
+  if (outcome != nullptr) *outcome = local;
+  return Status::OK();
+}
+
 Status DetectionInput::ValidateConfig(const DetectionConfig& config) const {
   if (config.k_min < 1) {
     return Status::InvalidArgument("k_min must be at least 1");

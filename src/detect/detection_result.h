@@ -38,16 +38,25 @@ struct DetectionStats {
   /// the search engine's PatternCursor: each hit cost one single-bitset
   /// AND instead of |p| full intersections.
   uint64_t cursor_reuse_hits = 0;
-  /// Wall-clock seconds spent inside the algorithm.
+  /// Elapsed wall-clock seconds of the algorithm, set once by the
+  /// owning entry point. Deliberately NOT accumulated by Merge():
+  /// summing per-worker elapsed times would report N overlapping
+  /// workers as N× the real latency.
   double seconds = 0.0;
+  /// Summed busy time across workers (per-worker elapsed seconds inside
+  /// the engine's searches, added up on merge). At most `seconds` for
+  /// sequential runs; may exceed it under num_threads > 1, where
+  /// cpu_seconds / seconds approximates the effective parallelism.
+  double cpu_seconds = 0.0;
 
   /// Accumulates another worker's counters. Parallel searches give each
   /// worker its own DetectionStats and merge on join; workers never
-  /// share a mutable counter.
+  /// share a mutable counter. Wall-clock `seconds` is owned by the
+  /// merged result and left untouched.
   void Merge(const DetectionStats& other) {
     nodes_visited += other.nodes_visited;
     cursor_reuse_hits += other.cursor_reuse_hits;
-    seconds += other.seconds;
+    cpu_seconds += other.cpu_seconds;
   }
 };
 
@@ -110,6 +119,33 @@ class DetectionInput {
 
   /// Checks k range and threshold against this input.
   Status ValidateConfig(const DetectionConfig& config) const;
+
+  /// How UpdateRanking maintained the index.
+  enum class Maintenance {
+    kNoop,     ///< new ranking identical to the current one
+    kPatched,  ///< suffix patched in place (BitmapIndex::ApplyRanking)
+    kRebuilt,  ///< diff window exceeded the threshold; built from scratch
+  };
+
+  /// Outcome details of one UpdateRanking call.
+  struct MaintenanceOutcome {
+    Maintenance kind = Maintenance::kNoop;
+    /// Rank positions in the diff window [first-divergence, n).
+    size_t window = 0;
+    /// Positions actually rewritten (kPatched only).
+    size_t patched_positions = 0;
+  };
+
+  /// Re-targets this input at `new_ranking` over `table` (the original
+  /// table, optionally extended by appended rows — see
+  /// BitmapIndex::ApplyRanking for the contract). While the number of
+  /// rank positions whose row changed is at most `rebuild_threshold`
+  /// (a fraction of the new row count) the index is patched in place;
+  /// beyond it, patching would rewrite most positions anyway, so the
+  /// index is rebuilt from scratch. On error the input is unchanged.
+  Status UpdateRanking(const Table& table, std::vector<uint32_t> new_ranking,
+                       double rebuild_threshold,
+                       MaintenanceOutcome* outcome = nullptr);
 
  private:
   DetectionInput(BitmapIndex index, std::vector<uint32_t> ranking)

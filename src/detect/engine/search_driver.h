@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/timer.h"
 #include "detect/detection_result.h"
 #include "index/bitmap_index.h"
 #include "index/pattern_cursor.h"
@@ -118,6 +119,7 @@ inline bool RunsSequentially(const SearchParams& params) {
 template <typename Visitor>
 void SequentialTopDown(const BitmapIndex& index, const SearchParams& params,
                        Visitor& visitor, DetectionStats* stats) {
+  WallTimer timer;
   PatternCursor cursor(index);
   Pattern node = Pattern::Empty(index.space().num_attributes());
   uint64_t visited = 0;
@@ -125,6 +127,7 @@ void SequentialTopDown(const BitmapIndex& index, const SearchParams& params,
   if (stats != nullptr) {
     stats->nodes_visited += visited;
     stats->cursor_reuse_hits += cursor.reuse_hits();
+    stats->cpu_seconds += timer.ElapsedSeconds();
   }
 }
 
@@ -165,6 +168,7 @@ void ShardedTopDown(const BitmapIndex& index, const SearchParams& params,
   std::vector<DetectionStats> worker_stats(static_cast<size_t>(threads));
   std::atomic<size_t> next{0};
   auto worker = [&](size_t w) {
+    WallTimer timer;
     PatternCursor cursor(index);
     Pattern node = Pattern::Empty(space.num_attributes());
     DetectionStats& ws = worker_stats[w];
@@ -187,6 +191,9 @@ void ShardedTopDown(const BitmapIndex& index, const SearchParams& params,
       node.SetValue(b.attr, Pattern::kUnspecified);
     }
     ws.cursor_reuse_hits = cursor.reuse_hits();
+    // Per-worker busy time; Merge() folds these into cpu_seconds (and
+    // never into the wall-clock `seconds`, which the entry point owns).
+    ws.cpu_seconds = timer.ElapsedSeconds();
   };
 
   std::vector<std::thread> pool;

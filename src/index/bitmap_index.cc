@@ -1,6 +1,7 @@
 #include "index/bitmap_index.h"
 
 #include <algorithm>
+#include <cstddef>
 
 namespace fairtopk {
 
@@ -54,6 +55,102 @@ Result<BitmapIndex> BitmapIndex::Build(const Table& table,
     }
   }
   return index;
+}
+
+Status BitmapIndex::ApplyRanking(const Table& table,
+                                 const std::vector<uint32_t>& new_ranking,
+                                 size_t* patched_positions) {
+  const size_t old_n = num_rows_;
+  const size_t n = table.num_rows();
+  if (n < old_n) {
+    return Status::InvalidArgument("table shrank under the index");
+  }
+  if (new_ranking.size() != n) {
+    return Status::InvalidArgument(
+        "new ranking has " + std::to_string(new_ranking.size()) +
+        " entries for a table of " + std::to_string(n) + " rows");
+  }
+
+  // The unchanged prefix needs no validation and no patching: the old
+  // ranking was a permutation and those positions keep their rows.
+  size_t lo = 0;
+  while (lo < old_n && ranking_[lo] == new_ranking[lo]) ++lo;
+  if (lo == n) {
+    if (patched_positions != nullptr) *patched_positions = 0;
+    return Status::OK();
+  }
+
+  // The suffix must be a rearrangement of the displaced old suffix plus
+  // the appended row ids. Mark-and-consume check: every expected row is
+  // flagged once, every new-suffix row must consume a flag. The two
+  // windows have equal length, so full consumption is implied — linear
+  // time, no sorting.
+  {
+    std::vector<uint8_t> expected(n, 0);
+    for (size_t pos = lo; pos < old_n; ++pos) expected[ranking_[pos]] = 1;
+    for (size_t row = old_n; row < n; ++row) expected[row] = 1;
+    for (size_t pos = lo; pos < n; ++pos) {
+      const uint32_t row = new_ranking[pos];
+      if (row >= n || expected[row] == 0) {
+        return Status::InvalidArgument(
+            "new ranking is not a rearrangement of the indexed rows");
+      }
+      expected[row] = 0;
+    }
+  }
+  // Appended rows are the only ones that can carry codes the index has
+  // never seen; validate them before any mutation so a failure leaves
+  // the index intact.
+  for (size_t a = 0; a < space_.num_attributes(); ++a) {
+    const size_t table_col = space_.table_index(a);
+    const int domain = space_.domain_size(a);
+    for (size_t row = old_n; row < n; ++row) {
+      const int16_t code = table.CodeAt(row, table_col);
+      if (code < 0 || code >= domain) {
+        return Status::OutOfRange(
+            "appended row code outside pattern-space domain");
+      }
+    }
+  }
+
+  if (n > old_n) {
+    for (size_t a = 0; a < space_.num_attributes(); ++a) {
+      for (Bitset& bits : value_bits_[a]) bits.Resize(n);
+      rank_codes_[a].resize(n);
+    }
+    ranking_.resize(n);
+    num_rows_ = n;
+  }
+
+  // Collect the positions whose row changed, then patch attribute by
+  // attribute: each sweep stays inside one table column, one
+  // rank_codes row, and one attribute's handful of bitsets, so the
+  // random accesses hit warm cache lines instead of striding across
+  // every column per position.
+  std::vector<uint32_t> changed;
+  for (size_t pos = lo; pos < n; ++pos) {
+    if (pos >= old_n || ranking_[pos] != new_ranking[pos]) {
+      changed.push_back(static_cast<uint32_t>(pos));
+    }
+  }
+  for (size_t a = 0; a < space_.num_attributes(); ++a) {
+    const size_t table_col = space_.table_index(a);
+    std::vector<int16_t>& codes = rank_codes_[a];
+    std::vector<Bitset>& bits = value_bits_[a];
+    for (const uint32_t pos : changed) {
+      const int16_t code = table.CodeAt(new_ranking[pos], table_col);
+      if (pos < old_n) {
+        const int16_t old_code = codes[pos];
+        if (old_code == code) continue;
+        bits[static_cast<size_t>(old_code)].Clear(pos);
+      }
+      bits[static_cast<size_t>(code)].Set(pos);
+      codes[pos] = code;
+    }
+  }
+  for (const uint32_t pos : changed) ranking_[pos] = new_ranking[pos];
+  if (patched_positions != nullptr) *patched_positions = changed.size();
+  return Status::OK();
 }
 
 bool BitmapIndex::IntersectInto(const Pattern& p, Bitset& scratch) const {

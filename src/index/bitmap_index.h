@@ -23,7 +23,10 @@
 
 namespace fairtopk {
 
-/// Immutable counting index for one (table, ranking, pattern space).
+/// Counting index for one (table, ranking, pattern space). Immutable
+/// from the detection algorithms' point of view; the serving layer may
+/// patch it in place through ApplyRanking when the ranking churns (see
+/// src/service/audit_session.h).
 class BitmapIndex {
  public:
   /// Builds the index. `ranking` must be a permutation of row ids
@@ -32,6 +35,23 @@ class BitmapIndex {
   static Result<BitmapIndex> Build(const Table& table,
                                    const PatternSpace& space,
                                    const std::vector<uint32_t>& ranking);
+
+  /// Re-targets the index at `new_ranking` by patching only the suffix
+  /// of rank positions where the old and new permutations differ,
+  /// instead of rebuilding: for each changed position, the per-value
+  /// bitsets get one Clear + one Set per attribute whose code changed.
+  /// `table` must be the table this index was built from, optionally
+  /// extended by appended rows (it may not shrink, and pre-existing
+  /// rows may not change); appended rows must stay within the pattern
+  /// space's domains. `new_ranking` must be a permutation of
+  /// [0, table.num_rows()) that agrees with the current ranking on the
+  /// unchanged prefix — the rearranged suffix is validated here, in
+  /// time proportional to its length. On success `patched_positions`
+  /// (if non-null) receives the number of rank positions rewritten; on
+  /// error the index is unchanged.
+  Status ApplyRanking(const Table& table,
+                      const std::vector<uint32_t>& new_ranking,
+                      size_t* patched_positions = nullptr);
 
   /// Number of tuples (|D|).
   size_t num_rows() const { return num_rows_; }

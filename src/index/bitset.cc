@@ -104,6 +104,17 @@ void Bitset::CopyFrom(const Bitset& other) {
   words_ = other.words_;
 }
 
+void Bitset::Resize(size_t num_bits) {
+  words_.resize(WordsFor(num_bits), 0);
+  num_bits_ = num_bits;
+  // Zero the now-unused high bits of the last word so Count() and the
+  // AND-based primitives stay exact after a shrink.
+  const size_t rem = num_bits_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= PrefixMask(rem);
+  }
+}
+
 size_t Bitset::AndCount(const Bitset& other) const {
   assert(num_bits_ == other.num_bits_);
   size_t total = 0;

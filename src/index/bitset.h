@@ -45,6 +45,12 @@ class Bitset {
   /// re-sized to match).
   void CopyFrom(const Bitset& other);
 
+  /// Changes the size to `num_bits`, preserving the common prefix.
+  /// Grown positions are zero; on shrink, bits beyond the new size are
+  /// discarded (counts stay consistent). Used by the session layer when
+  /// appended rows extend the rank-ordered index.
+  void Resize(size_t num_bits);
+
   /// Cardinality of (this AND other) without materializing it.
   size_t AndCount(const Bitset& other) const;
 

@@ -39,6 +39,7 @@ std::string DetectionResultToJson(const DetectionResult& result,
   w.Key("nodes_visited").Uint(result.stats().nodes_visited);
   w.Key("cursor_reuse_hits").Uint(result.stats().cursor_reuse_hits);
   w.Key("seconds").Double(result.stats().seconds);
+  w.Key("cpu_seconds").Double(result.stats().cpu_seconds);
   w.EndObject();
   w.Key("results").BeginArray();
   for (int k = result.k_min(); k <= result.k_max(); ++k) {

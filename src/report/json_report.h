@@ -26,7 +26,8 @@ struct ReportContext {
 ///   "dataset": ..., "measure": ..., "algorithm": ...,
 ///   "k_min": int, "k_max": int,
 ///   "stats": {"nodes_visited": int, "cursor_reuse_hits": int,
-///             "seconds": double},
+///             "seconds": double,      // elapsed wall-clock
+///             "cpu_seconds": double}, // summed per-worker busy time
 ///   "results": [
 ///     {"k": int, "groups": [
 ///        {"pattern": {"Attr": "value", ...},

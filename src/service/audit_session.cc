@@ -1,0 +1,557 @@
+#include "service/audit_session.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "detect/global_bounds.h"
+#include "detect/itertd.h"
+#include "detect/prop_bounds.h"
+#include "detect/upper_bounds.h"
+
+namespace fairtopk {
+
+namespace {
+
+/// Round-trippable double rendering for cache keys.
+std::string KeyDouble(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void AppendSteps(std::string& key, const StepFunction& f) {
+  for (const auto& [start, value] : f.steps()) {
+    key += std::to_string(start);
+    key += ':';
+    key += KeyDouble(value);
+    key += ',';
+  }
+}
+
+bool ScoreRanksBefore(const std::vector<double>& scores, bool ascending,
+                      uint32_t a, uint32_t b) {
+  const double sa = scores[a];
+  const double sb = scores[b];
+  if (sa != sb) return ascending ? sa < sb : sa > sb;
+  return a < b;
+}
+
+std::vector<uint32_t> SortByScore(const std::vector<double>& scores,
+                                  bool ascending) {
+  std::vector<uint32_t> ranking(scores.size());
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    ranking[i] = static_cast<uint32_t>(i);
+  }
+  std::sort(ranking.begin(), ranking.end(), [&](uint32_t a, uint32_t b) {
+    return ScoreRanksBefore(scores, ascending, a, b);
+  });
+  return ranking;
+}
+
+/// One (sort key, row) element of the incremental re-rank's merge
+/// buffers. Keys are negated for ascending sessions so larger always
+/// means earlier; ties break by row id — the same total order as
+/// ScoreRanksBefore.
+struct RankEntry {
+  double key;
+  uint32_t row;
+  bool Before(const RankEntry& other) const {
+    return key != other.key ? key > other.key : row < other.row;
+  }
+};
+
+/// Merges two Before-sorted runs, writing row ids to `rows_out` and
+/// keys to `keys_out` (both sized |a| + |b| by the caller).
+void MergeEntries(const std::vector<RankEntry>& a,
+                  const std::vector<RankEntry>& b, uint32_t* rows_out,
+                  double* keys_out) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const RankEntry& next = b[j].Before(a[i]) ? b[j++] : a[i++];
+    *rows_out++ = next.row;
+    *keys_out++ = next.key;
+  }
+  for (; i < a.size(); ++i) {
+    *rows_out++ = a[i].row;
+    *keys_out++ = a[i].key;
+  }
+  for (; j < b.size(); ++j) {
+    *rows_out++ = b[j].row;
+    *keys_out++ = b[j].key;
+  }
+}
+
+}  // namespace
+
+bool SessionDetectorIsGlobal(SessionDetector detector) {
+  switch (detector) {
+    case SessionDetector::kGlobalIterTD:
+    case SessionDetector::kGlobalBounds:
+    case SessionDetector::kGlobalUpper:
+      return true;
+    case SessionDetector::kPropIterTD:
+    case SessionDetector::kPropBounds:
+    case SessionDetector::kPropUpper:
+      return false;
+  }
+  return false;
+}
+
+const char* SessionDetectorName(SessionDetector detector) {
+  switch (detector) {
+    case SessionDetector::kGlobalIterTD:
+      return "GlobalIterTD";
+    case SessionDetector::kPropIterTD:
+      return "PropIterTD";
+    case SessionDetector::kGlobalBounds:
+      return "GlobalBounds";
+    case SessionDetector::kPropBounds:
+      return "PropBounds";
+    case SessionDetector::kGlobalUpper:
+      return "GlobalUpperBounds";
+    case SessionDetector::kPropUpper:
+      return "PropUpperBounds";
+  }
+  return "Unknown";
+}
+
+Result<SessionDetector> ParseSessionDetector(const std::string& measure,
+                                             const std::string& algo) {
+  const bool global = measure == "global";
+  if (!global && measure != "prop") {
+    return Status::InvalidArgument("measure must be 'global' or 'prop', got '" +
+                                   measure + "'");
+  }
+  if (algo == "itertd") {
+    return global ? SessionDetector::kGlobalIterTD
+                  : SessionDetector::kPropIterTD;
+  }
+  if (algo == "bounds") {
+    return global ? SessionDetector::kGlobalBounds
+                  : SessionDetector::kPropBounds;
+  }
+  if (algo == "upper") {
+    return global ? SessionDetector::kGlobalUpper
+                  : SessionDetector::kPropUpper;
+  }
+  return Status::InvalidArgument(
+      "algo must be 'itertd', 'bounds', or 'upper', got '" + algo + "'");
+}
+
+std::string SessionQuery::CacheKey() const {
+  std::string key = SessionDetectorName(detector);
+  key += "|k=";
+  key += std::to_string(config.k_min);
+  key += "..";
+  key += std::to_string(config.k_max);
+  key += "|tau=";
+  key += std::to_string(config.size_threshold);
+  if (SessionDetectorIsGlobal(detector)) {
+    key += "|L=";
+    AppendSteps(key, global_bounds.lower);
+    key += "|U=";
+    AppendSteps(key, global_bounds.upper);
+  } else {
+    key += "|alpha=";
+    key += KeyDouble(prop_bounds.alpha);
+    key += "|beta=";
+    key += KeyDouble(prop_bounds.beta);
+  }
+  return key;
+}
+
+AuditSession::AuditSession(Table table, std::vector<double> scores,
+                           bool ascending, int score_column,
+                           SessionOptions options, DetectionInput input)
+    : table_(std::move(table)),
+      scores_(std::move(scores)),
+      ascending_(ascending),
+      score_column_(score_column),
+      options_(std::move(options)),
+      input_(std::move(input)) {
+  inverse_.resize(input_.ranking().size());
+  keys_.resize(input_.ranking().size());
+  for (size_t pos = 0; pos < inverse_.size(); ++pos) {
+    const uint32_t row = input_.ranking()[pos];
+    inverse_[row] = static_cast<uint32_t>(pos);
+    keys_[pos] = ascending_ ? -scores_[row] : scores_[row];
+  }
+}
+
+bool AuditSession::RanksBefore(uint32_t a, uint32_t b) const {
+  return ScoreRanksBefore(scores_, ascending_, a, b);
+}
+
+Result<AuditSession> AuditSession::Create(Table table,
+                                          const std::string& score_column,
+                                          bool ascending,
+                                          SessionOptions options) {
+  auto column = table.schema().IndexOf(score_column);
+  if (!column.has_value() ||
+      table.schema().attribute(*column).type != AttributeType::kNumeric) {
+    return Status::InvalidArgument("score column '" + score_column +
+                                   "' missing or not numeric");
+  }
+  std::vector<double> scores(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    scores[r] = table.ValueAt(r, *column);
+  }
+  if (options.rebuild_threshold < 0.0 || options.rebuild_threshold > 1.0) {
+    return Status::InvalidArgument("rebuild_threshold must be in [0, 1]");
+  }
+  auto input = DetectionInput::PrepareWithRanking(
+      table, SortByScore(scores, ascending), options.pattern_attributes);
+  if (!input.ok()) return input.status();
+  return AuditSession(std::move(table), std::move(scores), ascending,
+                      static_cast<int>(*column), std::move(options),
+                      std::move(input).value());
+}
+
+Result<AuditSession> AuditSession::CreateWithScores(Table table,
+                                                    std::vector<double> scores,
+                                                    SessionOptions options) {
+  if (scores.size() != table.num_rows()) {
+    return Status::InvalidArgument(
+        "score vector has " + std::to_string(scores.size()) +
+        " entries for a table of " + std::to_string(table.num_rows()) +
+        " rows");
+  }
+  if (options.rebuild_threshold < 0.0 || options.rebuild_threshold > 1.0) {
+    return Status::InvalidArgument("rebuild_threshold must be in [0, 1]");
+  }
+  auto input = DetectionInput::PrepareWithRanking(
+      table, SortByScore(scores, /*ascending=*/false),
+      options.pattern_attributes);
+  if (!input.ok()) return input.status();
+  return AuditSession(std::move(table), std::move(scores),
+                      /*ascending=*/false, /*score_column=*/-1,
+                      std::move(options), std::move(input).value());
+}
+
+Result<std::shared_ptr<const DetectionResult>> AuditSession::Detect(
+    const SessionQuery& query) {
+  FAIRTOPK_RETURN_IF_ERROR(input_.ValidateConfig(query.config));
+  ++service_stats_.detect_queries;
+  const bool caching = options_.cache_capacity > 0;
+  std::string key;
+  if (caching) {
+    key = query.CacheKey();
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++service_stats_.cache_hits;
+      return it->second;
+    }
+  }
+
+  Result<DetectionResult> run = [&]() -> Result<DetectionResult> {
+    switch (query.detector) {
+      case SessionDetector::kGlobalIterTD:
+        return DetectGlobalIterTD(input_, query.global_bounds, query.config);
+      case SessionDetector::kPropIterTD:
+        return DetectPropIterTD(input_, query.prop_bounds, query.config);
+      case SessionDetector::kGlobalBounds:
+        return DetectGlobalBounds(input_, query.global_bounds, query.config);
+      case SessionDetector::kPropBounds:
+        return DetectPropBounds(input_, query.prop_bounds, query.config);
+      case SessionDetector::kGlobalUpper:
+        return DetectGlobalUpperBounds(input_, query.global_bounds,
+                                       query.config);
+      case SessionDetector::kPropUpper:
+        return DetectPropUpperBounds(input_, query.prop_bounds, query.config);
+    }
+    return Status::InvalidArgument("unknown detector");
+  }();
+  if (!run.ok()) return run.status();
+  auto shared =
+      std::make_shared<const DetectionResult>(std::move(run).value());
+  if (caching) {
+    while (cache_.size() >= options_.cache_capacity && !cache_order_.empty()) {
+      cache_.erase(cache_order_.front());
+      cache_order_.pop_front();
+    }
+    cache_.emplace(key, shared);
+    cache_order_.push_back(std::move(key));
+  }
+  return shared;
+}
+
+Result<SuggestedParameters> AuditSession::Suggest(
+    const DetectionConfig& config, const SuggestOptions& options) const {
+  return SuggestParameters(input_, config, options);
+}
+
+Result<FairnessReport> AuditSession::VerifyGlobal(
+    const Pattern& group, const GlobalBoundSpec& bounds,
+    const DetectionConfig& config) const {
+  return VerifyGlobalFairness(input_, group, bounds, config);
+}
+
+Result<FairnessReport> AuditSession::VerifyProp(
+    const Pattern& group, const PropBoundSpec& bounds,
+    const DetectionConfig& config) const {
+  return VerifyPropFairness(input_, group, bounds, config);
+}
+
+Result<RepairOutcome> AuditSession::Repair(
+    const std::vector<RepresentationConstraint>& constraints,
+    const DetectionConfig& config) const {
+  return RepairRanking(input_, constraints, config);
+}
+
+Status AuditSession::ApplyScoreUpdates(
+    const std::vector<ScoreUpdate>& updates) {
+  if (updates.empty()) return Status::OK();
+  const size_t n = scores_.size();
+  for (const ScoreUpdate& u : updates) {
+    if (u.row >= n) {
+      return Status::OutOfRange("score update for row " +
+                                std::to_string(u.row) + " of " +
+                                std::to_string(n));
+    }
+  }
+  ++service_stats_.score_updates;
+  return updates.size() <= options_.repair_rerank_max_batch
+             ? RepairRerankUpdates(updates)
+             : MergeRerankUpdates(updates);
+}
+
+Status AuditSession::RepairRerankUpdates(
+    const std::vector<ScoreUpdate>& updates) {
+  // One insertion-sort repair per update, in order (duplicates simply
+  // repair twice): apply the new score, then slide the row from its
+  // current position toward its new one, shifting the rows in between
+  // by one slot. Each repair runs on a ranking that is fully sorted
+  // under the scores applied so far, so the slide direction test
+  // against the immediate neighbor is exact. keys_ and inverse_ are
+  // maintained with the shifts; the scratch ranking leaves
+  // input_.ranking() untouched for AdoptRanking's diff.
+  const size_t n = scores_.size();
+  std::vector<uint32_t> ranking(input_.ranking());
+  for (const ScoreUpdate& u : updates) {
+    scores_[u.row] = u.score;
+    const double key = ascending_ ? -u.score : u.score;
+    const RankEntry self{key, u.row};
+    size_t pos = inverse_[u.row];
+    while (pos > 0 &&
+           self.Before(RankEntry{keys_[pos - 1], ranking[pos - 1]})) {
+      ranking[pos] = ranking[pos - 1];
+      keys_[pos] = keys_[pos - 1];
+      inverse_[ranking[pos]] = static_cast<uint32_t>(pos);
+      --pos;
+    }
+    while (pos + 1 < n &&
+           RankEntry{keys_[pos + 1], ranking[pos + 1]}.Before(self)) {
+      ranking[pos] = ranking[pos + 1];
+      keys_[pos] = keys_[pos + 1];
+      inverse_[ranking[pos]] = static_cast<uint32_t>(pos);
+      ++pos;
+    }
+    ranking[pos] = u.row;
+    keys_[pos] = key;
+    inverse_[u.row] = static_cast<uint32_t>(pos);
+  }
+  return AdoptRanking(std::move(ranking));
+}
+
+Status AuditSession::MergeRerankUpdates(
+    const std::vector<ScoreUpdate>& updates) {
+  const size_t n = scores_.size();
+  std::vector<char> moved(n, 0);
+  std::vector<uint32_t> movers;
+  movers.reserve(updates.size());
+  for (const ScoreUpdate& u : updates) {
+    scores_[u.row] = u.score;  // later entries win
+    if (moved[u.row] == 0) {
+      moved[u.row] = 1;
+      movers.push_back(u.row);
+    }
+  }
+  std::sort(movers.begin(), movers.end(),
+            [this](uint32_t a, uint32_t b) { return RanksBefore(a, b); });
+
+  // Incremental re-rank over the affected region only. Survivors keep
+  // their relative order (their scores are untouched), so the ranking
+  // can change solely inside [lo, hi]: the span of the movers' old
+  // positions, grown outward until the best mover ranks after the
+  // survivor on the left and the worst mover ranks before the survivor
+  // on the right. Positions outside contain no movers and receive no
+  // insertions — O(region + m log m) instead of a full sort.
+  const std::vector<uint32_t>& old = input_.ranking();
+  size_t lo = n;
+  size_t hi = 0;
+  for (uint32_t row : movers) {
+    lo = std::min<size_t>(lo, inverse_[row]);
+    hi = std::max<size_t>(hi, inverse_[row]);
+  }
+  while (lo > 0 && RanksBefore(movers.front(), old[lo - 1])) --lo;
+  while (hi + 1 < n && RanksBefore(old[hi + 1], movers.back())) ++hi;
+
+  // Merge on (key, row) pairs: survivors' keys stream sequentially out
+  // of the position-aligned keys_ array (no score loads through the
+  // permutation), movers' keys are the m freshly updated scores.
+  std::vector<RankEntry> region_survivors;
+  region_survivors.reserve(hi - lo + 1 - movers.size());
+  for (size_t pos = lo; pos <= hi; ++pos) {
+    if (moved[old[pos]] == 0) {
+      region_survivors.push_back({keys_[pos], old[pos]});
+    }
+  }
+  std::vector<RankEntry> mover_entries;
+  mover_entries.reserve(movers.size());
+  for (uint32_t row : movers) {
+    mover_entries.push_back({ascending_ ? -scores_[row] : scores_[row], row});
+  }
+
+  std::vector<uint32_t> new_ranking(old);
+  std::vector<double> region_keys(hi - lo + 1);
+  MergeEntries(region_survivors, mover_entries, new_ranking.data() + lo,
+               region_keys.data());
+  FAIRTOPK_RETURN_IF_ERROR(AdoptRanking(std::move(new_ranking)));
+  std::copy(region_keys.begin(), region_keys.end(), keys_.begin() + lo);
+  for (size_t pos = lo; pos <= hi; ++pos) {
+    inverse_[input_.ranking()[pos]] = static_cast<uint32_t>(pos);
+  }
+  return Status::OK();
+}
+
+Status AuditSession::AppendRows(const std::vector<std::vector<Cell>>& rows) {
+  if (score_column_ < 0) {
+    return Status::FailedPrecondition(
+        "session has no score column; use AppendRowsWithScores");
+  }
+  std::vector<double> scores;
+  scores.reserve(rows.size());
+  for (const std::vector<Cell>& row : rows) {
+    const size_t col = static_cast<size_t>(score_column_);
+    if (row.size() <= col || row[col].is_code) {
+      return Status::InvalidArgument(
+          "appended row carries no numeric score cell");
+    }
+    scores.push_back(row[col].value);
+  }
+  return AppendInternal(rows, scores);
+}
+
+Status AuditSession::AppendRowsWithScores(
+    const std::vector<std::vector<Cell>>& rows,
+    const std::vector<double>& scores) {
+  if (rows.size() != scores.size()) {
+    return Status::InvalidArgument("rows and scores differ in length");
+  }
+  return AppendInternal(rows, scores);
+}
+
+Status AuditSession::AppendInternal(const std::vector<std::vector<Cell>>& rows,
+                                    const std::vector<double>& scores) {
+  if (rows.empty()) return Status::OK();
+  // Validate every row before mutating anything, so a bad batch leaves
+  // the session untouched (Table::AppendRow performs the same checks,
+  // but only row by row).
+  const Schema& schema = table_.schema();
+  for (const std::vector<Cell>& row : rows) {
+    if (row.size() != schema.size()) {
+      return Status::InvalidArgument(
+          "appended row has " + std::to_string(row.size()) +
+          " cells for a schema of " + std::to_string(schema.size()));
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      const AttributeSchema& attr = schema.attribute(c);
+      if (attr.type == AttributeType::kCategorical) {
+        if (!row[c].is_code || row[c].code < 0 ||
+            static_cast<size_t>(row[c].code) >= attr.domain_size()) {
+          return Status::InvalidArgument("bad categorical cell for '" +
+                                         attr.name + "'");
+        }
+      } else if (row[c].is_code) {
+        return Status::InvalidArgument("numeric cell expected for '" +
+                                       attr.name + "'");
+      }
+    }
+  }
+
+  const size_t old_n = table_.num_rows();
+  for (const std::vector<Cell>& row : rows) {
+    FAIRTOPK_RETURN_IF_ERROR(table_.AppendRow(row));
+  }
+  scores_.insert(scores_.end(), scores.begin(), scores.end());
+  ++service_stats_.appends;
+  service_stats_.rows_appended += rows.size();
+
+  std::vector<RankEntry> movers;
+  movers.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const uint32_t row = static_cast<uint32_t>(old_n + i);
+    movers.push_back({ascending_ ? -scores_[row] : scores_[row], row});
+  }
+  std::sort(movers.begin(), movers.end(),
+            [](const RankEntry& a, const RankEntry& b) {
+              return a.Before(b);
+            });
+  // Nothing above the best new row's insertion point moves, so only
+  // the suffix from there is re-merged. (keys_, old) is the ranking's
+  // sorted (key, row) sequence, so the insertion point is a binary
+  // search over positions.
+  const std::vector<uint32_t>& old = input_.ranking();
+  const size_t n = old_n + rows.size();
+  size_t lo = 0;
+  {
+    size_t end = old_n;
+    while (lo < end) {
+      const size_t mid = lo + (end - lo) / 2;
+      if (RankEntry{keys_[mid], old[mid]}.Before(movers.front())) {
+        lo = mid + 1;
+      } else {
+        end = mid;
+      }
+    }
+  }
+  std::vector<RankEntry> suffix;
+  suffix.reserve(old_n - lo);
+  for (size_t pos = lo; pos < old_n; ++pos) {
+    suffix.push_back({keys_[pos], old[pos]});
+  }
+  std::vector<uint32_t> new_ranking;
+  new_ranking.reserve(n);
+  new_ranking.assign(old.begin(), old.begin() + lo);
+  new_ranking.resize(n);
+  std::vector<double> suffix_keys(n - lo);
+  MergeEntries(suffix, movers, new_ranking.data() + lo, suffix_keys.data());
+  FAIRTOPK_RETURN_IF_ERROR(AdoptRanking(std::move(new_ranking)));
+  keys_.resize(n);
+  std::copy(suffix_keys.begin(), suffix_keys.end(), keys_.begin() + lo);
+  inverse_.resize(n);
+  for (size_t pos = lo; pos < n; ++pos) {
+    inverse_[input_.ranking()[pos]] = static_cast<uint32_t>(pos);
+  }
+  return Status::OK();
+}
+
+Status AuditSession::AdoptRanking(std::vector<uint32_t> new_ranking) {
+  DetectionInput::MaintenanceOutcome outcome;
+  FAIRTOPK_RETURN_IF_ERROR(input_.UpdateRanking(
+      table_, std::move(new_ranking), options_.rebuild_threshold, &outcome));
+  switch (outcome.kind) {
+    case DetectionInput::Maintenance::kNoop:
+      // Same permutation — every cached result is still exact.
+      break;
+    case DetectionInput::Maintenance::kPatched:
+      ++service_stats_.index_patches;
+      service_stats_.positions_patched += outcome.patched_positions;
+      InvalidateCache();
+      break;
+    case DetectionInput::Maintenance::kRebuilt:
+      ++service_stats_.index_rebuilds;
+      InvalidateCache();
+      break;
+  }
+  return Status::OK();
+}
+
+void AuditSession::InvalidateCache() {
+  cache_.clear();
+  cache_order_.clear();
+}
+
+}  // namespace fairtopk

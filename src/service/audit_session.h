@@ -1,0 +1,269 @@
+// Audit-session serving layer: one long-lived (Table, ranking,
+// BitmapIndex) triple serving many detection queries.
+//
+// The paper's detectors are one-shot — every audit re-ranks the table
+// and rebuilds the rank-ordered BitmapIndex. An AuditSession amortizes
+// that setup across queries:
+//
+//  * Query layer. Detect() dispatches any of the detection algorithms
+//    (IterTD / GLOBALBOUNDS / PROPBOUNDS / upper bounds, global and
+//    proportional) through the shared search engine with per-query
+//    DetectionConfig (including num_threads); Suggest(), Verify() and
+//    Repair() expose calibration, single-group verification, and the
+//    rerank mitigation against the same prepared input.
+//
+//  * Result cache. Detect() results are cached under a key derived
+//    from the detector and its full parameterization (num_threads is
+//    deliberately excluded: the engine's shard-and-merge determinism
+//    rule makes results thread-count invariant). The cache is
+//    invalidated explicitly (InvalidateCache) or automatically by any
+//    maintenance call that changes the ranking permutation.
+//
+//  * Incremental maintenance. ApplyScoreUpdates() and AppendRows()
+//    re-rank by merging the displaced rows into the still-sorted
+//    survivor sequence (O(n + m log m), not a full sort), then patch
+//    only the suffix of rank positions where the permutation changed
+//    (BitmapIndex::ApplyRanking) — with a from-scratch rebuild
+//    fallback when the diff window exceeds
+//    SessionOptions::rebuild_threshold.
+//
+// Sessions are not thread-safe: serialize calls externally (the JSONL
+// front-end processes requests one line at a time). Individual queries
+// may still fan out internally via DetectionConfig::num_threads.
+#ifndef FAIRTOPK_SERVICE_AUDIT_SESSION_H_
+#define FAIRTOPK_SERVICE_AUDIT_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "detect/bounds.h"
+#include "detect/detection_result.h"
+#include "detect/suggest.h"
+#include "detect/verify.h"
+#include "mitigate/rerank.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+
+/// Construction-time knobs of an AuditSession.
+struct SessionOptions {
+  /// Pattern attributes for the index (all categorical when empty).
+  std::vector<std::string> pattern_attributes;
+  /// Maintenance picks the in-place index patch while the number of
+  /// rank positions whose row changed is at most this fraction of the
+  /// rows, and falls back to a from-scratch rebuild beyond it
+  /// (patching most of the index costs more than rebuilding it: a
+  /// patched position pays a compare + Clear + Set per attribute
+  /// against the rebuild's single Set). 0 forces rebuilds, 1 always
+  /// patches.
+  double rebuild_threshold = 0.5;
+  /// Maximum cached detection results; oldest entries are evicted
+  /// first. 0 disables caching.
+  size_t cache_capacity = 64;
+  /// Score-update batches with at most this many entries re-rank by
+  /// per-row insertion repair (O(move distance) per row — ideal for
+  /// serving churn); larger batches fall back to one merge over the
+  /// affected rank region (O(region + m log m), immune to quadratic
+  /// blowup when many rows move far). 0 always merges, SIZE_MAX always
+  /// repairs.
+  size_t repair_rerank_max_batch = 256;
+};
+
+/// The detection algorithms a session can dispatch.
+enum class SessionDetector {
+  kGlobalIterTD,
+  kPropIterTD,
+  kGlobalBounds,
+  kPropBounds,
+  kGlobalUpper,
+  kPropUpper,
+};
+
+/// One detection query: a detector plus its full parameterization.
+/// Global detectors read `global_bounds`; proportional detectors read
+/// `prop_bounds`.
+struct SessionQuery {
+  SessionDetector detector = SessionDetector::kGlobalBounds;
+  DetectionConfig config;
+  GlobalBoundSpec global_bounds;
+  PropBoundSpec prop_bounds;
+
+  /// Canonical cache key: detector, k range, size threshold, and the
+  /// relevant bound parameters. Excludes num_threads — results are
+  /// thread-count invariant by the engine's determinism rule, so a
+  /// 4-thread query may be served from a sequential run's cache entry.
+  std::string CacheKey() const;
+};
+
+/// One score change of ApplyScoreUpdates.
+struct ScoreUpdate {
+  uint32_t row = 0;
+  double score = 0.0;
+};
+
+/// Counters describing a session's life so far.
+struct SessionServiceStats {
+  uint64_t detect_queries = 0;   ///< Detect() calls served
+  uint64_t cache_hits = 0;       ///< served from the result cache
+  uint64_t score_updates = 0;    ///< ApplyScoreUpdates() calls
+  uint64_t appends = 0;          ///< AppendRows*() calls
+  uint64_t rows_appended = 0;    ///< total rows added by appends
+  uint64_t index_patches = 0;    ///< maintenance served incrementally
+  uint64_t index_rebuilds = 0;   ///< maintenance that rebuilt the index
+  uint64_t positions_patched = 0;///< rank positions rewritten in place
+};
+
+/// A long-lived audit session over one dataset. See the file comment.
+class AuditSession {
+ public:
+  /// Opens a session over `table`, ranked descending (or ascending) by
+  /// the numeric column `score_column`; ties break by row id. The
+  /// column's values become the session's score vector — later
+  /// ApplyScoreUpdates() calls supersede them (the table column itself
+  /// is immutable and retains the original values).
+  static Result<AuditSession> Create(Table table,
+                                     const std::string& score_column,
+                                     bool ascending = false,
+                                     SessionOptions options = {});
+
+  /// Opens a session over `table` with an explicit per-row score
+  /// vector, ranked descending with ties broken by row id. Sessions
+  /// built this way must append via AppendRowsWithScores().
+  static Result<AuditSession> CreateWithScores(Table table,
+                                               std::vector<double> scores,
+                                               SessionOptions options = {});
+
+  AuditSession(AuditSession&&) = default;
+  AuditSession& operator=(AuditSession&&) = default;
+
+  /// Runs (or serves from cache) one detection query. The returned
+  /// result is shared with the cache; it stays valid after later
+  /// maintenance calls even though the cache entry is dropped.
+  Result<std::shared_ptr<const DetectionResult>> Detect(
+      const SessionQuery& query);
+
+  /// Parameter calibration against the current ranking (uncached — see
+  /// SuggestParameters).
+  Result<SuggestedParameters> Suggest(const DetectionConfig& config,
+                                      const SuggestOptions& options) const;
+
+  /// Verifies one declared group against global or proportional bounds
+  /// over the query's k range.
+  Result<FairnessReport> VerifyGlobal(const Pattern& group,
+                                      const GlobalBoundSpec& bounds,
+                                      const DetectionConfig& config) const;
+  Result<FairnessReport> VerifyProp(const Pattern& group,
+                                    const PropBoundSpec& bounds,
+                                    const DetectionConfig& config) const;
+
+  /// Rerank mitigation: repairs the session's current ranking so the
+  /// given groups meet their floors. Pure query — the session keeps
+  /// serving its own ranking (adopt the outcome by building a new
+  /// session if desired).
+  Result<RepairOutcome> Repair(
+      const std::vector<RepresentationConstraint>& constraints,
+      const DetectionConfig& config) const;
+
+  /// Applies score changes (later entries win on duplicate rows) and
+  /// re-ranks incrementally: small batches repair each updated row in
+  /// place (O(move distance) per row), large batches re-merge the
+  /// affected rank region (see SessionOptions::repair_rerank_max_batch
+  /// for the crossover) — never a full sort. The index is then patched
+  /// or rebuilt per the rebuild threshold. The result cache survives
+  /// only when the ranking permutation is unchanged.
+  Status ApplyScoreUpdates(const std::vector<ScoreUpdate>& updates);
+
+  /// Appends full rows (cells per the session table's schema). The
+  /// score is read from the session's score column; only sessions
+  /// opened with Create() may use this overload.
+  Status AppendRows(const std::vector<std::vector<Cell>>& rows);
+
+  /// Appends rows with explicit scores (one per row).
+  Status AppendRowsWithScores(const std::vector<std::vector<Cell>>& rows,
+                              const std::vector<double>& scores);
+
+  /// Drops every cached detection result.
+  void InvalidateCache();
+
+  const Table& table() const { return table_; }
+  const DetectionInput& input() const { return input_; }
+  const PatternSpace& space() const { return input_.space(); }
+  size_t num_rows() const { return input_.num_rows(); }
+  const std::vector<uint32_t>& ranking() const { return input_.ranking(); }
+  /// The authoritative per-row scores (post-updates).
+  const std::vector<double>& scores() const { return scores_; }
+  size_t cache_size() const { return cache_.size(); }
+  const SessionServiceStats& service_stats() const { return service_stats_; }
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  AuditSession(Table table, std::vector<double> scores, bool ascending,
+               int score_column, SessionOptions options,
+               DetectionInput input);
+
+  /// True iff row `a` ranks before row `b` under (score, ascending_)
+  /// with ties broken by row id.
+  bool RanksBefore(uint32_t a, uint32_t b) const;
+
+  /// The two re-rank strategies behind ApplyScoreUpdates. Both leave
+  /// scores_/keys_/inverse_ consistent and finish through
+  /// AdoptRanking.
+  Status RepairRerankUpdates(const std::vector<ScoreUpdate>& updates);
+  Status MergeRerankUpdates(const std::vector<ScoreUpdate>& updates);
+
+  /// Replaces the ranking with `new_ranking` (patch or rebuild per the
+  /// threshold), updates maintenance stats, and invalidates the cache
+  /// when the permutation actually changed.
+  Status AdoptRanking(std::vector<uint32_t> new_ranking);
+
+  /// Shared implementation of the append overloads.
+  Status AppendInternal(const std::vector<std::vector<Cell>>& rows,
+                        const std::vector<double>& scores);
+
+  Table table_;
+  std::vector<double> scores_;
+  /// inverse_[row] = current rank position of `row`; lets the
+  /// incremental re-rank locate updated rows without scanning the
+  /// permutation. Maintained over the re-merged region only.
+  std::vector<uint32_t> inverse_;
+  /// keys_[pos] = sort key of the row at rank position `pos` (the
+  /// score, negated for ascending sessions so larger always means
+  /// earlier). A position-aligned copy so the re-rank's survivor
+  /// gather streams keys sequentially instead of chasing scores_
+  /// through the permutation.
+  std::vector<double> keys_;
+  bool ascending_ = false;
+  /// Index of the score column in the table schema; -1 for sessions
+  /// created with explicit scores.
+  int score_column_ = -1;
+  SessionOptions options_;
+  DetectionInput input_;
+
+  /// FIFO-evicted result cache; keys in insertion order.
+  std::unordered_map<std::string, std::shared_ptr<const DetectionResult>>
+      cache_;
+  std::deque<std::string> cache_order_;
+  SessionServiceStats service_stats_;
+};
+
+/// Parses a detector name used by the wire protocol and CLI tools:
+/// measure in {"global", "prop"} x algo in {"itertd", "bounds",
+/// "upper"}.
+Result<SessionDetector> ParseSessionDetector(const std::string& measure,
+                                             const std::string& algo);
+
+/// Stable names for reports: "GlobalIterTD", "PropBounds", ...
+const char* SessionDetectorName(SessionDetector detector);
+
+/// True for the global-measure detectors (which read
+/// SessionQuery::global_bounds), false for the proportional ones.
+bool SessionDetectorIsGlobal(SessionDetector detector);
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_SERVICE_AUDIT_SESSION_H_

@@ -1,0 +1,517 @@
+#include "service/jsonl_service.h"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "report/json_report.h"
+
+namespace fairtopk {
+
+namespace {
+
+/// Echoes the request id (string, number, or bool) into the response;
+/// anything else — including a missing id — becomes null. Integral
+/// numeric ids are rendered exactly: JsonWriter::Double's %.10g is
+/// meant for report metrics and would corrupt ids with more than 10
+/// significant digits (e.g. epoch-millis), orphaning the response for
+/// any client correlating by id.
+void WriteId(JsonWriter& w, const JsonValue& request) {
+  const JsonValue* id = request.Find("id");
+  w.Key("id");
+  if (id == nullptr) {
+    w.Null();
+    return;
+  }
+  switch (id->type()) {
+    case JsonValue::Type::kString:
+      w.String(id->string_value());
+      break;
+    case JsonValue::Type::kNumber: {
+      const double v = id->number_value();
+      if (v == std::floor(v) && v >= -9223372036854775808.0 &&
+          v < 9223372036854775808.0) {
+        w.Int(static_cast<long long>(v));
+      } else {
+        w.Double(v);
+      }
+      break;
+    }
+    case JsonValue::Type::kBool:
+      w.Bool(id->bool_value());
+      break;
+    default:
+      w.Null();
+  }
+}
+
+std::string ErrorResponse(const JsonValue& request, const Status& status) {
+  JsonWriter w;
+  w.BeginObject();
+  WriteId(w, request);
+  w.Key("ok").Bool(false);
+  w.Key("error").BeginObject();
+  w.Key("code").String(StatusCodeName(status.code()));
+  w.Key("message").String(status.message());
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string OkResponse(const JsonValue& request, const std::string& data) {
+  JsonWriter w;
+  w.BeginObject();
+  WriteId(w, request);
+  w.Key("ok").Bool(true);
+  w.Key("data").Raw(data);
+  w.EndObject();
+  return w.str();
+}
+
+/// Reads an integer field with a default; rejects non-integral and
+/// out-of-range numbers (the cast would otherwise be UB).
+Result<int> IntField(const JsonValue& request, const std::string& key,
+                     int fallback) {
+  const JsonValue* v = request.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number() ||
+      v->number_value() != std::floor(v->number_value()) ||
+      v->number_value() < static_cast<double>(
+                              std::numeric_limits<int>::min()) ||
+      v->number_value() > static_cast<double>(
+                              std::numeric_limits<int>::max())) {
+    return Status::InvalidArgument("'" + key + "' must be an integer");
+  }
+  return static_cast<int>(v->number_value());
+}
+
+/// Reads a number field with a default. Unlike JsonValue::NumberOr, a
+/// PRESENT field of the wrong type is an error — a mistyped parameter
+/// must not silently fall back to the default and produce confidently
+/// wrong results.
+Result<double> DoubleField(const JsonValue& request, const std::string& key,
+                           double fallback) {
+  const JsonValue* v = request.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    return Status::InvalidArgument("'" + key + "' must be a number");
+  }
+  return v->number_value();
+}
+
+/// Decodes [[start_k, value], ...] into a StepFunction.
+Result<StepFunction> StepsField(const JsonValue& steps) {
+  std::vector<std::pair<int, double>> pairs;
+  if (!steps.is_array()) {
+    return Status::InvalidArgument("steps must be an array of [k, value]");
+  }
+  for (const JsonValue& item : steps.array_items()) {
+    if (!item.is_array() || item.array_items().size() != 2 ||
+        !item.array_items()[0].is_number() ||
+        !item.array_items()[1].is_number()) {
+      return Status::InvalidArgument("steps must be [k, value] pairs");
+    }
+    const double start = item.array_items()[0].number_value();
+    if (start != std::floor(start) ||
+        start < static_cast<double>(std::numeric_limits<int>::min()) ||
+        start > static_cast<double>(std::numeric_limits<int>::max())) {
+      return Status::InvalidArgument("step starts must be integers");
+    }
+    pairs.emplace_back(static_cast<int>(start),
+                       item.array_items()[1].number_value());
+  }
+  return StepFunction::FromSteps(std::move(pairs));
+}
+
+/// Decodes {"Attr": "label", ...} into a pattern over `space`.
+Result<Pattern> PatternField(const JsonValue& group,
+                             const PatternSpace& space) {
+  if (!group.is_object()) {
+    return Status::InvalidArgument(
+        "'group' must be an object of attribute labels");
+  }
+  Pattern pattern = Pattern::Empty(space.num_attributes());
+  for (const auto& [name, label] : group.object_members()) {
+    if (!label.is_string()) {
+      return Status::InvalidArgument("group value for '" + name +
+                                     "' must be a string label");
+    }
+    bool found = false;
+    for (size_t a = 0; a < space.num_attributes() && !found; ++a) {
+      if (space.name(a) != name) continue;
+      for (int16_t v = 0; v < space.domain_size(a); ++v) {
+        if (space.label(a, v) == label.string_value()) {
+          pattern = pattern.With(a, v);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("value '" + label.string_value() +
+                                "' not in the domain of '" + name + "'");
+      }
+    }
+    if (!found) {
+      return Status::NotFound("attribute '" + name +
+                              "' not in the pattern space");
+    }
+  }
+  if (pattern.IsEmpty()) {
+    return Status::InvalidArgument("group assigns no attributes");
+  }
+  return pattern;
+}
+
+void WriteMaintenanceDelta(JsonWriter& w, const SessionServiceStats& before,
+                           const SessionServiceStats& after) {
+  const char* kind = "noop";
+  if (after.index_rebuilds > before.index_rebuilds) {
+    kind = "rebuilt";
+  } else if (after.index_patches > before.index_patches) {
+    kind = "patched";
+  }
+  w.Key("maintenance").String(kind);
+  w.Key("positions_patched")
+      .Uint(after.positions_patched - before.positions_patched);
+}
+
+}  // namespace
+
+Result<SessionQuery> JsonlService::DecodeQuery(
+    const JsonValue& request) const {
+  SessionQuery query;
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      query.detector,
+      ParseSessionDetector(request.StringOr("measure", "prop"),
+                           request.StringOr("algo", "bounds")));
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      query.config.k_min, IntField(request, "k_min", defaults_.config.k_min));
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      query.config.k_max, IntField(request, "k_max", defaults_.config.k_max));
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      query.config.size_threshold,
+      IntField(request, "tau", defaults_.config.size_threshold));
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      query.config.num_threads,
+      IntField(request, "threads", defaults_.config.num_threads));
+
+  // Global bounds: an explicit staircase wins over the fraction knob.
+  if (const JsonValue* steps = request.Find("lower_steps")) {
+    FAIRTOPK_ASSIGN_OR_RETURN(query.global_bounds.lower, StepsField(*steps));
+  } else {
+    FAIRTOPK_ASSIGN_OR_RETURN(
+        const double lower_fraction,
+        DoubleField(request, "lower", defaults_.lower_fraction));
+    FAIRTOPK_ASSIGN_OR_RETURN(
+        GlobalBoundSpec staircase,
+        GlobalBoundSpec::FractionStaircase(lower_fraction, query.config.k_min,
+                                           query.config.k_max));
+    query.global_bounds.lower = staircase.lower;
+  }
+  if (const JsonValue* steps = request.Find("upper_steps")) {
+    FAIRTOPK_ASSIGN_OR_RETURN(query.global_bounds.upper, StepsField(*steps));
+  } else {
+    FAIRTOPK_ASSIGN_OR_RETURN(
+        const double upper,
+        DoubleField(request, "upper",
+                    std::numeric_limits<double>::infinity()));
+    query.global_bounds.upper = StepFunction::Constant(upper);
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(query.prop_bounds.alpha,
+                            DoubleField(request, "alpha", defaults_.alpha));
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      query.prop_bounds.beta,
+      DoubleField(request, "beta",
+                  std::numeric_limits<double>::infinity()));
+  return query;
+}
+
+Result<std::string> JsonlService::HandleDetect(const JsonValue& request) {
+  FAIRTOPK_ASSIGN_OR_RETURN(SessionQuery query, DecodeQuery(request));
+  const uint64_t hits_before = session_->service_stats().cache_hits;
+  FAIRTOPK_ASSIGN_OR_RETURN(std::shared_ptr<const DetectionResult> result,
+                            session_->Detect(query));
+  ReportContext context{defaults_.dataset,
+                        SessionDetectorIsGlobal(query.detector)
+                            ? "global"
+                            : "proportional",
+                        SessionDetectorName(query.detector)};
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("cached").Bool(session_->service_stats().cache_hits > hits_before);
+  w.Key("report").Raw(
+      DetectionResultToJson(*result, session_->input(), context));
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> JsonlService::HandleSuggest(const JsonValue& request) {
+  DetectionConfig config = defaults_.config;
+  FAIRTOPK_ASSIGN_OR_RETURN(config.k_min,
+                            IntField(request, "k_min", config.k_min));
+  FAIRTOPK_ASSIGN_OR_RETURN(config.k_max,
+                            IntField(request, "k_max", config.k_max));
+  FAIRTOPK_ASSIGN_OR_RETURN(config.num_threads,
+                            IntField(request, "threads", config.num_threads));
+  SuggestOptions options;
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      int max_groups,
+      IntField(request, "max_groups",
+               static_cast<int>(options.max_groups)));
+  if (max_groups < 1) {
+    return Status::InvalidArgument("'max_groups' must be positive");
+  }
+  options.max_groups = static_cast<size_t>(max_groups);
+  FAIRTOPK_ASSIGN_OR_RETURN(SuggestedParameters params,
+                            session_->Suggest(config, options));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("tau").Int(params.size_threshold);
+  w.Key("global_level").Double(params.global_level);
+  w.Key("alpha").Double(params.alpha);
+  w.Key("lower_steps").BeginArray();
+  for (const auto& [start, value] : params.global_bounds.lower.steps()) {
+    w.BeginArray().Int(start).Double(value).EndArray();
+  }
+  w.EndArray();
+  w.Key("groups_at_kmax_global").Uint(params.groups_at_kmax_global);
+  w.Key("groups_at_kmax_prop").Uint(params.groups_at_kmax_prop);
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> JsonlService::HandleVerify(const JsonValue& request) {
+  FAIRTOPK_ASSIGN_OR_RETURN(SessionQuery query, DecodeQuery(request));
+  const JsonValue* group = request.Find("group");
+  if (group == nullptr) {
+    return Status::InvalidArgument("'verify' requires a 'group' object");
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(Pattern pattern,
+                            PatternField(*group, session_->space()));
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      FairnessReport report,
+      SessionDetectorIsGlobal(query.detector)
+          ? session_->VerifyGlobal(pattern, query.global_bounds, query.config)
+          : session_->VerifyProp(pattern, query.prop_bounds, query.config));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("group").Raw(PatternToJson(report.group, session_->space()));
+  w.Key("size").Uint(report.size_in_d);
+  w.Key("fair").Bool(report.fair());
+  w.Key("violations").BeginArray();
+  for (const FairnessViolation& v : report.violations) {
+    w.BeginObject();
+    w.Key("k").Int(v.k);
+    w.Key("count").Uint(v.count);
+    w.Key("lower").Double(v.lower);
+    w.Key("upper").Double(v.upper);
+    w.Key("below_lower").Bool(v.below_lower);
+    w.Key("above_upper").Bool(v.above_upper);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> JsonlService::HandleRerank(const JsonValue& request) {
+  FAIRTOPK_ASSIGN_OR_RETURN(SessionQuery query, DecodeQuery(request));
+  FAIRTOPK_ASSIGN_OR_RETURN(std::shared_ptr<const DetectionResult> detected,
+                            session_->Detect(query));
+  // Detected groups become representation floors, mirroring
+  // fairtopk_audit --rerank: the global staircase directly, the
+  // proportional band as a constant floor at k_max.
+  std::vector<RepresentationConstraint> constraints;
+  for (const Pattern& p : detected->AllDistinct()) {
+    if (SessionDetectorIsGlobal(query.detector)) {
+      constraints.push_back({p, query.global_bounds.lower});
+    } else {
+      const double floor_at_kmax = query.prop_bounds.LowerAt(
+          static_cast<int>(session_->input().index().PatternCount(p)),
+          query.config.k_max, session_->num_rows());
+      constraints.push_back(
+          {p, StepFunction::Constant(std::ceil(floor_at_kmax))});
+    }
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(RepairOutcome repair,
+                            session_->Repair(constraints, query.config));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("constraints").Uint(constraints.size());
+  w.Key("tuples_moved").Uint(repair.tuples_moved);
+  w.Key("kendall_tau_distance").Uint(repair.kendall_tau_distance);
+  w.Key("feasible").Bool(repair.feasible);
+  w.Key("unsatisfied").BeginArray();
+  for (const Pattern& p : repair.unsatisfied) {
+    w.Raw(PatternToJson(p, session_->space()));
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> JsonlService::HandleUpdate(const JsonValue& request) {
+  const JsonValue* scores = request.Find("scores");
+  if (scores == nullptr || !scores->is_array()) {
+    return Status::InvalidArgument(
+        "'update' requires 'scores': [[row, score], ...]");
+  }
+  std::vector<ScoreUpdate> updates;
+  updates.reserve(scores->array_items().size());
+  for (const JsonValue& item : scores->array_items()) {
+    if (!item.is_array() || item.array_items().size() != 2 ||
+        !item.array_items()[0].is_number() ||
+        !item.array_items()[1].is_number()) {
+      return Status::InvalidArgument("score updates must be [row, score]");
+    }
+    const double row = item.array_items()[0].number_value();
+    if (row < 0 || row != std::floor(row) ||
+        row > static_cast<double>(
+                  std::numeric_limits<uint32_t>::max())) {
+      return Status::InvalidArgument("row ids must be non-negative integers");
+    }
+    updates.push_back({static_cast<uint32_t>(row),
+                       item.array_items()[1].number_value()});
+  }
+  const SessionServiceStats before = session_->service_stats();
+  FAIRTOPK_RETURN_IF_ERROR(session_->ApplyScoreUpdates(updates));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("rows_updated").Uint(updates.size());
+  WriteMaintenanceDelta(w, before, session_->service_stats());
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> JsonlService::HandleAppend(const JsonValue& request) {
+  const JsonValue* rows = request.Find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::InvalidArgument(
+        "'append' requires 'rows': [{column: value, ...}, ...]");
+  }
+  const Schema& schema = session_->table().schema();
+  std::vector<std::vector<Cell>> cells;
+  cells.reserve(rows->array_items().size());
+  for (const JsonValue& row : rows->array_items()) {
+    if (!row.is_object()) {
+      return Status::InvalidArgument("each appended row must be an object");
+    }
+    std::vector<Cell> out(schema.size());
+    for (size_t c = 0; c < schema.size(); ++c) {
+      const AttributeSchema& attr = schema.attribute(c);
+      const JsonValue* cell = row.Find(attr.name);
+      if (cell == nullptr) {
+        return Status::InvalidArgument("appended row misses column '" +
+                                       attr.name + "'");
+      }
+      if (attr.type == AttributeType::kCategorical) {
+        if (!cell->is_string()) {
+          return Status::InvalidArgument("column '" + attr.name +
+                                         "' takes a string label");
+        }
+        auto code = schema.CodeOf(c, cell->string_value());
+        if (!code.has_value()) {
+          return Status::NotFound("label '" + cell->string_value() +
+                                  "' not in the domain of '" + attr.name +
+                                  "'");
+        }
+        out[c] = Cell::Code(*code);
+      } else {
+        if (!cell->is_number()) {
+          return Status::InvalidArgument("column '" + attr.name +
+                                         "' takes a number");
+        }
+        out[c] = Cell::Value(cell->number_value());
+      }
+    }
+    cells.push_back(std::move(out));
+  }
+  const SessionServiceStats before = session_->service_stats();
+  FAIRTOPK_RETURN_IF_ERROR(session_->AppendRows(cells));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("rows_appended").Uint(cells.size());
+  w.Key("num_rows").Uint(session_->num_rows());
+  WriteMaintenanceDelta(w, before, session_->service_stats());
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> JsonlService::HandleStats(const JsonValue&) {
+  const SessionServiceStats& stats = session_->service_stats();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("num_rows").Uint(session_->num_rows());
+  w.Key("pattern_attributes").Uint(session_->space().num_attributes());
+  w.Key("cache_entries").Uint(session_->cache_size());
+  w.Key("detect_queries").Uint(stats.detect_queries);
+  w.Key("cache_hits").Uint(stats.cache_hits);
+  w.Key("score_updates").Uint(stats.score_updates);
+  w.Key("appends").Uint(stats.appends);
+  w.Key("rows_appended").Uint(stats.rows_appended);
+  w.Key("index_patches").Uint(stats.index_patches);
+  w.Key("index_rebuilds").Uint(stats.index_rebuilds);
+  w.Key("positions_patched").Uint(stats.positions_patched);
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> JsonlService::HandleInvalidate(const JsonValue&) {
+  session_->InvalidateCache();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("cache_entries").Uint(session_->cache_size());
+  w.EndObject();
+  return w.str();
+}
+
+std::string JsonlService::HandleLine(const std::string& line) {
+  Result<JsonValue> request = ParseJson(line);
+  if (!request.ok()) {
+    return ErrorResponse(JsonValue::Null(), request.status());
+  }
+  if (!request->is_object()) {
+    return ErrorResponse(*request, Status::InvalidArgument(
+                                       "request must be a JSON object"));
+  }
+  const std::string op = request->StringOr("op", "");
+  Result<std::string> data = [&]() -> Result<std::string> {
+    if (op == "detect") return HandleDetect(*request);
+    if (op == "suggest") return HandleSuggest(*request);
+    if (op == "verify") return HandleVerify(*request);
+    if (op == "rerank") return HandleRerank(*request);
+    if (op == "update") return HandleUpdate(*request);
+    if (op == "append") return HandleAppend(*request);
+    if (op == "stats") return HandleStats(*request);
+    if (op == "invalidate") return HandleInvalidate(*request);
+    return Status::InvalidArgument(
+        op.empty() ? "request misses 'op'" : "unknown op '" + op + "'");
+  }();
+  if (!data.ok()) {
+    return ErrorResponse(*request, data.status());
+  }
+  return OkResponse(*request, *data);
+}
+
+void JsonlService::Serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    // Skip blank lines so hand-written scripts can use them for
+    // readability.
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    out << HandleLine(line) << '\n';
+    out.flush();
+  }
+}
+
+}  // namespace fairtopk

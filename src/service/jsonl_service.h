@@ -1,0 +1,88 @@
+// Batched JSONL front-end over an AuditSession: one JSON request
+// object per input line, one JSON response object per output line —
+// the wire protocol of tools/fairtopk_serve.
+//
+// Requests: {"op": ..., "id": <any scalar, echoed back>, ...}.
+//   op=detect   one detection query (measure/algo select the detector;
+//               k_min/k_max/tau/threads and the bound parameters fall
+//               back to the service defaults)
+//   op=suggest  parameter calibration (SuggestParameters)
+//   op=verify   check one declared group ("group": {"Attr": "label"})
+//   op=rerank   detect + repair; reports the repair outcome without
+//               mutating the session
+//   op=update   {"scores": [[row, score], ...]} — incremental ranking
+//               maintenance via AuditSession::ApplyScoreUpdates
+//   op=append   {"rows": [{"Col": value, ...}, ...]} — appends rows
+//               (categorical cells by label, numeric cells by number)
+//   op=stats    session/service counters
+//   op=invalidate  explicit result-cache invalidation
+//
+// Responses: {"id": ..., "ok": true, "data": {...}} on success,
+// {"id": ..., "ok": false, "error": {"code": ..., "message": ...}}
+// otherwise. The loop never aborts on a bad request — every line gets
+// exactly one response line.
+#ifndef FAIRTOPK_SERVICE_JSONL_SERVICE_H_
+#define FAIRTOPK_SERVICE_JSONL_SERVICE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/json.h"
+#include "service/audit_session.h"
+
+namespace fairtopk {
+
+/// Per-service fallbacks applied when a request omits a field.
+struct ServeDefaults {
+  /// Dataset label echoed in detection reports.
+  std::string dataset;
+  /// k range, size threshold, and worker threads.
+  DetectionConfig config;
+  /// Global lower staircase fraction (L_k = max(1, fraction * k) with
+  /// steps every 10 ranks), as fairtopk_audit's --lower.
+  double lower_fraction = 0.5;
+  /// Proportional lower multiplier, as --alpha.
+  double alpha = 0.8;
+};
+
+/// Stateless-per-line request processor bound to one session.
+class JsonlService {
+ public:
+  /// `session` must outlive the service.
+  JsonlService(AuditSession* session, ServeDefaults defaults)
+      : session_(session), defaults_(std::move(defaults)) {}
+
+  /// Handles one request line; returns the response line (no trailing
+  /// newline). Never fails — protocol errors become error responses.
+  std::string HandleLine(const std::string& line);
+
+  /// Reads request lines from `in` until EOF, writing one response
+  /// line per request to `out` (blank lines are skipped). Flushes after
+  /// every response so the tool can be driven interactively by a pipe.
+  void Serve(std::istream& in, std::ostream& out);
+
+  const AuditSession& session() const { return *session_; }
+
+ private:
+  /// Builds the SessionQuery described by `request` (shared by detect
+  /// and rerank).
+  Result<SessionQuery> DecodeQuery(const JsonValue& request) const;
+
+  /// Per-op payload builders; on success the returned string is the
+  /// serialized "data" object.
+  Result<std::string> HandleDetect(const JsonValue& request);
+  Result<std::string> HandleSuggest(const JsonValue& request);
+  Result<std::string> HandleVerify(const JsonValue& request);
+  Result<std::string> HandleRerank(const JsonValue& request);
+  Result<std::string> HandleUpdate(const JsonValue& request);
+  Result<std::string> HandleAppend(const JsonValue& request);
+  Result<std::string> HandleStats(const JsonValue& request);
+  Result<std::string> HandleInvalidate(const JsonValue& request);
+
+  AuditSession* session_;
+  ServeDefaults defaults_;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_SERVICE_JSONL_SERVICE_H_

@@ -1,0 +1,408 @@
+// Unit tests for the AuditSession serving layer: query dispatch, the
+// keyed result cache and its invalidation rules, and the incremental
+// ranking-maintenance entry points (score updates / row appends with
+// the patch-vs-rebuild threshold).
+#include "service/audit_session.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+namespace {
+
+/// Deterministic fixture: two pattern attributes plus a score column
+/// biased against g=a, so detection finds real groups.
+Table SessionTable(size_t rows, uint64_t seed) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("g", {"a", "b"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("r", {"x", "y", "z"}).ok());
+  EXPECT_TRUE(schema.AddNumeric("score").ok());
+  auto table = Table::Create(std::move(schema));
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    const int16_t g = static_cast<int16_t>(rng.UniformUint64(2));
+    const int16_t r = static_cast<int16_t>(rng.UniformUint64(3));
+    const double score =
+        50.0 + (g == 1 ? 10.0 : 0.0) + rng.Gaussian() * 4.0;
+    EXPECT_TRUE(table
+                    ->AppendRow({Cell::Code(g), Cell::Code(r),
+                                 Cell::Value(score)})
+                    .ok());
+  }
+  return std::move(table).value();
+}
+
+AuditSession MakeSession(size_t rows, uint64_t seed,
+                         SessionOptions options = {}) {
+  auto session =
+      AuditSession::Create(SessionTable(rows, seed), "score",
+                           /*ascending=*/false, std::move(options));
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  return std::move(session).value();
+}
+
+SessionQuery PropQuery(int k_min, int k_max, int tau, int threads = 1) {
+  SessionQuery query;
+  query.detector = SessionDetector::kPropBounds;
+  query.config.k_min = k_min;
+  query.config.k_max = k_max;
+  query.config.size_threshold = tau;
+  query.config.num_threads = threads;
+  query.prop_bounds.alpha = 0.85;
+  return query;
+}
+
+TEST(AuditSessionTest, CreateRejectsBadScoreColumn) {
+  EXPECT_FALSE(
+      AuditSession::Create(SessionTable(40, 1), "missing").ok());
+  EXPECT_FALSE(AuditSession::Create(SessionTable(40, 1), "g").ok());
+}
+
+TEST(AuditSessionTest, CreateRejectsBadThreshold) {
+  SessionOptions options;
+  options.rebuild_threshold = 1.5;
+  EXPECT_FALSE(
+      AuditSession::Create(SessionTable(40, 1), "score", false, options)
+          .ok());
+}
+
+TEST(AuditSessionTest, RankingIsSortedByScoreDescending) {
+  AuditSession session = MakeSession(60, 2);
+  const auto& ranking = session.ranking();
+  ASSERT_EQ(ranking.size(), 60u);
+  for (size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(session.scores()[ranking[i - 1]],
+              session.scores()[ranking[i]]);
+  }
+}
+
+TEST(AuditSessionTest, RepeatedQueryServesCachedSharedResult) {
+  AuditSession session = MakeSession(80, 3);
+  SessionQuery query = PropQuery(5, 30, 6);
+  auto first = session.Detect(query);
+  ASSERT_TRUE(first.ok());
+  auto second = session.Detect(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ(session.service_stats().detect_queries, 2u);
+  EXPECT_EQ(session.service_stats().cache_hits, 1u);
+  EXPECT_EQ(session.cache_size(), 1u);
+}
+
+TEST(AuditSessionTest, ThreadCountDoesNotSplitCacheEntries) {
+  // The engine's determinism rule makes results thread-count
+  // invariant, so the cache key excludes num_threads.
+  AuditSession session = MakeSession(80, 3);
+  auto sequential = session.Detect(PropQuery(5, 30, 6, /*threads=*/1));
+  ASSERT_TRUE(sequential.ok());
+  auto parallel = session.Detect(PropQuery(5, 30, 6, /*threads=*/4));
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(sequential->get(), parallel->get());
+  EXPECT_EQ(session.service_stats().cache_hits, 1u);
+}
+
+TEST(AuditSessionTest, DistinctParametersMissTheCache) {
+  AuditSession session = MakeSession(80, 3);
+  ASSERT_TRUE(session.Detect(PropQuery(5, 30, 6)).ok());
+  ASSERT_TRUE(session.Detect(PropQuery(5, 30, 7)).ok());
+  SessionQuery other_alpha = PropQuery(5, 30, 6);
+  other_alpha.prop_bounds.alpha = 0.7;
+  ASSERT_TRUE(session.Detect(other_alpha).ok());
+  SessionQuery other_detector = PropQuery(5, 30, 6);
+  other_detector.detector = SessionDetector::kPropIterTD;
+  ASSERT_TRUE(session.Detect(other_detector).ok());
+  EXPECT_EQ(session.service_stats().cache_hits, 0u);
+  EXPECT_EQ(session.cache_size(), 4u);
+}
+
+TEST(AuditSessionTest, CacheEvictsOldestBeyondCapacity) {
+  SessionOptions options;
+  options.cache_capacity = 1;
+  AuditSession session = MakeSession(80, 4, options);
+  ASSERT_TRUE(session.Detect(PropQuery(5, 30, 6)).ok());
+  ASSERT_TRUE(session.Detect(PropQuery(5, 30, 7)).ok());  // evicts tau=6
+  EXPECT_EQ(session.cache_size(), 1u);
+  ASSERT_TRUE(session.Detect(PropQuery(5, 30, 6)).ok());  // miss again
+  EXPECT_EQ(session.service_stats().cache_hits, 0u);
+}
+
+TEST(AuditSessionTest, ZeroCapacityDisablesCaching) {
+  SessionOptions options;
+  options.cache_capacity = 0;
+  AuditSession session = MakeSession(80, 4, options);
+  ASSERT_TRUE(session.Detect(PropQuery(5, 30, 6)).ok());
+  ASSERT_TRUE(session.Detect(PropQuery(5, 30, 6)).ok());
+  EXPECT_EQ(session.cache_size(), 0u);
+  EXPECT_EQ(session.service_stats().cache_hits, 0u);
+}
+
+TEST(AuditSessionTest, ScoreUpdateInvalidatesCache) {
+  AuditSession session = MakeSession(80, 5);
+  SessionQuery query = PropQuery(5, 30, 6);
+  ASSERT_TRUE(session.Detect(query).ok());
+  // Jump the lowest-ranked row to the top: the permutation changes, so
+  // the cached result must be dropped.
+  const uint32_t last = session.ranking().back();
+  ASSERT_TRUE(session.ApplyScoreUpdates({{last, 1e6}}).ok());
+  EXPECT_EQ(session.cache_size(), 0u);
+  EXPECT_EQ(session.ranking().front(), last);
+  ASSERT_TRUE(session.Detect(query).ok());
+  EXPECT_EQ(session.service_stats().cache_hits, 0u);
+}
+
+TEST(AuditSessionTest, PermutationPreservingUpdateKeepsCache) {
+  AuditSession session = MakeSession(80, 5);
+  SessionQuery query = PropQuery(5, 30, 6);
+  auto first = session.Detect(query);
+  ASSERT_TRUE(first.ok());
+  // Re-assert a row's existing score: the ranking cannot change, so
+  // every cached result is still exact and survives.
+  const uint32_t row = session.ranking()[10];
+  ASSERT_TRUE(
+      session.ApplyScoreUpdates({{row, session.scores()[row]}}).ok());
+  EXPECT_EQ(session.cache_size(), 1u);
+  auto second = session.Detect(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ(session.service_stats().cache_hits, 1u);
+  EXPECT_EQ(session.service_stats().index_patches, 0u);
+  EXPECT_EQ(session.service_stats().index_rebuilds, 0u);
+}
+
+TEST(AuditSessionTest, LocalUpdatePatchesGlobalUpdateRebuilds) {
+  // A small local perturbation stays under the default 0.5 threshold
+  // and is patched in place; yanking the bottom row to rank 1 touches
+  // (almost) every position and falls back to a rebuild.
+  AuditSession session = MakeSession(100, 6);
+  const auto& ranking = session.ranking();
+  const uint32_t a = ranking[97];
+  const uint32_t b = ranking[98];
+  // Swap two adjacent bottom rows by nudging scores.
+  ASSERT_TRUE(session
+                  .ApplyScoreUpdates({{a, session.scores()[b] - 1e-9},
+                                      {b, session.scores()[a] + 1e-9}})
+                  .ok());
+  EXPECT_EQ(session.service_stats().index_patches, 1u);
+  EXPECT_EQ(session.service_stats().index_rebuilds, 0u);
+  EXPECT_LE(session.service_stats().positions_patched, 4u);
+
+  const uint32_t last = session.ranking().back();
+  ASSERT_TRUE(session.ApplyScoreUpdates({{last, 1e6}}).ok());
+  EXPECT_EQ(session.service_stats().index_rebuilds, 1u);
+}
+
+TEST(AuditSessionTest, ThresholdExtremesForceEachPath) {
+  SessionOptions rebuild_always;
+  rebuild_always.rebuild_threshold = 0.0;
+  AuditSession a = MakeSession(60, 7, rebuild_always);
+  const uint32_t last_a = a.ranking().back();
+  const double top_score = a.scores()[a.ranking().front()];
+  ASSERT_TRUE(a.ApplyScoreUpdates({{last_a, top_score + 1.0}}).ok());
+  EXPECT_EQ(a.service_stats().index_rebuilds, 1u);
+  EXPECT_EQ(a.service_stats().index_patches, 0u);
+
+  SessionOptions patch_always;
+  patch_always.rebuild_threshold = 1.0;
+  AuditSession b = MakeSession(60, 7, patch_always);
+  const uint32_t first_b = b.ranking().front();
+  ASSERT_TRUE(b.ApplyScoreUpdates({{first_b, -1e6}}).ok());
+  EXPECT_EQ(b.service_stats().index_rebuilds, 0u);
+  EXPECT_EQ(b.service_stats().index_patches, 1u);
+}
+
+TEST(AuditSessionTest, PatchedSessionMatchesRebuiltSession) {
+  SessionOptions patch_always;
+  patch_always.rebuild_threshold = 1.0;
+  SessionOptions rebuild_always;
+  rebuild_always.rebuild_threshold = 0.0;
+  AuditSession patched = MakeSession(90, 8, patch_always);
+  AuditSession rebuilt = MakeSession(90, 8, rebuild_always);
+  Rng rng(42);
+  std::vector<ScoreUpdate> updates;
+  for (int i = 0; i < 12; ++i) {
+    updates.push_back({static_cast<uint32_t>(rng.UniformUint64(90)),
+                       40.0 + rng.Gaussian() * 12.0});
+  }
+  ASSERT_TRUE(patched.ApplyScoreUpdates(updates).ok());
+  ASSERT_TRUE(rebuilt.ApplyScoreUpdates(updates).ok());
+  EXPECT_EQ(patched.ranking(), rebuilt.ranking());
+  SessionQuery query = PropQuery(5, 40, 8);
+  auto p = patched.Detect(query);
+  auto r = rebuilt.Detect(query);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(r.ok());
+  for (int k = 5; k <= 40; ++k) {
+    EXPECT_EQ((*p)->AtK(k), (*r)->AtK(k)) << "k=" << k;
+  }
+}
+
+TEST(AuditSessionTest, RepairAndMergeRerankAgree) {
+  SessionOptions repair;
+  repair.repair_rerank_max_batch = static_cast<size_t>(-1);
+  SessionOptions merge;
+  merge.repair_rerank_max_batch = 0;
+  AuditSession a = MakeSession(120, 21, repair);
+  AuditSession b = MakeSession(120, 21, merge);
+  Rng rng(5);
+  for (int step = 0; step < 6; ++step) {
+    std::vector<ScoreUpdate> updates;
+    for (int i = 0; i < 15; ++i) {
+      updates.push_back({static_cast<uint32_t>(rng.UniformUint64(120)),
+                         40.0 + rng.Gaussian() * 15.0});
+    }
+    ASSERT_TRUE(a.ApplyScoreUpdates(updates).ok());
+    ASSERT_TRUE(b.ApplyScoreUpdates(updates).ok());
+    ASSERT_EQ(a.ranking(), b.ranking()) << "step " << step;
+  }
+  EXPECT_EQ(a.scores(), b.scores());
+}
+
+TEST(AuditSessionTest, DuplicateUpdatesLastWins) {
+  AuditSession session = MakeSession(50, 9);
+  const uint32_t row = session.ranking()[25];
+  ASSERT_TRUE(
+      session.ApplyScoreUpdates({{row, 1e6}, {row, -1e6}}).ok());
+  EXPECT_DOUBLE_EQ(session.scores()[row], -1e6);
+  EXPECT_EQ(session.ranking().back(), row);
+}
+
+TEST(AuditSessionTest, UpdateRejectsOutOfRangeRow) {
+  AuditSession session = MakeSession(50, 9);
+  EXPECT_FALSE(session.ApplyScoreUpdates({{50, 1.0}}).ok());
+  // Failed validation leaves the session untouched.
+  EXPECT_EQ(session.service_stats().score_updates, 0u);
+}
+
+TEST(AuditSessionTest, AppendExtendsDatasetAndRanking) {
+  AuditSession session = MakeSession(50, 10);
+  SessionQuery query = PropQuery(5, 30, 5);
+  ASSERT_TRUE(session.Detect(query).ok());
+  // One unbeatable row and one bottom row.
+  ASSERT_TRUE(session
+                  .AppendRows({{Cell::Code(0), Cell::Code(1),
+                                Cell::Value(1e6)},
+                               {Cell::Code(1), Cell::Code(2),
+                                Cell::Value(-1e6)}})
+                  .ok());
+  EXPECT_EQ(session.num_rows(), 52u);
+  EXPECT_EQ(session.table().num_rows(), 52u);
+  EXPECT_EQ(session.scores().size(), 52u);
+  EXPECT_EQ(session.ranking().front(), 50u);
+  EXPECT_EQ(session.ranking().back(), 51u);
+  EXPECT_EQ(session.cache_size(), 0u);  // appends invalidate
+  auto after = session.Detect(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(session.service_stats().rows_appended, 2u);
+}
+
+TEST(AuditSessionTest, AppendValidatesBeforeMutating) {
+  AuditSession session = MakeSession(50, 10);
+  // Wrong arity.
+  EXPECT_FALSE(session.AppendRows({{Cell::Code(0)}}).ok());
+  // Out-of-domain code.
+  EXPECT_FALSE(session
+                   .AppendRows({{Cell::Code(7), Cell::Code(0),
+                                 Cell::Value(1.0)}})
+                   .ok());
+  // Code cell in the numeric score slot.
+  EXPECT_FALSE(session
+                   .AppendRows({{Cell::Code(0), Cell::Code(0),
+                                 Cell::Code(1)}})
+                   .ok());
+  // A bad row anywhere in the batch rejects the whole batch.
+  EXPECT_FALSE(session
+                   .AppendRows({{Cell::Code(0), Cell::Code(0),
+                                 Cell::Value(1.0)},
+                                {Cell::Code(0), Cell::Code(9),
+                                 Cell::Value(2.0)}})
+                   .ok());
+  EXPECT_EQ(session.num_rows(), 50u);
+  EXPECT_EQ(session.service_stats().appends, 0u);
+}
+
+TEST(AuditSessionTest, ScorelessSessionNeedsExplicitScores) {
+  Table table = SessionTable(40, 11);
+  std::vector<double> scores;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    scores.push_back(table.ValueAt(r, 2));
+  }
+  auto session = AuditSession::CreateWithScores(table, scores);
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(
+      session->AppendRows({{Cell::Code(0), Cell::Code(0), Cell::Value(1.0)}})
+          .ok());
+  ASSERT_TRUE(session
+                  ->AppendRowsWithScores(
+                      {{Cell::Code(0), Cell::Code(0), Cell::Value(1.0)}},
+                      {123.0})
+                  .ok());
+  EXPECT_EQ(session->num_rows(), 41u);
+  EXPECT_EQ(session->ranking().front(), 40u);
+}
+
+TEST(AuditSessionTest, DetectValidatesConfig) {
+  AuditSession session = MakeSession(40, 12);
+  SessionQuery query = PropQuery(5, 400, 4);  // k_max > |D|
+  EXPECT_FALSE(session.Detect(query).ok());
+}
+
+TEST(AuditSessionTest, AllDetectorsDispatch) {
+  AuditSession session = MakeSession(80, 13);
+  for (SessionDetector detector :
+       {SessionDetector::kGlobalIterTD, SessionDetector::kPropIterTD,
+        SessionDetector::kGlobalBounds, SessionDetector::kPropBounds,
+        SessionDetector::kGlobalUpper, SessionDetector::kPropUpper}) {
+    SessionQuery query = PropQuery(5, 30, 6);
+    query.detector = detector;
+    query.global_bounds.lower = StepFunction::Constant(3.0);
+    query.global_bounds.upper = StepFunction::Constant(25.0);
+    query.prop_bounds.beta = 1.5;
+    auto result = session.Detect(query);
+    ASSERT_TRUE(result.ok())
+        << SessionDetectorName(detector) << ": "
+        << result.status().ToString();
+  }
+  EXPECT_EQ(session.cache_size(), 6u);
+}
+
+TEST(AuditSessionTest, SuggestVerifyRepairForward) {
+  AuditSession session = MakeSession(100, 14);
+  DetectionConfig config{5, 40, 8};
+  auto suggestion = session.Suggest(config, SuggestOptions{});
+  ASSERT_TRUE(suggestion.ok());
+  EXPECT_GT(suggestion->size_threshold, 0);
+
+  Pattern group = Pattern::Empty(2).With(0, 0);  // g=a
+  GlobalBoundSpec bounds;
+  bounds.lower = StepFunction::Constant(4.0);
+  auto report = session.VerifyGlobal(group, bounds, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->size_in_d, 0u);
+
+  auto repair =
+      session.Repair({{group, StepFunction::Constant(2.0)}}, config);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_TRUE(repair->feasible);
+}
+
+TEST(AuditSessionTest, ParseSessionDetectorCoversMatrix) {
+  EXPECT_EQ(*ParseSessionDetector("global", "itertd"),
+            SessionDetector::kGlobalIterTD);
+  EXPECT_EQ(*ParseSessionDetector("prop", "itertd"),
+            SessionDetector::kPropIterTD);
+  EXPECT_EQ(*ParseSessionDetector("global", "bounds"),
+            SessionDetector::kGlobalBounds);
+  EXPECT_EQ(*ParseSessionDetector("prop", "bounds"),
+            SessionDetector::kPropBounds);
+  EXPECT_EQ(*ParseSessionDetector("global", "upper"),
+            SessionDetector::kGlobalUpper);
+  EXPECT_EQ(*ParseSessionDetector("prop", "upper"),
+            SessionDetector::kPropUpper);
+  EXPECT_FALSE(ParseSessionDetector("nope", "bounds").ok());
+  EXPECT_FALSE(ParseSessionDetector("global", "nope").ok());
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -7,6 +7,7 @@
 namespace fairtopk {
 namespace {
 
+using testing::AllPatterns;
 using testing::PatternOf;
 using testing::RandomRanking;
 using testing::RandomTable;
@@ -113,6 +114,113 @@ TEST(BitmapIndexTest, RejectsEmptyTable) {
   auto table = Table::Create(std::move(schema));
   auto space = PatternSpace::CreateAllCategorical(table->schema());
   EXPECT_FALSE(BitmapIndex::Build(*table, *space, {}).ok());
+}
+
+/// Every count of the patched index must match an index built from
+/// scratch for the new ranking.
+void ExpectIndexEquals(const BitmapIndex& patched, const BitmapIndex& fresh,
+                       const Table& table) {
+  ASSERT_EQ(patched.num_rows(), fresh.num_rows());
+  for (const Pattern& p : AllPatterns(patched.space())) {
+    ASSERT_EQ(patched.PatternCount(p), fresh.PatternCount(p))
+        << p.ToString(patched.space());
+    for (size_t k = 0; k <= table.num_rows(); k += 7) {
+      ASSERT_EQ(patched.TopKCount(p, k), fresh.TopKCount(p, k))
+          << p.ToString(patched.space()) << " k=" << k;
+    }
+  }
+  for (size_t pos = 0; pos < patched.num_rows(); ++pos) {
+    ASSERT_EQ(patched.RowIdAtRank(pos), fresh.RowIdAtRank(pos));
+    for (size_t a = 0; a < patched.space().num_attributes(); ++a) {
+      ASSERT_EQ(patched.RankedCode(pos, a), fresh.RankedCode(pos, a));
+    }
+  }
+}
+
+TEST(BitmapIndexTest, ApplyRankingPatchesToPermutedRanking) {
+  Table table = RandomTable(40, 3, {2, 3}, 21);
+  auto space = PatternSpace::CreateAllCategorical(table.schema());
+  auto ranking = RandomRanking(40, 21);
+  auto index = BitmapIndex::Build(table, *space, ranking);
+  ASSERT_TRUE(index.ok());
+
+  // Rotate a suffix of the permutation.
+  std::vector<uint32_t> new_ranking = ranking;
+  std::rotate(new_ranking.begin() + 25, new_ranking.begin() + 26,
+              new_ranking.end());
+  size_t patched_positions = 0;
+  ASSERT_TRUE(
+      index->ApplyRanking(table, new_ranking, &patched_positions).ok());
+  EXPECT_EQ(patched_positions, 15u);
+  auto fresh = BitmapIndex::Build(table, *space, new_ranking);
+  ASSERT_TRUE(fresh.ok());
+  ExpectIndexEquals(*index, *fresh, table);
+}
+
+TEST(BitmapIndexTest, ApplyRankingNoopOnIdenticalRanking) {
+  Table table = RandomTable(20, 2, {2}, 22);
+  auto space = PatternSpace::CreateAllCategorical(table.schema());
+  auto ranking = RandomRanking(20, 22);
+  auto index = BitmapIndex::Build(table, *space, ranking);
+  ASSERT_TRUE(index.ok());
+  size_t patched_positions = 99;
+  ASSERT_TRUE(index->ApplyRanking(table, ranking, &patched_positions).ok());
+  EXPECT_EQ(patched_positions, 0u);
+}
+
+TEST(BitmapIndexTest, ApplyRankingGrowsForAppendedRows) {
+  Table table = RandomTable(30, 3, {2, 3}, 23);
+  auto space = PatternSpace::CreateAllCategorical(table.schema());
+  auto ranking = RandomRanking(30, 23);
+  auto index = BitmapIndex::Build(table, *space, ranking);
+  ASSERT_TRUE(index.ok());
+
+  // Append rows to the table, then weave the new ids into the middle
+  // and front of the ranking.
+  std::vector<Cell> row(3);
+  for (int i = 0; i < 5; ++i) {
+    for (size_t a = 0; a < 3; ++a) {
+      row[a] = Cell::Code(static_cast<int16_t>((i + a) % 2));
+    }
+    ASSERT_TRUE(table.AppendRow(row).ok());
+  }
+  std::vector<uint32_t> new_ranking = ranking;
+  new_ranking.insert(new_ranking.begin() + 10, {30, 31});
+  new_ranking.insert(new_ranking.end(), {32, 33, 34});
+  size_t patched_positions = 0;
+  ASSERT_TRUE(
+      index->ApplyRanking(table, new_ranking, &patched_positions).ok());
+  EXPECT_EQ(index->num_rows(), 35u);
+  // Everything from the first insertion point moved.
+  EXPECT_EQ(patched_positions, 25u);
+  auto fresh = BitmapIndex::Build(table, *space, new_ranking);
+  ASSERT_TRUE(fresh.ok());
+  ExpectIndexEquals(*index, *fresh, table);
+}
+
+TEST(BitmapIndexTest, ApplyRankingRejectsBadInputs) {
+  Table table = RandomTable(12, 2, {2}, 24);
+  auto space = PatternSpace::CreateAllCategorical(table.schema());
+  auto ranking = RandomRanking(12, 24);
+  auto index = BitmapIndex::Build(table, *space, ranking);
+  ASSERT_TRUE(index.ok());
+
+  // Wrong length.
+  std::vector<uint32_t> short_ranking(ranking.begin(), ranking.end() - 1);
+  EXPECT_FALSE(index->ApplyRanking(table, short_ranking).ok());
+  // Duplicated entry (not a rearrangement).
+  std::vector<uint32_t> dup = ranking;
+  dup[5] = dup[6];
+  EXPECT_FALSE(index->ApplyRanking(table, dup).ok());
+  // Rearrangement that touches the unchanged prefix's rows.
+  std::vector<uint32_t> swapped = ranking;
+  std::swap(swapped[5], swapped[6]);
+  swapped[5] = ranking[5];  // duplicate of prefix row
+  EXPECT_FALSE(index->ApplyRanking(table, swapped).ok());
+  // Failed calls leave the index intact.
+  auto fresh = BitmapIndex::Build(table, *space, ranking);
+  ASSERT_TRUE(fresh.ok());
+  ExpectIndexEquals(*index, *fresh, table);
 }
 
 }  // namespace

@@ -101,5 +101,42 @@ TEST(BitsetTest, UnusedHighBitsStayZero) {
   EXPECT_EQ(bits.words()[1] >> 6, 0u);
 }
 
+TEST(BitsetTest, ResizeGrowPreservesBitsAndZeroesNewPositions) {
+  Bitset bits(70);
+  bits.Set(0);
+  bits.Set(69);
+  bits.Resize(200);
+  EXPECT_EQ(bits.num_bits(), 200u);
+  EXPECT_EQ(bits.Count(), 2u);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(69));
+  for (size_t i = 70; i < 200; ++i) EXPECT_FALSE(bits.Test(i));
+  bits.Set(199);
+  EXPECT_EQ(bits.Count(), 3u);
+  EXPECT_EQ(bits.CountPrefix(70), 2u);
+}
+
+TEST(BitsetTest, ResizeShrinkDiscardsHighBits) {
+  Bitset bits(130);
+  for (size_t i = 0; i < 130; ++i) bits.Set(i);
+  bits.Resize(65);
+  EXPECT_EQ(bits.num_bits(), 65u);
+  EXPECT_EQ(bits.Count(), 65u);
+  // Growing back must not resurrect the discarded bits.
+  bits.Resize(130);
+  EXPECT_EQ(bits.Count(), 65u);
+  for (size_t i = 65; i < 130; ++i) EXPECT_FALSE(bits.Test(i));
+}
+
+TEST(BitsetTest, ResizeWithinSameWordKeepsCountsExact) {
+  Bitset bits(10);
+  for (size_t i = 0; i < 10; ++i) bits.Set(i);
+  bits.Resize(4);
+  EXPECT_EQ(bits.Count(), 4u);
+  bits.Resize(10);
+  EXPECT_EQ(bits.Count(), 4u);
+  EXPECT_EQ(bits.CountPrefix(10), 4u);
+}
+
 }  // namespace
 }  // namespace fairtopk

@@ -1,0 +1,139 @@
+// Unit tests for the JSON parser backing the JSONL serving protocol
+// (common/json.h, ParseJson), including a writer→parser round trip.
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace fairtopk {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.5")->number_value(), -3.5);
+  EXPECT_DOUBLE_EQ(ParseJson("1e3")->number_value(), 1000.0);
+  EXPECT_DOUBLE_EQ(ParseJson("2.5E-2")->number_value(), 0.025);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonParseTest, SurroundingWhitespaceAllowed) {
+  auto v = ParseJson("  \t {\"a\": 1} \n ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_object());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\/d\n\t\u0041")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "a\"b\\c/d\n\tA");
+}
+
+TEST(JsonParseTest, UnicodeEscapeBecomesUtf8) {
+  auto v = ParseJson(R"("\u00e9\u20ac")");  // é €
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonParseTest, NestedContainers) {
+  auto v = ParseJson(R"({"op":"update","scores":[[3,99.5],[7,1]],"deep":{"x":[true,null]}})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->StringOr("op", ""), "update");
+  const JsonValue* scores = v->Find("scores");
+  ASSERT_NE(scores, nullptr);
+  ASSERT_EQ(scores->array_items().size(), 2u);
+  EXPECT_DOUBLE_EQ(scores->array_items()[0].array_items()[1].number_value(),
+                   99.5);
+  const JsonValue* deep = v->Find("deep");
+  ASSERT_NE(deep, nullptr);
+  const JsonValue* x = deep->Find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_TRUE(x->array_items()[0].bool_value());
+  EXPECT_TRUE(x->array_items()[1].is_null());
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+  EXPECT_TRUE(ParseJson("{}")->object_members().empty());
+  EXPECT_TRUE(ParseJson("[]")->array_items().empty());
+}
+
+TEST(JsonParseTest, DefaultedLookups) {
+  auto v = ParseJson(R"({"s":"x","n":2,"b":true})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->StringOr("s", "d"), "x");
+  EXPECT_EQ(v->StringOr("missing", "d"), "d");
+  EXPECT_EQ(v->StringOr("n", "d"), "d");  // wrong type -> fallback
+  EXPECT_DOUBLE_EQ(v->NumberOr("n", -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(v->NumberOr("s", -1.0), -1.0);
+  EXPECT_TRUE(v->BoolOr("b", false));
+  EXPECT_FALSE(v->BoolOr("missing", false));
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("{a:1}").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("01x").ok());
+  EXPECT_FALSE(ParseJson("1.").ok());
+  EXPECT_FALSE(ParseJson("1e").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("\"bad\\q\"").ok());
+  EXPECT_FALSE(ParseJson("\"\\u00g1\"").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+}
+
+TEST(JsonParseTest, ErrorsCarryByteOffset) {
+  auto v = ParseJson("{\"a\": nope}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("byte"), std::string::npos);
+}
+
+TEST(JsonParseTest, DepthLimitRejectsDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("op").String("detect");
+  w.Key("k\"weird").String("line\nbreak\ttab");
+  w.Key("n").Double(2.5);
+  w.Key("flags").BeginArray().Bool(true).Null().Int(-7).EndArray();
+  w.EndObject();
+  auto v = ParseJson(w.str());
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->StringOr("op", ""), "detect");
+  EXPECT_EQ(v->StringOr("k\"weird", ""), "line\nbreak\ttab");
+  EXPECT_DOUBLE_EQ(v->NumberOr("n", 0.0), 2.5);
+  ASSERT_NE(v->Find("flags"), nullptr);
+  EXPECT_EQ(v->Find("flags")->array_items().size(), 3u);
+}
+
+TEST(JsonWriterRawTest, SplicesSerializedValues) {
+  JsonWriter inner;
+  inner.BeginObject();
+  inner.Key("x").Int(1);
+  inner.EndObject();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("data").Raw(inner.str());
+  w.Key("after").Bool(true);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"data\":{\"x\":1},\"after\":true}");
+  JsonWriter arr;
+  arr.BeginArray().Raw("{\"y\":2}").Raw("3").EndArray();
+  EXPECT_EQ(arr.str(), "[{\"y\":2},3]");
+}
+
+}  // namespace
+}  // namespace fairtopk

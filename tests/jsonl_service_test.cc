@@ -1,0 +1,296 @@
+// Unit tests for the JSONL request/response protocol layer
+// (src/service/jsonl_service.h), driven in-process against a small
+// session: every response line must itself parse as JSON, carry the
+// echoed id, and follow the {ok, data|error} envelope.
+#include "service/jsonl_service.h"
+
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+namespace {
+
+Table ServiceTable(size_t rows, uint64_t seed) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("gender", {"F", "M"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("region", {"north", "south"}).ok());
+  EXPECT_TRUE(schema.AddNumeric("score").ok());
+  auto table = Table::Create(std::move(schema));
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    const int16_t gender = static_cast<int16_t>(rng.UniformUint64(2));
+    const int16_t region = static_cast<int16_t>(rng.UniformUint64(2));
+    const double score =
+        50.0 + (gender == 1 ? 15.0 : 0.0) + rng.Gaussian() * 5.0;
+    EXPECT_TRUE(table
+                    ->AppendRow({Cell::Code(gender), Cell::Code(region),
+                                 Cell::Value(score)})
+                    .ok());
+  }
+  return std::move(table).value();
+}
+
+class JsonlServiceTest : public ::testing::Test {
+ protected:
+  JsonlServiceTest() {
+    auto session = AuditSession::Create(ServiceTable(100, 99), "score");
+    EXPECT_TRUE(session.ok());
+    session_.emplace(std::move(session).value());
+    ServeDefaults defaults;
+    defaults.dataset = "unit-fixture";
+    defaults.config = DetectionConfig{5, 30, 10};
+    service_.emplace(&session_.value(), defaults);
+  }
+
+  /// Handles `line` and parses the response, asserting it is valid
+  /// JSON with the envelope fields. The raw response is kept in
+  /// `last_response_` for failure messages.
+  JsonValue Roundtrip(const std::string& line) {
+    last_response_ = service_->HandleLine(line);
+    auto parsed = ParseJson(last_response_);
+    EXPECT_TRUE(parsed.ok()) << last_response_;
+    EXPECT_TRUE(parsed->is_object()) << last_response_;
+    EXPECT_NE(parsed->Find("ok"), nullptr) << last_response_;
+    EXPECT_NE(parsed->Find("id"), nullptr) << last_response_;
+    return std::move(parsed).value();
+  }
+
+  JsonValue ExpectOk(const std::string& line) {
+    JsonValue v = Roundtrip(line);
+    EXPECT_TRUE(v.BoolOr("ok", false)) << last_response_;
+    EXPECT_NE(v.Find("data"), nullptr);
+    return v;
+  }
+
+  JsonValue ExpectError(const std::string& line, const std::string& code) {
+    JsonValue v = Roundtrip(line);
+    EXPECT_FALSE(v.BoolOr("ok", true));
+    const JsonValue* error = v.Find("error");
+    EXPECT_NE(error, nullptr);
+    if (error != nullptr) {
+      EXPECT_EQ(error->StringOr("code", ""), code);
+    }
+    return v;
+  }
+
+  std::optional<AuditSession> session_;
+  std::optional<JsonlService> service_;
+  std::string last_response_;
+};
+
+TEST_F(JsonlServiceTest, DetectUsesDefaultsAndReportsSchema) {
+  JsonValue v = ExpectOk(R"({"op":"detect","id":"q1"})");
+  EXPECT_EQ(v.Find("id")->string_value(), "q1");
+  const JsonValue* data = v.Find("data");
+  EXPECT_FALSE(data->BoolOr("cached", true));
+  const JsonValue* report = data->Find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->StringOr("dataset", ""), "unit-fixture");
+  EXPECT_EQ(report->StringOr("algorithm", ""), "PropBounds");
+  EXPECT_DOUBLE_EQ(report->NumberOr("k_min", 0), 5.0);
+  EXPECT_DOUBLE_EQ(report->NumberOr("k_max", 0), 30.0);
+  ASSERT_NE(report->Find("results"), nullptr);
+  EXPECT_EQ(report->Find("results")->array_items().size(), 26u);
+}
+
+TEST_F(JsonlServiceTest, SecondIdenticalDetectIsCached) {
+  ExpectOk(R"({"op":"detect","id":1})");
+  JsonValue v = ExpectOk(R"({"op":"detect","id":2})");
+  EXPECT_TRUE(v.Find("data")->BoolOr("cached", false));
+}
+
+TEST_F(JsonlServiceTest, DetectSelectsDetector) {
+  JsonValue v = ExpectOk(
+      R"({"op":"detect","measure":"global","algo":"itertd","lower":0.3})");
+  EXPECT_EQ(v.Find("data")->Find("report")->StringOr("algorithm", ""),
+            "GlobalIterTD");
+  ExpectError(R"({"op":"detect","measure":"nope"})", "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"detect","algo":"nope"})", "INVALID_ARGUMENT");
+}
+
+TEST_F(JsonlServiceTest, DetectAcceptsExplicitSteps) {
+  JsonValue v = ExpectOk(
+      R"({"op":"detect","measure":"global","algo":"bounds",)"
+      R"("lower_steps":[[5,2],[15,5]]})");
+  EXPECT_EQ(v.Find("data")->Find("report")->StringOr("measure", ""),
+            "global");
+  ExpectError(
+      R"({"op":"detect","measure":"global","lower_steps":[[15,5],[5,2]]})",
+      "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"detect","k_min":2.5})", "INVALID_ARGUMENT");
+}
+
+TEST_F(JsonlServiceTest, UpdateThenDetectIsNotCached) {
+  ExpectOk(R"({"op":"detect"})");
+  JsonValue update = ExpectOk(R"({"op":"update","scores":[[0,999.0]]})");
+  const JsonValue* data = update.Find("data");
+  EXPECT_DOUBLE_EQ(data->NumberOr("rows_updated", 0), 1.0);
+  const std::string kind = data->StringOr("maintenance", "");
+  EXPECT_TRUE(kind == "patched" || kind == "rebuilt") << kind;
+  JsonValue v = ExpectOk(R"({"op":"detect"})");
+  EXPECT_FALSE(v.Find("data")->BoolOr("cached", true));
+}
+
+TEST_F(JsonlServiceTest, UpdateValidation) {
+  ExpectError(R"({"op":"update"})", "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"update","scores":[[0]]})", "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"update","scores":[[-1,5]]})", "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"update","scores":[[100000,5]]})", "OUT_OF_RANGE");
+  // Row ids beyond uint32 must be rejected, not wrapped onto row 0.
+  const double score_before = session_->scores()[0];
+  ExpectError(R"({"op":"update","scores":[[4294967296,5]]})",
+              "INVALID_ARGUMENT");
+  EXPECT_DOUBLE_EQ(session_->scores()[0], score_before);
+}
+
+TEST_F(JsonlServiceTest, MistypedParametersErrorInsteadOfDefaulting) {
+  // A present-but-wrong-typed parameter must fail loudly — silently
+  // substituting the default would yield confidently wrong results.
+  ExpectError(R"({"op":"detect","alpha":"0.99"})", "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"detect","measure":"prop","beta":"2"})",
+              "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"detect","measure":"global","lower":"0.5"})",
+              "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"detect","k_min":"5"})", "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"detect","k_min":99999999999999})",
+              "INVALID_ARGUMENT");
+  ExpectError(
+      R"({"op":"detect","measure":"global","lower_steps":[[5.5,2]]})",
+      "INVALID_ARGUMENT");
+}
+
+TEST_F(JsonlServiceTest, AppendByLabelsGrowsSession) {
+  JsonValue v = ExpectOk(
+      R"({"op":"append","rows":[)"
+      R"({"gender":"F","region":"north","score":200.0},)"
+      R"({"gender":"M","region":"south","score":-5.0}]})");
+  const JsonValue* data = v.Find("data");
+  EXPECT_DOUBLE_EQ(data->NumberOr("rows_appended", 0), 2.0);
+  EXPECT_DOUBLE_EQ(data->NumberOr("num_rows", 0), 102.0);
+  EXPECT_EQ(session_->ranking().front(), 100u);  // the 200.0 row
+
+  ExpectError(R"({"op":"append","rows":[{"gender":"F"}]})",
+              "INVALID_ARGUMENT");
+  ExpectError(
+      R"({"op":"append","rows":[)"
+      R"({"gender":"alien","region":"north","score":1.0}]})",
+      "NOT_FOUND");
+  ExpectError(
+      R"({"op":"append","rows":[)"
+      R"({"gender":"F","region":"north","score":"high"}]})",
+      "INVALID_ARGUMENT");
+}
+
+TEST_F(JsonlServiceTest, VerifyReportsViolations) {
+  JsonValue v = ExpectOk(
+      R"({"op":"verify","measure":"global","lower":0.4,)"
+      R"("group":{"gender":"F"}})");
+  const JsonValue* data = v.Find("data");
+  EXPECT_GT(data->NumberOr("size", 0), 0.0);
+  ASSERT_NE(data->Find("violations"), nullptr);
+  // The fixture penalizes F heavily; a 0.4k floor must be violated.
+  EXPECT_FALSE(data->BoolOr("fair", true));
+  EXPECT_FALSE(data->Find("violations")->array_items().empty());
+
+  ExpectError(R"({"op":"verify"})", "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"verify","group":{"gender":"X"}})", "NOT_FOUND");
+  ExpectError(R"({"op":"verify","group":{"height":"F"}})", "NOT_FOUND");
+  ExpectError(R"({"op":"verify","group":{}})", "INVALID_ARGUMENT");
+}
+
+TEST_F(JsonlServiceTest, SuggestReturnsCalibration) {
+  JsonValue v = ExpectOk(R"({"op":"suggest","max_groups":10})");
+  const JsonValue* data = v.Find("data");
+  EXPECT_GT(data->NumberOr("tau", 0), 0.0);
+  EXPECT_NE(data->Find("lower_steps"), nullptr);
+  EXPECT_NE(data->Find("alpha"), nullptr);
+  ExpectError(R"({"op":"suggest","max_groups":0})", "INVALID_ARGUMENT");
+}
+
+TEST_F(JsonlServiceTest, RerankReportsRepairOutcome) {
+  JsonValue v = ExpectOk(
+      R"({"op":"rerank","measure":"global","algo":"bounds","lower":0.3})");
+  const JsonValue* data = v.Find("data");
+  ASSERT_NE(data->Find("feasible"), nullptr);
+  ASSERT_NE(data->Find("tuples_moved"), nullptr);
+  ASSERT_NE(data->Find("unsatisfied"), nullptr);
+}
+
+TEST_F(JsonlServiceTest, StatsAndInvalidate) {
+  ExpectOk(R"({"op":"detect"})");
+  ExpectOk(R"({"op":"detect"})");
+  JsonValue stats = ExpectOk(R"({"op":"stats"})");
+  const JsonValue* data = stats.Find("data");
+  EXPECT_DOUBLE_EQ(data->NumberOr("num_rows", 0), 100.0);
+  EXPECT_DOUBLE_EQ(data->NumberOr("detect_queries", 0), 2.0);
+  EXPECT_DOUBLE_EQ(data->NumberOr("cache_hits", 0), 1.0);
+  EXPECT_DOUBLE_EQ(data->NumberOr("cache_entries", 0), 1.0);
+
+  JsonValue inv = ExpectOk(R"({"op":"invalidate"})");
+  EXPECT_DOUBLE_EQ(inv.Find("data")->NumberOr("cache_entries", -1), 0.0);
+  JsonValue after = ExpectOk(R"({"op":"detect"})");
+  EXPECT_FALSE(after.Find("data")->BoolOr("cached", true));
+}
+
+TEST_F(JsonlServiceTest, ProtocolErrors) {
+  ExpectError("not json", "INVALID_ARGUMENT");
+  ExpectError("[1,2,3]", "INVALID_ARGUMENT");
+  ExpectError(R"({"no_op":true})", "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"fly"})", "INVALID_ARGUMENT");
+}
+
+TEST_F(JsonlServiceTest, IdEchoCoversScalarTypes) {
+  EXPECT_EQ(Roundtrip(R"({"op":"stats","id":"abc"})")
+                .Find("id")
+                ->string_value(),
+            "abc");
+  EXPECT_DOUBLE_EQ(
+      Roundtrip(R"({"op":"stats","id":7})").Find("id")->number_value(),
+      7.0);
+  EXPECT_TRUE(Roundtrip(R"({"op":"stats"})").Find("id")->is_null());
+  EXPECT_TRUE(
+      Roundtrip(R"({"op":"stats","id":[1]})").Find("id")->is_null());
+}
+
+TEST_F(JsonlServiceTest, LargeIntegerIdsEchoExactly) {
+  // Epoch-millis-sized ids exceed Double()'s %.10g precision; the echo
+  // must render them exactly or clients cannot correlate responses.
+  Roundtrip(R"({"op":"stats","id":1722400000123})");
+  EXPECT_NE(last_response_.find("\"id\":1722400000123"),
+            std::string::npos)
+      << last_response_;
+  EXPECT_DOUBLE_EQ(Roundtrip(R"({"op":"stats","id":-42})")
+                       .Find("id")
+                       ->number_value(),
+                   -42.0);
+}
+
+TEST_F(JsonlServiceTest, ServeProcessesLinesAndSkipsBlanks) {
+  std::istringstream in(
+      "{\"op\":\"stats\",\"id\":1}\n"
+      "\n"
+      "   \t\n"
+      "{\"op\":\"detect\",\"id\":2}\n"
+      "garbage\n");
+  std::ostringstream out;
+  service_->Serve(in, out);
+  std::istringstream lines(out.str());
+  std::string line;
+  size_t count = 0;
+  while (std::getline(lines, line)) {
+    auto parsed = ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+}  // namespace
+}  // namespace fairtopk

@@ -1,0 +1,46 @@
+# Smoke-test driver for the JSONL serving tool, invoked by CTest as
+# `cmake -P run_serve_smoke.cmake` with:
+#   -DBINARY=<path to fairtopk_serve>
+#   -DSCRIPT=<path to a .jsonl request script, piped to stdin>
+#   -DOUT=<path>                 where to capture stdout
+#   -DARGS=<semicolon list>      startup arguments (CSV, rank column, ...)
+# Fails unless the binary exits 0 and answers EVERY request line with a
+# JSON object reporting "ok":true (the canned script contains only
+# valid requests, so a single error response is a regression).
+
+if(NOT DEFINED BINARY OR NOT DEFINED SCRIPT OR NOT DEFINED OUT)
+  message(FATAL_ERROR
+          "run_serve_smoke.cmake requires -DBINARY, -DSCRIPT and -DOUT")
+endif()
+
+execute_process(
+  COMMAND "${BINARY}" ${ARGS}
+  INPUT_FILE "${SCRIPT}"
+  OUTPUT_FILE "${OUT}"
+  RESULT_VARIABLE exit_code
+)
+
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "${BINARY} exited with ${exit_code}")
+endif()
+
+# One response line per (non-blank) request line.
+file(STRINGS "${SCRIPT}" requests)
+list(LENGTH requests request_count)
+file(STRINGS "${OUT}" responses)
+list(LENGTH responses response_count)
+if(NOT response_count EQUAL request_count)
+  message(FATAL_ERROR
+          "expected ${request_count} responses, got ${response_count}")
+endif()
+
+foreach(line IN LISTS responses)
+  string(SUBSTRING "${line}" 0 1 first_char)
+  if(NOT first_char STREQUAL "{")
+    message(FATAL_ERROR "response is not a JSON object: ${line}")
+  endif()
+  string(FIND "${line}" "\"ok\":true" ok_pos)
+  if(ok_pos EQUAL -1)
+    message(FATAL_ERROR "response is not ok: ${line}")
+  endif()
+endforeach()

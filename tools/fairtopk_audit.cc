@@ -35,6 +35,7 @@
 //   --rerank PATH          after detection, repair the ranking so the
 //                          detected groups meet the bounds and write
 //                          the re-ranked table to PATH as CSV
+//   --help                 print the flag table and exit
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -51,9 +52,9 @@
 #include "detect/verify.h"
 #include "mitigate/rerank.h"
 #include "ranking/attribute_ranker.h"
-#include "relation/bucketize.h"
 #include "relation/csv.h"
 #include "report/json_report.h"
+#include "tool_common.h"
 
 namespace fairtopk {
 namespace {
@@ -78,7 +79,47 @@ struct Args {
   std::string rerank_path;
 };
 
-bool ParseArgs(int argc, char** argv, Args& args) {
+/// The full flag table (kept in sync with the file comment); printed
+/// by --help and after argument errors.
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: fairtopk_audit --csv data.csv --rank-by column [options]\n"
+      "\n"
+      "Options:\n"
+      "  --csv PATH             input CSV file (required)\n"
+      "  --rank-by COLUMN       numeric column to rank by, descending\n"
+      "                         (required)\n"
+      "  --ascending            rank ascending instead\n"
+      "  --measure global|prop  fairness measure (default: prop)\n"
+      "  --alpha X              proportional multiplier (default 0.8)\n"
+      "  --lower X              global lower bound, fraction of k\n"
+      "                         (default 0.5: L_k = 0.5k staircase)\n"
+      "  --kmin K --kmax K      rank range (default 10..49, clamped\n"
+      "                         to |D|)\n"
+      "  --tau N                group size threshold (default 5%% of\n"
+      "                         rows)\n"
+      "  --threads N            worker threads for the top-down\n"
+      "                         searches (default 1; 0 = hardware\n"
+      "                         concurrency; results are identical\n"
+      "                         for every value)\n"
+      "  --bins N               buckets per numeric attribute\n"
+      "                         (default 4)\n"
+      "  --drop col1,col2       columns to ignore (ids, names, ...)\n"
+      "  --suggest              calibrate bounds automatically\n"
+      "  --explain              Shapley-explain the most biased group\n"
+      "  --json                 emit the detection report as JSON\n"
+      "  --verify \"A=v;B=w\"     instead of detecting, verify the\n"
+      "                         given group against the bounds and\n"
+      "                         report the violating k values\n"
+      "  --rerank PATH          after detection, repair the ranking\n"
+      "                         so the detected groups meet the\n"
+      "                         bounds and write the re-ranked table\n"
+      "                         to PATH as CSV\n"
+      "  --help                 print this message and exit\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args& args, bool& help) {
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&](const char* name) -> const char* {
@@ -88,7 +129,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       }
       return argv[++i];
     };
-    if (flag == "--csv") {
+    if (flag == "--help" || flag == "-h") {
+      help = true;
+      return true;
+    } else if (flag == "--csv") {
       const char* v = next("--csv");
       if (v == nullptr) return false;
       args.csv = v;
@@ -161,14 +205,12 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.json = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      PrintUsage(stderr);
       return false;
     }
   }
   if (args.csv.empty() || args.rank_by.empty()) {
-    std::fprintf(stderr,
-                 "usage: fairtopk_audit --csv data.csv --rank-by column "
-                 "[--measure global|prop] [--threads N] [--json] "
-                 "[--explain] ...\n");
+    PrintUsage(stderr);
     return false;
   }
   if (args.measure != "global" && args.measure != "prop") {
@@ -216,40 +258,15 @@ Result<Pattern> ParseGroupSpec(const std::string& spec,
 }
 
 int RunAudit(const Args& args) {
-  CsvOptions csv_options;
-  csv_options.drop = args.drop;
-  Result<Table> raw = ReadCsvFile(args.csv, csv_options);
-  if (!raw.ok()) {
-    std::fprintf(stderr, "failed to read %s: %s\n", args.csv.c_str(),
-                 raw.status().ToString().c_str());
-    return 1;
-  }
-
   // Rank on the raw numeric column, then bucketize every OTHER numeric
   // column so it can join group definitions.
-  auto rank_idx = raw->schema().IndexOf(args.rank_by);
-  if (!rank_idx.has_value() ||
-      raw->schema().attribute(*rank_idx).type != AttributeType::kNumeric) {
-    std::fprintf(stderr, "--rank-by column '%s' missing or not numeric\n",
-                 args.rank_by.c_str());
+  Result<Table> loaded =
+      LoadAuditTable(args.csv, args.rank_by, args.bins, args.drop);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  Table table = *raw;
-  for (size_t c = 0; c < raw->schema().size(); ++c) {
-    const auto& attr = raw->schema().attribute(c);
-    if (attr.type != AttributeType::kNumeric || attr.name == args.rank_by) {
-      continue;
-    }
-    Result<Table> bucketized = BucketizeAttribute(
-        table, attr.name, args.bins, BucketStrategy::kEqualWidth);
-    if (!bucketized.ok()) {
-      std::fprintf(stderr, "bucketization of '%s' failed: %s\n",
-                   attr.name.c_str(),
-                   bucketized.status().ToString().c_str());
-      return 1;
-    }
-    table = std::move(bucketized).value();
-  }
+  Table table = std::move(loaded).value();
 
   AttributeRanker ranker({{args.rank_by, args.ascending}});
   Result<DetectionInput> input = DetectionInput::Prepare(table, ranker);
@@ -267,24 +284,14 @@ int RunAudit(const Args& args) {
       args.tau > 0 ? args.tau : std::max(2, n / 20);
   config.num_threads = args.threads;
 
-  GlobalBoundSpec gbounds;
-  {
-    std::vector<std::pair<int, double>> steps;
-    for (int start = std::min(config.k_min, 10); start <= config.k_max;
-         start += 10) {
-      steps.emplace_back(start,
-                         std::max(1.0, args.lower_fraction * start));
-    }
-    if (steps.empty()) {
-      steps.emplace_back(config.k_min, args.lower_fraction * config.k_min);
-    }
-    auto staircase = StepFunction::FromSteps(std::move(steps));
-    if (!staircase.ok()) {
-      std::fprintf(stderr, "%s\n", staircase.status().ToString().c_str());
-      return 1;
-    }
-    gbounds.lower = *staircase;
+  Result<GlobalBoundSpec> gbounds_result = GlobalBoundSpec::FractionStaircase(
+      args.lower_fraction, config.k_min, config.k_max);
+  if (!gbounds_result.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 gbounds_result.status().ToString().c_str());
+    return 1;
   }
+  GlobalBoundSpec gbounds = *gbounds_result;
   PropBoundSpec pbounds;
   pbounds.alpha = args.alpha;
 
@@ -482,6 +489,11 @@ int RunAudit(const Args& args) {
 
 int main(int argc, char** argv) {
   fairtopk::Args args;
-  if (!fairtopk::ParseArgs(argc, argv, args)) return 2;
+  bool help = false;
+  if (!fairtopk::ParseArgs(argc, argv, args, help)) return 2;
+  if (help) {
+    fairtopk::PrintUsage(stdout);
+    return 0;
+  }
   return fairtopk::RunAudit(args);
 }

@@ -1,0 +1,220 @@
+// fairtopk_serve: long-lived audit session over a CSV file, driven by
+// a batched JSONL protocol on stdin/stdout.
+//
+// Usage:
+//   fairtopk_serve --csv data.csv --rank-by score [options] < requests.jsonl
+//
+// Startup mirrors fairtopk_audit: the CSV is loaded, every numeric
+// column except the ranking column is bucketized so it can join group
+// definitions, and one AuditSession is opened (table ranked by the
+// score column, rank-ordered BitmapIndex built once). The process then
+// reads one JSON request object per stdin line and writes one JSON
+// response object per stdout line until EOF — detection queries are
+// cached, and `update`/`append` requests maintain the ranking and
+// index incrementally instead of rebuilding (see
+// src/service/jsonl_service.h for the protocol and README.md for a
+// worked transcript).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "service/jsonl_service.h"
+#include "tool_common.h"
+
+namespace fairtopk {
+namespace {
+
+struct Args {
+  std::string csv;
+  std::string rank_by;
+  bool ascending = false;
+  int k_min = 10;
+  int k_max = 49;
+  int tau = 0;  // 0 = 5% of rows
+  int threads = 1;
+  int bins = 4;
+  std::vector<std::string> drop;
+  double lower_fraction = 0.5;
+  double alpha = 0.8;
+  double rebuild_threshold = 0.5;
+  int cache_capacity = 64;
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: fairtopk_serve --csv data.csv --rank-by column [options]\n"
+      "\n"
+      "Serves an audit session over the CSV: reads one JSON request per\n"
+      "stdin line, writes one JSON response per stdout line until EOF.\n"
+      "Ops: detect, suggest, verify, rerank, update, append, stats,\n"
+      "invalidate (see README.md, \"Serving audits\").\n"
+      "\n"
+      "Options:\n"
+      "  --csv PATH             input CSV file (required)\n"
+      "  --rank-by COLUMN       numeric column to rank by, descending\n"
+      "                         (required)\n"
+      "  --ascending            rank ascending instead\n"
+      "  --kmin K --kmax K      default rank range (default 10..49,\n"
+      "                         clamped to |D|)\n"
+      "  --tau N                default group size threshold\n"
+      "                         (default 5%% of rows)\n"
+      "  --threads N            default worker threads per query\n"
+      "                         (0 = hardware concurrency)\n"
+      "  --lower X              default global lower bound, fraction\n"
+      "                         of k (default 0.5)\n"
+      "  --alpha X              default proportional multiplier\n"
+      "                         (default 0.8)\n"
+      "  --bins N               buckets per numeric attribute\n"
+      "                         (default 4)\n"
+      "  --drop col1,col2       columns to ignore (ids, names, ...)\n"
+      "  --rebuild-threshold X  patch the index in place while at most\n"
+      "                         X*|D| rank positions changed row;\n"
+      "                         rebuild beyond it (default 0.5)\n"
+      "  --cache-capacity N     cached detection results (default 64,\n"
+      "                         0 disables)\n"
+      "  --help                 print this message and exit\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args& args, bool& help) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    auto next_int = [&](const char* name, int min, int max,
+                        int& out) -> bool {
+      const char* v = next(name);
+      if (v == nullptr) return false;
+      auto parsed = ParseInt(v);
+      if (!parsed.has_value() || *parsed < min || *parsed > max) {
+        std::fprintf(stderr, "%s expects an integer in [%d, %d], got '%s'\n",
+                     name, min, max, v);
+        return false;
+      }
+      out = static_cast<int>(*parsed);
+      return true;
+    };
+    auto next_double = [&](const char* name, double& out) -> bool {
+      const char* v = next(name);
+      if (v == nullptr) return false;
+      auto parsed = ParseDouble(v);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "%s expects a number, got '%s'\n", name, v);
+        return false;
+      }
+      out = *parsed;
+      return true;
+    };
+    if (flag == "--help" || flag == "-h") {
+      help = true;
+      return true;
+    } else if (flag == "--csv") {
+      const char* v = next("--csv");
+      if (v == nullptr) return false;
+      args.csv = v;
+    } else if (flag == "--rank-by") {
+      const char* v = next("--rank-by");
+      if (v == nullptr) return false;
+      args.rank_by = v;
+    } else if (flag == "--ascending") {
+      args.ascending = true;
+    } else if (flag == "--kmin") {
+      if (!next_int("--kmin", 1, 1 << 30, args.k_min)) return false;
+    } else if (flag == "--kmax") {
+      if (!next_int("--kmax", 1, 1 << 30, args.k_max)) return false;
+    } else if (flag == "--tau") {
+      if (!next_int("--tau", 1, 1 << 30, args.tau)) return false;
+    } else if (flag == "--threads") {
+      if (!next_int("--threads", 0, 4096, args.threads)) return false;
+    } else if (flag == "--bins") {
+      if (!next_int("--bins", 2, 1 << 20, args.bins)) return false;
+    } else if (flag == "--cache-capacity") {
+      if (!next_int("--cache-capacity", 0, 1 << 30, args.cache_capacity)) {
+        return false;
+      }
+    } else if (flag == "--lower") {
+      if (!next_double("--lower", args.lower_fraction)) return false;
+    } else if (flag == "--alpha") {
+      if (!next_double("--alpha", args.alpha)) return false;
+    } else if (flag == "--rebuild-threshold") {
+      if (!next_double("--rebuild-threshold", args.rebuild_threshold)) {
+        return false;
+      }
+    } else if (flag == "--drop") {
+      const char* v = next("--drop");
+      if (v == nullptr) return false;
+      args.drop = Split(v, ',');
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      PrintUsage(stderr);
+      return false;
+    }
+  }
+  if (args.csv.empty() || args.rank_by.empty()) {
+    PrintUsage(stderr);
+    return false;
+  }
+  return true;
+}
+
+int RunServe(const Args& args) {
+  Result<Table> loaded =
+      LoadAuditTable(args.csv, args.rank_by, args.bins, args.drop);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  Table table = std::move(loaded).value();
+
+  const int n = static_cast<int>(table.num_rows());
+  SessionOptions session_options;
+  session_options.rebuild_threshold = args.rebuild_threshold;
+  session_options.cache_capacity = static_cast<size_t>(args.cache_capacity);
+  Result<AuditSession> session = AuditSession::Create(
+      std::move(table), args.rank_by, args.ascending, session_options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    return 1;
+  }
+
+  ServeDefaults defaults;
+  defaults.dataset = args.csv;
+  defaults.config.k_min = args.k_min;
+  defaults.config.k_max = std::min(args.k_max, n);
+  if (defaults.config.k_min > defaults.config.k_max) {
+    defaults.config.k_min = 1;
+  }
+  defaults.config.size_threshold =
+      args.tau > 0 ? args.tau : std::max(2, n / 20);
+  defaults.config.num_threads = args.threads;
+  defaults.lower_fraction = args.lower_fraction;
+  defaults.alpha = args.alpha;
+
+  std::fprintf(stderr, "session ready: %d rows, %zu pattern attributes\n", n,
+               session->space().num_attributes());
+  JsonlService service(&session.value(), defaults);
+  service.Serve(std::cin, std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairtopk
+
+int main(int argc, char** argv) {
+  fairtopk::Args args;
+  bool help = false;
+  if (!fairtopk::ParseArgs(argc, argv, args, help)) return 2;
+  if (help) {
+    fairtopk::PrintUsage(stdout);
+    return 0;
+  }
+  return fairtopk::RunServe(args);
+}

@@ -1,0 +1,60 @@
+// Startup shared by the fairtopk CLI tools (fairtopk_audit,
+// fairtopk_serve): load the CSV, validate the ranking column, and
+// bucketize every other numeric column so it can participate in group
+// definitions. Kept in one place so the one-shot and serving
+// front-ends can never drift in how they prepare a dataset.
+#ifndef FAIRTOPK_TOOLS_TOOL_COMMON_H_
+#define FAIRTOPK_TOOLS_TOOL_COMMON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/bucketize.h"
+#include "relation/csv.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+
+/// Loads `csv_path` (dropping `drop` columns), checks that `rank_by`
+/// names a numeric column, and bucketizes every other numeric column
+/// into `bins` equal-width buckets. Errors carry the offending file or
+/// column in their message.
+inline Result<Table> LoadAuditTable(const std::string& csv_path,
+                                    const std::string& rank_by, int bins,
+                                    const std::vector<std::string>& drop) {
+  CsvOptions csv_options;
+  csv_options.drop = drop;
+  Result<Table> raw = ReadCsvFile(csv_path, csv_options);
+  if (!raw.ok()) {
+    return Status(raw.status().code(), "failed to read " + csv_path + ": " +
+                                           raw.status().message());
+  }
+  auto rank_idx = raw->schema().IndexOf(rank_by);
+  if (!rank_idx.has_value() ||
+      raw->schema().attribute(*rank_idx).type != AttributeType::kNumeric) {
+    return Status::InvalidArgument("--rank-by column '" + rank_by +
+                                   "' missing or not numeric");
+  }
+  Table table = std::move(raw).value();
+  for (size_t c = 0; c < table.schema().size(); ++c) {
+    const AttributeSchema& attr = table.schema().attribute(c);
+    if (attr.type != AttributeType::kNumeric || attr.name == rank_by) {
+      continue;
+    }
+    Result<Table> bucketized = BucketizeAttribute(
+        table, attr.name, bins, BucketStrategy::kEqualWidth);
+    if (!bucketized.ok()) {
+      return Status(bucketized.status().code(),
+                    "bucketization of '" + attr.name + "' failed: " +
+                        bucketized.status().message());
+    }
+    table = std::move(bucketized).value();
+  }
+  return table;
+}
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_TOOLS_TOOL_COMMON_H_
