@@ -203,10 +203,10 @@ AuditSession MediumSession(double rebuild_threshold) {
 void BM_SessionReuseDetect(benchmark::State& state) {
   static AuditSession* session =
       new AuditSession(MediumSession(/*rebuild_threshold=*/0.5));
-  SessionQuery query;
-  query.detector = SessionDetector::kGlobalBounds;
+  api::AuditRequest query;
+  query.detector = "GlobalBounds";
   query.config = DetectionConfig{10, 49, 1000};
-  query.global_bounds = GlobalBoundSpec::PaperDefault(49);
+  query.bounds = GlobalBoundSpec::PaperDefault(49);
   const bool warm = state.range(0) == 1;
   for (auto _ : state) {
     if (!warm) session->InvalidateCache();
@@ -215,6 +215,46 @@ void BM_SessionReuseDetect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SessionReuseDetect)->Arg(0)->Arg(1);
+
+// Batched serving vs N sequential Detect() calls on the 20k-row
+// synthetic, with the result cache DISABLED (the streaming/serving
+// configuration): the batch holds 4 distinct queries, each requested
+// twice. DetectMany dedupes identical cache keys within the batch and
+// runs each detector once (arg 1); the sequential loop runs all 8
+// (arg 0) — the expected gap is the dedup factor, ~2x.
+void BM_DetectManyBatched(benchmark::State& state) {
+  SessionOptions options;
+  options.cache_capacity = 0;
+  auto session = AuditSession::Create(MediumServingTable(), "score",
+                                      /*ascending=*/false, options);
+  if (!session.ok()) std::abort();
+  std::vector<api::AuditRequest> batch;
+  for (int tau : {1000, 1200, 1400, 1600}) {
+    api::AuditRequest query;
+    query.detector = "GlobalBounds";
+    query.config = DetectionConfig{10, 49, tau};
+    query.bounds = GlobalBoundSpec::PaperDefault(49);
+    batch.push_back(query);
+  }
+  // Each distinct query twice.
+  const std::vector<api::AuditRequest> distinct = batch;
+  batch.insert(batch.end(), distinct.begin(), distinct.end());
+  const bool batched = state.range(0) == 1;
+  for (auto _ : state) {
+    if (batched) {
+      auto responses = session->DetectMany(batch);
+      if (!responses.ok()) std::abort();
+      benchmark::DoNotOptimize(responses);
+    } else {
+      for (const api::AuditRequest& query : batch) {
+        auto response = session->Detect(query);
+        if (!response.ok()) std::abort();
+        benchmark::DoNotOptimize(response);
+      }
+    }
+  }
+}
+BENCHMARK(BM_DetectManyBatched)->Arg(0)->Arg(1);
 
 // Incremental ranking maintenance vs from-scratch session rebuild for
 // a 1%-of-rows score update on the medium dataset: arg 0 patches the

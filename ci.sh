@@ -1,11 +1,11 @@
 #!/usr/bin/env sh
-# CI entry point: tier-1 verify from a clean tree, then an ASan/UBSan
-# pass over the unit and property suites, then a ThreadSanitizer pass
-# over the detection tests (which exercise num_threads > 1 through the
-# parallel-equivalence property suite).
+# CI entry point: header self-containment, tier-1 verify from a clean
+# tree, then an ASan/UBSan pass over the unit and property suites, then
+# a ThreadSanitizer pass over the detection tests (which exercise
+# num_threads > 1 through the parallel-equivalence property suite).
 #
 #   ./ci.sh            # all stages
-#   SKIP_SANITIZE=1 ./ci.sh   # tier-1 only
+#   SKIP_SANITIZE=1 ./ci.sh   # skip the sanitizer stages
 set -eu
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
@@ -13,6 +13,15 @@ GENERATOR=""
 if command -v ninja >/dev/null 2>&1; then
   GENERATOR="-GNinja"
 fi
+
+echo "== stage 0: header self-containment =="
+# Every public header must compile standalone (so api/, engine/, and
+# service headers stay includable in isolation — a new public type
+# cannot silently lean on a sibling's transitive includes).
+CXX_BIN="${CXX:-c++}"
+find src -name '*.h' | sort | xargs -P "${JOBS}" -I {} \
+  "${CXX_BIN}" -std=c++20 -fsyntax-only -Isrc -x c++ {}
+echo "all src headers compile standalone"
 
 echo "== tier-1: configure + build + ctest =="
 rm -rf build-ci

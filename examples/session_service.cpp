@@ -1,8 +1,10 @@
 // Serving audits from a long-lived session: open one AuditSession over
-// a synthetic dataset, serve repeated detection queries (the second
-// one is a cache hit), absorb score updates and appended rows through
-// the incremental ranking maintenance, and print the session's
-// service counters — the programmatic twin of `tools/fairtopk_serve`.
+// a synthetic dataset, serve typed api::AuditRequests (repeats are
+// cache hits, a DetectMany batch dedupes identical queries, a
+// streaming sink sees per-k results as they are finalized), absorb
+// score updates and appended rows through the incremental ranking
+// maintenance, and print the session's service counters — the
+// programmatic twin of `tools/fairtopk_serve`.
 #include <cstdio>
 
 #include "common/rng.h"
@@ -13,15 +15,17 @@ using namespace fairtopk;
 
 namespace {
 
-SessionQuery PropQuery(int threads) {
-  SessionQuery query;
-  query.detector = SessionDetector::kPropBounds;
-  query.config.k_min = 10;
-  query.config.k_max = 49;
-  query.config.size_threshold = 100;
-  query.config.num_threads = threads;
-  query.prop_bounds.alpha = 0.8;
-  return query;
+api::AuditRequest PropRequest(int threads) {
+  api::AuditRequest request;
+  request.detector = "PropBounds";
+  request.config.k_min = 10;
+  request.config.k_max = 49;
+  request.config.size_threshold = 100;
+  request.config.num_threads = threads;
+  PropBoundSpec bounds;
+  bounds.alpha = 0.8;
+  request.bounds = bounds;
+  return request;
 }
 
 void PrintTopGroups(const AuditSession& session,
@@ -32,6 +36,24 @@ void PrintTopGroups(const AuditSession& session,
   }
   std::printf("%s\n", result.AtK(k).empty() ? " (none)" : "");
 }
+
+/// A streaming consumer: counts per-k batches as the detector
+/// finalizes them (nothing is materialized on this side).
+class ViolationCounter : public ResultSink {
+ public:
+  Status OnResult(int k, std::vector<Pattern> patterns) override {
+    ks_seen_ += 1;
+    violations_ += patterns.size();
+    (void)k;
+    return Status::OK();
+  }
+  size_t ks_seen() const { return ks_seen_; }
+  size_t violations() const { return violations_; }
+
+ private:
+  size_t ks_seen_ = 0;
+  size_t violations_ = 0;
+};
 
 }  // namespace
 
@@ -60,19 +82,44 @@ int main() {
   // Query 1: runs the detector. Query 2 (same parameters, different
   // thread count) is served from the cache — results are thread-count
   // invariant, so num_threads is not part of the cache key.
-  auto first = session->Detect(PropQuery(/*threads=*/1));
+  auto first = session->Detect(PropRequest(/*threads=*/1));
   if (!first.ok()) {
     std::fprintf(stderr, "%s\n", first.status().ToString().c_str());
     return 1;
   }
-  PrintTopGroups(*session, **first, 49);
-  auto second = session->Detect(PropQuery(/*threads=*/4));
+  PrintTopGroups(*session, *first->result, 49);
+  auto second = session->Detect(PropRequest(/*threads=*/4));
   if (!second.ok()) {
     std::fprintf(stderr, "%s\n", second.status().ToString().c_str());
     return 1;
   }
-  std::printf("  second query cache hit: %s\n",
-              second->get() == first->get() ? "yes" : "no");
+  std::printf("  second query cache hit: %s (ran %s)\n",
+              second->cached ? "yes" : "no", second->detector->name.c_str());
+
+  // A batch: the baseline and the optimized detector, each requested
+  // twice — DetectMany runs each distinct cache key once and serves
+  // the duplicates from the first run.
+  api::AuditRequest baseline = PropRequest(1);
+  baseline.detector = "PropIterTD";
+  auto batch = session->DetectMany(
+      {PropRequest(1), baseline, PropRequest(1), baseline});
+  if (!batch.ok()) {
+    std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  batch of 4 served (%zu deduplicated)\n",
+              static_cast<size_t>((*batch)[2].cached) +
+                  static_cast<size_t>((*batch)[3].cached));
+
+  // Streaming: per-k results flow through a sink as the (cached)
+  // detection replays — a live run would stream identically.
+  ViolationCounter counter;
+  if (Status s = session->DetectStream(PropRequest(1), counter); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("  streamed %zu ks, %zu violation reports\n",
+              counter.ks_seen(), counter.violations());
 
   // Maintenance: nudge 1% of the rows, then append a fresh batch. The
   // ranking and bitmap index are maintained incrementally (suffix
@@ -103,12 +150,12 @@ int main() {
     return 1;
   }
 
-  auto after = session->Detect(PropQuery(/*threads=*/1));
+  auto after = session->Detect(PropRequest(/*threads=*/1));
   if (!after.ok()) {
     std::fprintf(stderr, "%s\n", after.status().ToString().c_str());
     return 1;
   }
-  PrintTopGroups(*session, **after, 49);
+  PrintTopGroups(*session, *after->result, 49);
 
   const SessionServiceStats& stats = session->service_stats();
   std::printf(

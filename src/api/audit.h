@@ -1,0 +1,84 @@
+// The public audit API: typed requests and responses over the
+// detector registry.
+//
+// An AuditRequest names a registered detector and carries exactly the
+// parameterization it consumes (DetectionConfig + the matching
+// BoundsSpec alternative); an AuditResponse pairs the detection result
+// with the descriptor that produced it. RunAuditStream / RunAudit are
+// the one-shot facade over a prepared DetectionInput — the CLI tools
+// and examples go through them, the session layer adds caching and
+// incremental maintenance on top (service/audit_session.h).
+//
+//   api::AuditRequest request;
+//   request.detector = "GlobalBounds";
+//   request.config = {/*k_min=*/10, /*k_max=*/49, /*tau=*/50};
+//   request.bounds = GlobalBoundSpec{...};
+//   FAIRTOPK_ASSIGN_OR_RETURN(DetectionResult result,
+//                             api::RunAudit(input, request));
+#ifndef FAIRTOPK_API_AUDIT_H_
+#define FAIRTOPK_API_AUDIT_H_
+
+#include <memory>
+#include <string>
+
+#include "api/bounds_spec.h"
+#include "api/detector_registry.h"
+#include "common/status.h"
+#include "detect/detection_result.h"
+#include "detect/engine/result_sink.h"
+
+namespace fairtopk::api {
+
+/// One detection query: a registered detector plus its full
+/// parameterization. The bounds variant must hold the alternative the
+/// detector's descriptor declares (checked on resolution).
+struct AuditRequest {
+  /// Stable registry name; see DetectorRegistry / the capabilities op.
+  std::string detector = "PropBounds";
+  DetectionConfig config;
+  BoundsSpec bounds = PropBoundSpec{};
+
+  /// Canonical cache key: detector name plus the canonical config and
+  /// bounds encodings (api/canonical.h). Excludes num_threads —
+  /// results are thread-count invariant by the engine's determinism
+  /// rule, so a 4-thread query may be served from a sequential run's
+  /// cache entry. Distinct parameterizations yield distinct keys
+  /// (property-tested collision guard).
+  std::string CacheKey() const;
+};
+
+/// The outcome of one served request.
+struct AuditResponse {
+  /// The registry entry that ran (never nullptr on success).
+  const DetectorDescriptor* detector = nullptr;
+  /// Per-k violation sets plus work counters. Shared so a session
+  /// cache and its clients can hold the same immutable result.
+  std::shared_ptr<const DetectionResult> result;
+  /// True when the result was served from a cache (session layer) or
+  /// deduplicated within a batch, false when the detector ran.
+  bool cached = false;
+};
+
+/// Resolves the request's detector against `registry` and checks that
+/// the bounds variant matches the descriptor's declared kind.
+Result<const DetectorDescriptor*> ResolveRequest(
+    const AuditRequest& request,
+    const DetectorRegistry& registry = DetectorRegistry::Global());
+
+/// Runs the request's detector over a prepared input, streaming per-k
+/// violation sets into `sink` as they are finalized (nothing is
+/// materialized here).
+Status RunAuditStream(const DetectionInput& input,
+                      const AuditRequest& request, ResultSink& sink,
+                      const DetectorRegistry& registry =
+                          DetectorRegistry::Global());
+
+/// Materializing facade over RunAuditStream.
+Result<DetectionResult> RunAudit(const DetectionInput& input,
+                                 const AuditRequest& request,
+                                 const DetectorRegistry& registry =
+                                     DetectorRegistry::Global());
+
+}  // namespace fairtopk::api
+
+#endif  // FAIRTOPK_API_AUDIT_H_

@@ -1,0 +1,42 @@
+// The typed bounds carrier of the public audit API.
+//
+// The paper defines two problem families with different bound shapes:
+// global representation bounds (per-k staircases, Problem 3.1) and
+// proportional representation bounds (alpha/beta multipliers, Problem
+// 3.2). A BoundsSpec holds exactly one of them, so an AuditRequest
+// carries precisely the specification its detector consumes — no more
+// "fill both, the detector reads one" structs.
+#ifndef FAIRTOPK_API_BOUNDS_SPEC_H_
+#define FAIRTOPK_API_BOUNDS_SPEC_H_
+
+#include <variant>
+
+#include "detect/bounds.h"
+
+namespace fairtopk::api {
+
+/// Exactly one problem family's bound specification.
+using BoundsSpec = std::variant<GlobalBoundSpec, PropBoundSpec>;
+
+/// Which alternative a BoundsSpec holds / a detector consumes.
+enum class BoundsKind {
+  kGlobal,        ///< GlobalBoundSpec (L_k / U_k staircases)
+  kProportional,  ///< PropBoundSpec (alpha / beta multipliers)
+};
+
+/// The kind of the held alternative.
+inline BoundsKind KindOf(const BoundsSpec& bounds) {
+  return std::holds_alternative<GlobalBoundSpec>(bounds)
+             ? BoundsKind::kGlobal
+             : BoundsKind::kProportional;
+}
+
+/// Stable wire name of a bounds kind: "global" / "prop" (the `measure`
+/// vocabulary of the JSONL protocol and the CLI tools).
+inline const char* BoundsKindName(BoundsKind kind) {
+  return kind == BoundsKind::kGlobal ? "global" : "prop";
+}
+
+}  // namespace fairtopk::api
+
+#endif  // FAIRTOPK_API_BOUNDS_SPEC_H_

@@ -1,0 +1,13 @@
+#include "detect/engine/result_sink.h"
+
+namespace fairtopk {
+
+Status ReplayResult(const DetectionResult& result, ResultSink& sink) {
+  for (int k = result.k_min(); k <= result.k_max(); ++k) {
+    FAIRTOPK_RETURN_IF_ERROR(sink.OnResult(k, result.AtK(k)));
+  }
+  sink.OnStats(result.stats());
+  return Status::OK();
+}
+
+}  // namespace fairtopk

@@ -1,58 +1,50 @@
 #include "detect/global_bounds.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
-#include "common/timer.h"
 #include "detect/topdown.h"
 
 namespace fairtopk {
 
-Result<DetectionResult> DetectGlobalBounds(const DetectionInput& input,
-                                           const GlobalBoundSpec& bounds,
-                                           const DetectionConfig& config) {
+Status DetectGlobalBoundsStream(const DetectionInput& input,
+                                const GlobalBoundSpec& bounds,
+                                const DetectionConfig& config,
+                                ResultSink& sink) {
   FAIRTOPK_RETURN_IF_ERROR(input.ValidateConfig(config));
   if (!bounds.lower.IsNonDecreasing()) {
     return Status::InvalidArgument(
         "GLOBALBOUNDS assumes non-decreasing lower bounds (footnote 3 of "
         "the paper); use DetectGlobalIterTD for arbitrary bounds");
   }
-  WallTimer timer;
   const BitmapIndex& index = input.index();
-  DetectionResult result(config.k_min, config.k_max);
-  DetectionStats* stats = &result.stats();
 
+  // Res and DRes of Algorithm 2, carried across ks by the per-k
+  // closure.
   MostGeneralResultSet res;
-  std::vector<Pattern> deferred;  // DRes of Algorithm 2.
+  std::vector<Pattern> deferred;
 
-  // Initial full search at k_min.
-  {
-    const double lower = bounds.lower.At(config.k_min);
-    TopDownOutcome outcome = TopDownSearch(
-        index, config.size_threshold, config.k_min,
-        [lower](size_t) { return lower; }, stats, config.num_threads);
-    res = std::move(outcome.result);
-    deferred = std::move(outcome.deferred);
-    result.MutableAtK(config.k_min) = res.Sorted();
-  }
-
-  for (int k = config.k_min + 1; k <= config.k_max; ++k) {
+  return engine::StreamPerK(config, sink, [&](int k, DetectionStats& stats)
+                                              -> std::vector<Pattern> {
+    DetectionStats* sp = &stats;
     const double lower = bounds.lower.At(k);
+    const auto flat_bound = [lower](size_t) { return lower; };
+    if (k == config.k_min || lower != bounds.lower.At(k - 1)) {
+      // Initial iteration, or the bound stepped up: restart with a
+      // fresh search (Algorithm 2, line 5).
+      TopDownOutcome outcome =
+          TopDownSearch(index, config.size_threshold, k, flat_bound, sp,
+                        config.num_threads);
+      res = std::move(outcome.result);
+      deferred = std::move(outcome.deferred);
+      return res.Sorted();
+    }
+
     // The resumed searches of this iteration run sequentially (they are
     // interleaved with the serial incremental bookkeeping).
     const engine::SearchParams resume_params{config.size_threshold,
                                              static_cast<size_t>(k), 1};
-    const auto flat_bound = [lower](size_t) { return lower; };
-    if (lower != bounds.lower.At(k - 1)) {
-      // Bound stepped up: restart with a fresh search (Algorithm 2,
-      // line 5).
-      TopDownOutcome outcome =
-          TopDownSearch(index, config.size_threshold, k, flat_bound, stats,
-                        config.num_threads);
-      res = std::move(outcome.result);
-      deferred = std::move(outcome.deferred);
-      result.MutableAtK(k) = res.Sorted();
-      continue;
-    }
 
     // The new tuple occupies rank position k-1 (0-based). With a flat
     // bound, counts only grow, so the only possible transition is
@@ -69,12 +61,12 @@ Result<DetectionResult> DetectGlobalBounds(const DetectionInput& input,
     std::sort(candidates.begin(), candidates.end());
     for (const Pattern& p : candidates) {
       if (!res.Contains(p)) continue;  // evicted by an earlier expansion
-      if (stats != nullptr) ++stats->nodes_visited;
+      ++sp->nodes_visited;
       const size_t top_k = index.TopKCount(p, static_cast<size_t>(k));
       if (static_cast<double>(top_k) >= lower) {
         res.Remove(p);
         engine::MostGeneralBelowFrom(index, resume_params, p, flat_bound, res,
-                                     deferred, stats);
+                                     deferred, sp);
       }
     }
 
@@ -85,11 +77,11 @@ Result<DetectionResult> DetectGlobalBounds(const DetectionInput& input,
     pending.swap(deferred);
     std::sort(pending.begin(), pending.end());
     for (Pattern& d : pending) {
-      if (stats != nullptr) ++stats->nodes_visited;
+      ++sp->nodes_visited;
       const size_t top_k = index.TopKCount(d, static_cast<size_t>(k));
       if (static_cast<double>(top_k) >= lower) {
         engine::MostGeneralBelowFrom(index, resume_params, d, flat_bound, res,
-                                     deferred, stats);
+                                     deferred, sp);
         continue;
       }
       if (res.HasProperAncestorOf(d)) {
@@ -105,11 +97,16 @@ Result<DetectionResult> DetectGlobalBounds(const DetectionInput& input,
       }
     }
 
-    result.MutableAtK(k) = res.Sorted();
-  }
+    return res.Sorted();
+  });
+}
 
-  result.stats().seconds = timer.ElapsedSeconds();
-  return result;
+Result<DetectionResult> DetectGlobalBounds(const DetectionInput& input,
+                                           const GlobalBoundSpec& bounds,
+                                           const DetectionConfig& config) {
+  return MaterializeStream(input, config, [&](ResultSink& sink) {
+    return DetectGlobalBoundsStream(input, bounds, config, sink);
+  });
 }
 
 }  // namespace fairtopk

@@ -1,53 +1,65 @@
 #include "detect/itertd.h"
 
-#include "common/timer.h"
+#include <utility>
+
 #include "detect/topdown.h"
 
 namespace fairtopk {
 
+Status DetectGlobalIterTDStream(const DetectionInput& input,
+                                const GlobalBoundSpec& bounds,
+                                const DetectionConfig& config,
+                                ResultSink& sink) {
+  FAIRTOPK_RETURN_IF_ERROR(input.ValidateConfig(config));
+  return engine::StreamPerK(
+      config, sink, [&](int k, DetectionStats& stats) {
+        const double lower = bounds.lower.At(k);
+        TopDownOutcome outcome = TopDownSearch(
+            input.index(), config.size_threshold, k,
+            [lower](size_t) { return lower; }, &stats, config.num_threads);
+        return outcome.result.Sorted();
+      });
+}
+
 Result<DetectionResult> DetectGlobalIterTD(const DetectionInput& input,
                                            const GlobalBoundSpec& bounds,
                                            const DetectionConfig& config) {
+  return MaterializeStream(input, config, [&](ResultSink& sink) {
+    return DetectGlobalIterTDStream(input, bounds, config, sink);
+  });
+}
+
+Status DetectPropIterTDStream(const DetectionInput& input,
+                              const PropBoundSpec& bounds,
+                              const DetectionConfig& config,
+                              ResultSink& sink) {
   FAIRTOPK_RETURN_IF_ERROR(input.ValidateConfig(config));
-  WallTimer timer;
-  DetectionResult result(config.k_min, config.k_max);
-  for (int k = config.k_min; k <= config.k_max; ++k) {
-    const double lower = bounds.lower.At(k);
-    TopDownOutcome outcome = TopDownSearch(
-        input.index(), config.size_threshold, k,
-        [lower](size_t) { return lower; }, &result.stats(),
-        config.num_threads);
-    result.MutableAtK(k) = outcome.result.Sorted();
+  if (bounds.alpha <= 0.0) {
+    return Status::InvalidArgument("alpha must be positive");
   }
-  result.stats().seconds = timer.ElapsedSeconds();
-  return result;
+  const size_t n = input.num_rows();
+  return engine::StreamPerK(
+      config, sink, [&](int k, DetectionStats& stats) {
+        // Evaluate the bound through PropBoundSpec::LowerAt so every
+        // algorithm (and test oracle) shares one floating-point
+        // evaluation order; boundary cases like bound == count would
+        // otherwise be classified inconsistently.
+        TopDownOutcome outcome = TopDownSearch(
+            input.index(), config.size_threshold, k,
+            [&bounds, k, n](size_t size_d) {
+              return bounds.LowerAt(static_cast<int>(size_d), k, n);
+            },
+            &stats, config.num_threads);
+        return outcome.result.Sorted();
+      });
 }
 
 Result<DetectionResult> DetectPropIterTD(const DetectionInput& input,
                                          const PropBoundSpec& bounds,
                                          const DetectionConfig& config) {
-  FAIRTOPK_RETURN_IF_ERROR(input.ValidateConfig(config));
-  if (bounds.alpha <= 0.0) {
-    return Status::InvalidArgument("alpha must be positive");
-  }
-  WallTimer timer;
-  const size_t n = input.num_rows();
-  DetectionResult result(config.k_min, config.k_max);
-  for (int k = config.k_min; k <= config.k_max; ++k) {
-    // Evaluate the bound through PropBoundSpec::LowerAt so every
-    // algorithm (and test oracle) shares one floating-point evaluation
-    // order; boundary cases like bound == count would otherwise be
-    // classified inconsistently.
-    TopDownOutcome outcome = TopDownSearch(
-        input.index(), config.size_threshold, k,
-        [&bounds, k, n](size_t size_d) {
-          return bounds.LowerAt(static_cast<int>(size_d), k, n);
-        },
-        &result.stats(), config.num_threads);
-    result.MutableAtK(k) = outcome.result.Sorted();
-  }
-  result.stats().seconds = timer.ElapsedSeconds();
-  return result;
+  return MaterializeStream(input, config, [&](ResultSink& sink) {
+    return DetectPropIterTDStream(input, bounds, config, sink);
+  });
 }
 
 }  // namespace fairtopk

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
-#include "common/timer.h"
 #include "detect/engine/search_driver.h"
 #include "pattern/result_set.h"
 #include "pattern/search_tree.h"
@@ -311,24 +312,35 @@ class PropSearch {
 
 }  // namespace
 
-Result<DetectionResult> DetectPropBounds(const DetectionInput& input,
-                                         const PropBoundSpec& bounds,
-                                         const DetectionConfig& config) {
+Status DetectPropBoundsStream(const DetectionInput& input,
+                              const PropBoundSpec& bounds,
+                              const DetectionConfig& config,
+                              ResultSink& sink) {
   FAIRTOPK_RETURN_IF_ERROR(input.ValidateConfig(config));
   if (bounds.alpha <= 0.0) {
     return Status::InvalidArgument("alpha must be positive");
   }
-  WallTimer timer;
-  DetectionResult result(config.k_min, config.k_max);
-  PropSearch search(input.index(), bounds, config, &result.stats());
-  search.InitialSearch();
-  result.MutableAtK(config.k_min) = search.Snapshot();
-  for (int k = config.k_min + 1; k <= config.k_max; ++k) {
-    search.Step(k);
-    result.MutableAtK(k) = search.Snapshot();
-  }
-  result.stats().seconds = timer.ElapsedSeconds();
-  return result;
+  // The search state is built on the first iteration so it can bind to
+  // the driver's DetectionStats (one object for the whole run).
+  std::optional<PropSearch> search;
+  return engine::StreamPerK(
+      config, sink, [&](int k, DetectionStats& stats) {
+        if (!search.has_value()) {
+          search.emplace(input.index(), bounds, config, &stats);
+          search->InitialSearch();
+        } else {
+          search->Step(k);
+        }
+        return search->Snapshot();
+      });
+}
+
+Result<DetectionResult> DetectPropBounds(const DetectionInput& input,
+                                         const PropBoundSpec& bounds,
+                                         const DetectionConfig& config) {
+  return MaterializeStream(input, config, [&](ResultSink& sink) {
+    return DetectPropBoundsStream(input, bounds, config, sink);
+  });
 }
 
 }  // namespace fairtopk

@@ -1,6 +1,7 @@
 #include "detect/upper_bounds.h"
 
-#include "common/timer.h"
+#include <utility>
+
 #include "detect/engine/search_driver.h"
 #include "pattern/result_set.h"
 
@@ -27,48 +28,60 @@ struct AboveLinear {
 
 }  // namespace
 
+Status DetectGlobalUpperBoundsStream(const DetectionInput& input,
+                                     const GlobalBoundSpec& bounds,
+                                     const DetectionConfig& config,
+                                     ResultSink& sink) {
+  FAIRTOPK_RETURN_IF_ERROR(input.ValidateConfig(config));
+  return engine::StreamPerK(
+      config, sink, [&](int k, DetectionStats& stats) {
+        const engine::SearchParams params{config.size_threshold,
+                                          static_cast<size_t>(k),
+                                          config.num_threads};
+        MostSpecificResultSet res =
+            engine::ExhaustiveViolations<MostSpecificResultSet>(
+                input.index(), params, AboveConstant{bounds.upper.At(k)},
+                &stats);
+        return res.Sorted();
+      });
+}
+
 Result<DetectionResult> DetectGlobalUpperBounds(
     const DetectionInput& input, const GlobalBoundSpec& bounds,
     const DetectionConfig& config) {
+  return MaterializeStream(input, config, [&](ResultSink& sink) {
+    return DetectGlobalUpperBoundsStream(input, bounds, config, sink);
+  });
+}
+
+Status DetectPropUpperBoundsStream(const DetectionInput& input,
+                                   const PropBoundSpec& bounds,
+                                   const DetectionConfig& config,
+                                   ResultSink& sink) {
   FAIRTOPK_RETURN_IF_ERROR(input.ValidateConfig(config));
-  WallTimer timer;
-  DetectionResult result(config.k_min, config.k_max);
-  for (int k = config.k_min; k <= config.k_max; ++k) {
-    const engine::SearchParams params{config.size_threshold,
-                                      static_cast<size_t>(k),
-                                      config.num_threads};
-    MostSpecificResultSet res =
-        engine::ExhaustiveViolations<MostSpecificResultSet>(
-            input.index(), params, AboveConstant{bounds.upper.At(k)},
-            &result.stats());
-    result.MutableAtK(k) = res.Sorted();
+  if (bounds.beta <= bounds.alpha) {
+    return Status::InvalidArgument("beta must exceed alpha");
   }
-  result.stats().seconds = timer.ElapsedSeconds();
-  return result;
+  const double n = static_cast<double>(input.num_rows());
+  return engine::StreamPerK(
+      config, sink, [&](int k, DetectionStats& stats) {
+        const engine::SearchParams params{config.size_threshold,
+                                          static_cast<size_t>(k),
+                                          config.num_threads};
+        const double factor = bounds.beta * static_cast<double>(k) / n;
+        MostSpecificResultSet res =
+            engine::ExhaustiveViolations<MostSpecificResultSet>(
+                input.index(), params, AboveLinear{factor}, &stats);
+        return res.Sorted();
+      });
 }
 
 Result<DetectionResult> DetectPropUpperBounds(const DetectionInput& input,
                                               const PropBoundSpec& bounds,
                                               const DetectionConfig& config) {
-  FAIRTOPK_RETURN_IF_ERROR(input.ValidateConfig(config));
-  if (bounds.beta <= bounds.alpha) {
-    return Status::InvalidArgument("beta must exceed alpha");
-  }
-  WallTimer timer;
-  const double n = static_cast<double>(input.num_rows());
-  DetectionResult result(config.k_min, config.k_max);
-  for (int k = config.k_min; k <= config.k_max; ++k) {
-    const engine::SearchParams params{config.size_threshold,
-                                      static_cast<size_t>(k),
-                                      config.num_threads};
-    const double factor = bounds.beta * static_cast<double>(k) / n;
-    MostSpecificResultSet res =
-        engine::ExhaustiveViolations<MostSpecificResultSet>(
-            input.index(), params, AboveLinear{factor}, &result.stats());
-    result.MutableAtK(k) = res.Sorted();
-  }
-  result.stats().seconds = timer.ElapsedSeconds();
-  return result;
+  return MaterializeStream(input, config, [&](ResultSink& sink) {
+    return DetectPropUpperBoundsStream(input, bounds, config, sink);
+  });
 }
 
 }  // namespace fairtopk

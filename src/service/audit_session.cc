@@ -1,33 +1,11 @@
 #include "service/audit_session.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <utility>
-
-#include "detect/global_bounds.h"
-#include "detect/itertd.h"
-#include "detect/prop_bounds.h"
-#include "detect/upper_bounds.h"
 
 namespace fairtopk {
 
 namespace {
-
-/// Round-trippable double rendering for cache keys.
-std::string KeyDouble(double value) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
-}
-
-void AppendSteps(std::string& key, const StepFunction& f) {
-  for (const auto& [start, value] : f.steps()) {
-    key += std::to_string(start);
-    key += ':';
-    key += KeyDouble(value);
-    key += ',';
-  }
-}
 
 bool ScoreRanksBefore(const std::vector<double>& scores, bool ascending,
                       uint32_t a, uint32_t b) {
@@ -84,83 +62,6 @@ void MergeEntries(const std::vector<RankEntry>& a,
 }
 
 }  // namespace
-
-bool SessionDetectorIsGlobal(SessionDetector detector) {
-  switch (detector) {
-    case SessionDetector::kGlobalIterTD:
-    case SessionDetector::kGlobalBounds:
-    case SessionDetector::kGlobalUpper:
-      return true;
-    case SessionDetector::kPropIterTD:
-    case SessionDetector::kPropBounds:
-    case SessionDetector::kPropUpper:
-      return false;
-  }
-  return false;
-}
-
-const char* SessionDetectorName(SessionDetector detector) {
-  switch (detector) {
-    case SessionDetector::kGlobalIterTD:
-      return "GlobalIterTD";
-    case SessionDetector::kPropIterTD:
-      return "PropIterTD";
-    case SessionDetector::kGlobalBounds:
-      return "GlobalBounds";
-    case SessionDetector::kPropBounds:
-      return "PropBounds";
-    case SessionDetector::kGlobalUpper:
-      return "GlobalUpperBounds";
-    case SessionDetector::kPropUpper:
-      return "PropUpperBounds";
-  }
-  return "Unknown";
-}
-
-Result<SessionDetector> ParseSessionDetector(const std::string& measure,
-                                             const std::string& algo) {
-  const bool global = measure == "global";
-  if (!global && measure != "prop") {
-    return Status::InvalidArgument("measure must be 'global' or 'prop', got '" +
-                                   measure + "'");
-  }
-  if (algo == "itertd") {
-    return global ? SessionDetector::kGlobalIterTD
-                  : SessionDetector::kPropIterTD;
-  }
-  if (algo == "bounds") {
-    return global ? SessionDetector::kGlobalBounds
-                  : SessionDetector::kPropBounds;
-  }
-  if (algo == "upper") {
-    return global ? SessionDetector::kGlobalUpper
-                  : SessionDetector::kPropUpper;
-  }
-  return Status::InvalidArgument(
-      "algo must be 'itertd', 'bounds', or 'upper', got '" + algo + "'");
-}
-
-std::string SessionQuery::CacheKey() const {
-  std::string key = SessionDetectorName(detector);
-  key += "|k=";
-  key += std::to_string(config.k_min);
-  key += "..";
-  key += std::to_string(config.k_max);
-  key += "|tau=";
-  key += std::to_string(config.size_threshold);
-  if (SessionDetectorIsGlobal(detector)) {
-    key += "|L=";
-    AppendSteps(key, global_bounds.lower);
-    key += "|U=";
-    AppendSteps(key, global_bounds.upper);
-  } else {
-    key += "|alpha=";
-    key += KeyDouble(prop_bounds.alpha);
-    key += "|beta=";
-    key += KeyDouble(prop_bounds.beta);
-  }
-  return key;
-}
 
 AuditSession::AuditSession(Table table, std::vector<double> scores,
                            bool ascending, int score_column,
@@ -230,51 +131,103 @@ Result<AuditSession> AuditSession::CreateWithScores(Table table,
                       std::move(options), std::move(input).value());
 }
 
-Result<std::shared_ptr<const DetectionResult>> AuditSession::Detect(
-    const SessionQuery& query) {
-  FAIRTOPK_RETURN_IF_ERROR(input_.ValidateConfig(query.config));
+Result<api::AuditResponse> AuditSession::Detect(
+    const api::AuditRequest& request) {
+  FAIRTOPK_ASSIGN_OR_RETURN(const api::DetectorDescriptor* descriptor,
+                            api::ResolveRequest(request));
+  FAIRTOPK_RETURN_IF_ERROR(input_.ValidateConfig(request.config));
   ++service_stats_.detect_queries;
   const bool caching = options_.cache_capacity > 0;
   std::string key;
   if (caching) {
-    key = query.CacheKey();
+    key = request.CacheKey();
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++service_stats_.cache_hits;
-      return it->second;
+      return api::AuditResponse{descriptor, it->second, /*cached=*/true};
     }
   }
 
-  Result<DetectionResult> run = [&]() -> Result<DetectionResult> {
-    switch (query.detector) {
-      case SessionDetector::kGlobalIterTD:
-        return DetectGlobalIterTD(input_, query.global_bounds, query.config);
-      case SessionDetector::kPropIterTD:
-        return DetectPropIterTD(input_, query.prop_bounds, query.config);
-      case SessionDetector::kGlobalBounds:
-        return DetectGlobalBounds(input_, query.global_bounds, query.config);
-      case SessionDetector::kPropBounds:
-        return DetectPropBounds(input_, query.prop_bounds, query.config);
-      case SessionDetector::kGlobalUpper:
-        return DetectGlobalUpperBounds(input_, query.global_bounds,
-                                       query.config);
-      case SessionDetector::kPropUpper:
-        return DetectPropUpperBounds(input_, query.prop_bounds, query.config);
-    }
-    return Status::InvalidArgument("unknown detector");
-  }();
-  if (!run.ok()) return run.status();
-  auto shared =
-      std::make_shared<const DetectionResult>(std::move(run).value());
-  if (caching) {
-    while (cache_.size() >= options_.cache_capacity && !cache_order_.empty()) {
-      cache_.erase(cache_order_.front());
-      cache_order_.pop_front();
-    }
-    cache_.emplace(key, shared);
-    cache_order_.push_back(std::move(key));
+  FAIRTOPK_ASSIGN_OR_RETURN(DetectionResult run,
+                            api::RunAudit(input_, request));
+  auto shared = std::make_shared<const DetectionResult>(std::move(run));
+  if (caching) CacheInsert(std::move(key), shared);
+  return api::AuditResponse{descriptor, std::move(shared), /*cached=*/false};
+}
+
+Status AuditSession::DetectStream(const api::AuditRequest& request,
+                                  ResultSink& sink) {
+  FAIRTOPK_RETURN_IF_ERROR(api::ResolveRequest(request).status());
+  FAIRTOPK_RETURN_IF_ERROR(input_.ValidateConfig(request.config));
+  ++service_stats_.detect_queries;
+  if (options_.cache_capacity == 0) {
+    // Pure streaming: the per-k sets flow straight through `sink`,
+    // nothing is materialized.
+    return api::RunAuditStream(input_, request, sink);
   }
-  return shared;
+  std::string key = request.CacheKey();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++service_stats_.cache_hits;
+    // Hold an owning reference for the replay: a sink that re-enters
+    // the session (a follow-up Detect evicting this entry, an explicit
+    // InvalidateCache) must not free the result mid-iteration.
+    const std::shared_ptr<const DetectionResult> pinned = it->second;
+    return ReplayResult(*pinned, sink);
+  }
+  // Tee the live run: materialize a cache entry while streaming the
+  // same batches to the caller.
+  MaterializingSink materialize(request.config.k_min, request.config.k_max);
+  TeeSink tee(materialize, sink);
+  FAIRTOPK_RETURN_IF_ERROR(api::RunAuditStream(input_, request, tee));
+  CacheInsert(std::move(key), std::make_shared<const DetectionResult>(
+                                  std::move(materialize).TakeResult()));
+  return Status::OK();
+}
+
+Result<std::vector<api::AuditResponse>> AuditSession::DetectMany(
+    const std::vector<api::AuditRequest>& requests) {
+  std::vector<api::AuditResponse> responses;
+  responses.reserve(requests.size());
+  // Index of the first response per cache key: identical keys later in
+  // the batch share that run's result even when the session cache is
+  // disabled (the key is injective over the parameterization, so the
+  // results are interchangeable).
+  std::unordered_map<std::string, size_t> first_with_key;
+  for (const api::AuditRequest& request : requests) {
+    std::string key = request.CacheKey();
+    auto it = first_with_key.find(key);
+    if (it != first_with_key.end()) {
+      ++service_stats_.detect_queries;
+      ++service_stats_.cache_hits;
+      api::AuditResponse duplicate = responses[it->second];
+      duplicate.cached = true;
+      responses.push_back(std::move(duplicate));
+      continue;
+    }
+    FAIRTOPK_ASSIGN_OR_RETURN(api::AuditResponse response, Detect(request));
+    first_with_key.emplace(std::move(key), responses.size());
+    responses.push_back(std::move(response));
+  }
+  return responses;
+}
+
+void AuditSession::CacheInsert(std::string key,
+                               std::shared_ptr<const DetectionResult> result) {
+  // A re-entrant query (a sink calling back into the session during a
+  // live DetectStream) may have inserted this key already: replace the
+  // value in place so cache_order_ never carries duplicate entries
+  // (which would skew FIFO eviction and shrink effective capacity).
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    it->second = std::move(result);
+    return;
+  }
+  while (cache_.size() >= options_.cache_capacity && !cache_order_.empty()) {
+    cache_.erase(cache_order_.front());
+    cache_order_.pop_front();
+  }
+  cache_.emplace(key, std::move(result));
+  cache_order_.push_back(std::move(key));
 }
 
 Result<SuggestedParameters> AuditSession::Suggest(

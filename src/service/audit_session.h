@@ -5,15 +5,18 @@
 // and rebuilds the rank-ordered BitmapIndex. An AuditSession amortizes
 // that setup across queries:
 //
-//  * Query layer. Detect() dispatches any of the detection algorithms
-//    (IterTD / GLOBALBOUNDS / PROPBOUNDS / upper bounds, global and
-//    proportional) through the shared search engine with per-query
-//    DetectionConfig (including num_threads); Suggest(), Verify() and
-//    Repair() expose calibration, single-group verification, and the
-//    rerank mitigation against the same prepared input.
+//  * Query layer. Detect() serves any registered detector (the
+//    paper's six live in api::DetectorRegistry) named by a typed
+//    api::AuditRequest with per-query DetectionConfig (including
+//    num_threads); DetectStream() delivers per-k results through a
+//    ResultSink as they are finalized, DetectMany() runs a batch
+//    against the one prepared input deduping identical cache keys;
+//    Suggest(), Verify() and Repair() expose calibration,
+//    single-group verification, and the rerank mitigation against the
+//    same prepared input.
 //
-//  * Result cache. Detect() results are cached under a key derived
-//    from the detector and its full parameterization (num_threads is
+//  * Result cache. Detect() results are cached under the request's
+//    canonical cache key (api/canonical.h; num_threads is
 //    deliberately excluded: the engine's shard-and-merge determinism
 //    rule makes results thread-count invariant). The cache is
 //    invalidated explicitly (InvalidateCache) or automatically by any
@@ -40,9 +43,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/audit.h"
 #include "common/status.h"
 #include "detect/bounds.h"
 #include "detect/detection_result.h"
+#include "detect/engine/result_sink.h"
 #include "detect/suggest.h"
 #include "detect/verify.h"
 #include "mitigate/rerank.h"
@@ -72,32 +77,6 @@ struct SessionOptions {
   /// blowup when many rows move far). 0 always merges, SIZE_MAX always
   /// repairs.
   size_t repair_rerank_max_batch = 256;
-};
-
-/// The detection algorithms a session can dispatch.
-enum class SessionDetector {
-  kGlobalIterTD,
-  kPropIterTD,
-  kGlobalBounds,
-  kPropBounds,
-  kGlobalUpper,
-  kPropUpper,
-};
-
-/// One detection query: a detector plus its full parameterization.
-/// Global detectors read `global_bounds`; proportional detectors read
-/// `prop_bounds`.
-struct SessionQuery {
-  SessionDetector detector = SessionDetector::kGlobalBounds;
-  DetectionConfig config;
-  GlobalBoundSpec global_bounds;
-  PropBoundSpec prop_bounds;
-
-  /// Canonical cache key: detector, k range, size threshold, and the
-  /// relevant bound parameters. Excludes num_threads — results are
-  /// thread-count invariant by the engine's determinism rule, so a
-  /// 4-thread query may be served from a sequential run's cache entry.
-  std::string CacheKey() const;
 };
 
 /// One score change of ApplyScoreUpdates.
@@ -141,11 +120,27 @@ class AuditSession {
   AuditSession(AuditSession&&) = default;
   AuditSession& operator=(AuditSession&&) = default;
 
-  /// Runs (or serves from cache) one detection query. The returned
-  /// result is shared with the cache; it stays valid after later
-  /// maintenance calls even though the cache entry is dropped.
-  Result<std::shared_ptr<const DetectionResult>> Detect(
-      const SessionQuery& query);
+  /// Runs (or serves from cache) one detection query against any
+  /// detector registered in api::DetectorRegistry::Global(). The
+  /// response's result is shared with the cache; it stays valid after
+  /// later maintenance calls even though the cache entry is dropped.
+  Result<api::AuditResponse> Detect(const api::AuditRequest& request);
+
+  /// Streaming detection: per-k violation sets are delivered through
+  /// `sink` the moment they are finalized. Cached results are replayed
+  /// with the same call sequence; live runs are teed into the cache
+  /// while streaming (with caching disabled nothing is materialized —
+  /// the pure streaming path).
+  Status DetectStream(const api::AuditRequest& request, ResultSink& sink);
+
+  /// Runs several requests against the one prepared input. Requests
+  /// with identical cache keys are served from the first run — also
+  /// with caching disabled, where in-batch deduplication is the only
+  /// sharing (deduplicated entries count as cache hits in the service
+  /// stats and are marked `cached`). Responses align with `requests`
+  /// by index; the first failing request aborts the batch.
+  Result<std::vector<api::AuditResponse>> DetectMany(
+      const std::vector<api::AuditRequest>& requests);
 
   /// Parameter calibration against the current ranking (uncached — see
   /// SuggestParameters).
@@ -225,6 +220,10 @@ class AuditSession {
   Status AppendInternal(const std::vector<std::vector<Cell>>& rows,
                         const std::vector<double>& scores);
 
+  /// Inserts a result under `key`, evicting FIFO beyond capacity.
+  void CacheInsert(std::string key,
+                   std::shared_ptr<const DetectionResult> result);
+
   Table table_;
   std::vector<double> scores_;
   /// inverse_[row] = current rank position of `row`; lets the
@@ -250,19 +249,6 @@ class AuditSession {
   std::deque<std::string> cache_order_;
   SessionServiceStats service_stats_;
 };
-
-/// Parses a detector name used by the wire protocol and CLI tools:
-/// measure in {"global", "prop"} x algo in {"itertd", "bounds",
-/// "upper"}.
-Result<SessionDetector> ParseSessionDetector(const std::string& measure,
-                                             const std::string& algo);
-
-/// Stable names for reports: "GlobalIterTD", "PropBounds", ...
-const char* SessionDetectorName(SessionDetector detector);
-
-/// True for the global-measure detectors (which read
-/// SessionQuery::global_bounds), false for the proportional ones.
-bool SessionDetectorIsGlobal(SessionDetector detector);
 
 }  // namespace fairtopk
 

@@ -71,61 +71,6 @@ std::string OkResponse(const JsonValue& request, const std::string& data) {
   return w.str();
 }
 
-/// Reads an integer field with a default; rejects non-integral and
-/// out-of-range numbers (the cast would otherwise be UB).
-Result<int> IntField(const JsonValue& request, const std::string& key,
-                     int fallback) {
-  const JsonValue* v = request.Find(key);
-  if (v == nullptr) return fallback;
-  if (!v->is_number() ||
-      v->number_value() != std::floor(v->number_value()) ||
-      v->number_value() < static_cast<double>(
-                              std::numeric_limits<int>::min()) ||
-      v->number_value() > static_cast<double>(
-                              std::numeric_limits<int>::max())) {
-    return Status::InvalidArgument("'" + key + "' must be an integer");
-  }
-  return static_cast<int>(v->number_value());
-}
-
-/// Reads a number field with a default. Unlike JsonValue::NumberOr, a
-/// PRESENT field of the wrong type is an error — a mistyped parameter
-/// must not silently fall back to the default and produce confidently
-/// wrong results.
-Result<double> DoubleField(const JsonValue& request, const std::string& key,
-                           double fallback) {
-  const JsonValue* v = request.Find(key);
-  if (v == nullptr) return fallback;
-  if (!v->is_number()) {
-    return Status::InvalidArgument("'" + key + "' must be a number");
-  }
-  return v->number_value();
-}
-
-/// Decodes [[start_k, value], ...] into a StepFunction.
-Result<StepFunction> StepsField(const JsonValue& steps) {
-  std::vector<std::pair<int, double>> pairs;
-  if (!steps.is_array()) {
-    return Status::InvalidArgument("steps must be an array of [k, value]");
-  }
-  for (const JsonValue& item : steps.array_items()) {
-    if (!item.is_array() || item.array_items().size() != 2 ||
-        !item.array_items()[0].is_number() ||
-        !item.array_items()[1].is_number()) {
-      return Status::InvalidArgument("steps must be [k, value] pairs");
-    }
-    const double start = item.array_items()[0].number_value();
-    if (start != std::floor(start) ||
-        start < static_cast<double>(std::numeric_limits<int>::min()) ||
-        start > static_cast<double>(std::numeric_limits<int>::max())) {
-      return Status::InvalidArgument("step starts must be integers");
-    }
-    pairs.emplace_back(static_cast<int>(start),
-                       item.array_items()[1].number_value());
-  }
-  return StepFunction::FromSteps(std::move(pairs));
-}
-
 /// Decodes {"Attr": "label", ...} into a pattern over `space`.
 Result<Pattern> PatternField(const JsonValue& group,
                              const PatternSpace& space) {
@@ -178,89 +123,115 @@ void WriteMaintenanceDelta(JsonWriter& w, const SessionServiceStats& before,
       .Uint(after.positions_patched - before.positions_patched);
 }
 
+/// The report-facing measure label of a registered detector, derived
+/// from its bounds kind (not the free-form measure string, which
+/// custom registrations may set to anything).
+const char* MeasureLabel(const api::DetectorDescriptor& descriptor) {
+  return descriptor.bounds_kind == api::BoundsKind::kGlobal
+             ? "global"
+             : "proportional";
+}
+
 }  // namespace
 
-Result<SessionQuery> JsonlService::DecodeQuery(
+Result<api::AuditRequest> JsonlService::DecodeRequest(
     const JsonValue& request) const {
-  SessionQuery query;
-  FAIRTOPK_ASSIGN_OR_RETURN(
-      query.detector,
-      ParseSessionDetector(request.StringOr("measure", "prop"),
-                           request.StringOr("algo", "bounds")));
-  FAIRTOPK_ASSIGN_OR_RETURN(
-      query.config.k_min, IntField(request, "k_min", defaults_.config.k_min));
-  FAIRTOPK_ASSIGN_OR_RETURN(
-      query.config.k_max, IntField(request, "k_max", defaults_.config.k_max));
-  FAIRTOPK_ASSIGN_OR_RETURN(
-      query.config.size_threshold,
-      IntField(request, "tau", defaults_.config.size_threshold));
-  FAIRTOPK_ASSIGN_OR_RETURN(
-      query.config.num_threads,
-      IntField(request, "threads", defaults_.config.num_threads));
-
-  // Global bounds: an explicit staircase wins over the fraction knob.
-  if (const JsonValue* steps = request.Find("lower_steps")) {
-    FAIRTOPK_ASSIGN_OR_RETURN(query.global_bounds.lower, StepsField(*steps));
+  const api::DetectorRegistry& registry = api::DetectorRegistry::Global();
+  const api::DetectorDescriptor* descriptor = nullptr;
+  // The registry name wins over the wire (measure, algo) pair.
+  if (const JsonValue* name = request.Find("detector")) {
+    if (!name->is_string()) {
+      return Status::InvalidArgument(
+          "'detector' must be a registered detector name");
+    }
+    descriptor = registry.Find(name->string_value());
+    if (descriptor == nullptr) {
+      return Status::NotFound("no detector named '" + name->string_value() +
+                              "' is registered (see op=capabilities)");
+    }
   } else {
     FAIRTOPK_ASSIGN_OR_RETURN(
-        const double lower_fraction,
-        DoubleField(request, "lower", defaults_.lower_fraction));
-    FAIRTOPK_ASSIGN_OR_RETURN(
-        GlobalBoundSpec staircase,
-        GlobalBoundSpec::FractionStaircase(lower_fraction, query.config.k_min,
-                                           query.config.k_max));
-    query.global_bounds.lower = staircase.lower;
+        descriptor, registry.Resolve(request.StringOr("measure", "prop"),
+                                     request.StringOr("algo", "bounds")));
   }
-  if (const JsonValue* steps = request.Find("upper_steps")) {
-    FAIRTOPK_ASSIGN_OR_RETURN(query.global_bounds.upper, StepsField(*steps));
-  } else {
-    FAIRTOPK_ASSIGN_OR_RETURN(
-        const double upper,
-        DoubleField(request, "upper",
-                    std::numeric_limits<double>::infinity()));
-    query.global_bounds.upper = StepFunction::Constant(upper);
-  }
-  FAIRTOPK_ASSIGN_OR_RETURN(query.prop_bounds.alpha,
-                            DoubleField(request, "alpha", defaults_.alpha));
+  api::AuditRequest query;
+  query.detector = descriptor->name;
+  FAIRTOPK_ASSIGN_OR_RETURN(query.config,
+                            api::ConfigFromJson(request, defaults_.config));
   FAIRTOPK_ASSIGN_OR_RETURN(
-      query.prop_bounds.beta,
-      DoubleField(request, "beta",
-                  std::numeric_limits<double>::infinity()));
+      query.bounds,
+      api::BoundsFromJson(request, descriptor->bounds_kind, defaults_.bounds,
+                          query.config));
   return query;
 }
 
-Result<std::string> JsonlService::HandleDetect(const JsonValue& request) {
-  FAIRTOPK_ASSIGN_OR_RETURN(SessionQuery query, DecodeQuery(request));
-  const uint64_t hits_before = session_->service_stats().cache_hits;
-  FAIRTOPK_ASSIGN_OR_RETURN(std::shared_ptr<const DetectionResult> result,
-                            session_->Detect(query));
-  ReportContext context{defaults_.dataset,
-                        SessionDetectorIsGlobal(query.detector)
-                            ? "global"
-                            : "proportional",
-                        SessionDetectorName(query.detector)};
+std::string JsonlService::DetectionResponseJson(
+    const api::AuditResponse& response) const {
+  ReportContext context{defaults_.dataset, MeasureLabel(*response.detector),
+                        response.detector->name};
   JsonWriter w;
   w.BeginObject();
-  w.Key("cached").Bool(session_->service_stats().cache_hits > hits_before);
+  w.Key("cached").Bool(response.cached);
   w.Key("report").Raw(
-      DetectionResultToJson(*result, session_->input(), context));
+      DetectionResultToJson(*response.result, session_->input(), context));
   w.EndObject();
   return w.str();
+}
+
+Result<std::string> JsonlService::HandleDetect(const JsonValue& request) {
+  FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query, DecodeRequest(request));
+  FAIRTOPK_ASSIGN_OR_RETURN(api::AuditResponse response,
+                            session_->Detect(query));
+  return DetectionResponseJson(response);
+}
+
+Result<std::string> JsonlService::HandleDetectBatch(const JsonValue& request) {
+  const JsonValue* queries = request.Find("queries");
+  if (queries == nullptr || !queries->is_array() ||
+      queries->array_items().empty()) {
+    return Status::InvalidArgument(
+        "'detect_batch' requires a non-empty 'queries' array");
+  }
+  std::vector<api::AuditRequest> batch;
+  batch.reserve(queries->array_items().size());
+  for (const JsonValue& q : queries->array_items()) {
+    if (!q.is_object()) {
+      return Status::InvalidArgument("each batched query must be an object");
+    }
+    FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query, DecodeRequest(q));
+    batch.push_back(std::move(query));
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(std::vector<api::AuditResponse> responses,
+                            session_->DetectMany(batch));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("results").BeginArray();
+  for (const api::AuditResponse& response : responses) {
+    w.Raw(DetectionResponseJson(response));
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> JsonlService::HandleCapabilities(const JsonValue&) {
+  return api::CapabilitiesJson(api::DetectorRegistry::Global());
 }
 
 Result<std::string> JsonlService::HandleSuggest(const JsonValue& request) {
   DetectionConfig config = defaults_.config;
   FAIRTOPK_ASSIGN_OR_RETURN(config.k_min,
-                            IntField(request, "k_min", config.k_min));
+                            api::ReadIntField(request, "k_min", config.k_min));
   FAIRTOPK_ASSIGN_OR_RETURN(config.k_max,
-                            IntField(request, "k_max", config.k_max));
-  FAIRTOPK_ASSIGN_OR_RETURN(config.num_threads,
-                            IntField(request, "threads", config.num_threads));
+                            api::ReadIntField(request, "k_max", config.k_max));
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      config.num_threads,
+      api::ReadIntField(request, "threads", config.num_threads));
   SuggestOptions options;
   FAIRTOPK_ASSIGN_OR_RETURN(
       int max_groups,
-      IntField(request, "max_groups",
-               static_cast<int>(options.max_groups)));
+      api::ReadIntField(request, "max_groups",
+                        static_cast<int>(options.max_groups)));
   if (max_groups < 1) {
     return Status::InvalidArgument("'max_groups' must be positive");
   }
@@ -272,11 +243,8 @@ Result<std::string> JsonlService::HandleSuggest(const JsonValue& request) {
   w.Key("tau").Int(params.size_threshold);
   w.Key("global_level").Double(params.global_level);
   w.Key("alpha").Double(params.alpha);
-  w.Key("lower_steps").BeginArray();
-  for (const auto& [start, value] : params.global_bounds.lower.steps()) {
-    w.BeginArray().Int(start).Double(value).EndArray();
-  }
-  w.EndArray();
+  w.Key("lower_steps");
+  api::WriteStepsJson(w, params.global_bounds.lower);
   w.Key("groups_at_kmax_global").Uint(params.groups_at_kmax_global);
   w.Key("groups_at_kmax_prop").Uint(params.groups_at_kmax_prop);
   w.EndObject();
@@ -284,7 +252,7 @@ Result<std::string> JsonlService::HandleSuggest(const JsonValue& request) {
 }
 
 Result<std::string> JsonlService::HandleVerify(const JsonValue& request) {
-  FAIRTOPK_ASSIGN_OR_RETURN(SessionQuery query, DecodeQuery(request));
+  FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query, DecodeRequest(request));
   const JsonValue* group = request.Find("group");
   if (group == nullptr) {
     return Status::InvalidArgument("'verify' requires a 'group' object");
@@ -293,9 +261,13 @@ Result<std::string> JsonlService::HandleVerify(const JsonValue& request) {
                             PatternField(*group, session_->space()));
   FAIRTOPK_ASSIGN_OR_RETURN(
       FairnessReport report,
-      SessionDetectorIsGlobal(query.detector)
-          ? session_->VerifyGlobal(pattern, query.global_bounds, query.config)
-          : session_->VerifyProp(pattern, query.prop_bounds, query.config));
+      std::holds_alternative<GlobalBoundSpec>(query.bounds)
+          ? session_->VerifyGlobal(pattern,
+                                   std::get<GlobalBoundSpec>(query.bounds),
+                                   query.config)
+          : session_->VerifyProp(pattern,
+                                 std::get<PropBoundSpec>(query.bounds),
+                                 query.config));
   JsonWriter w;
   w.BeginObject();
   w.Key("group").Raw(PatternToJson(report.group, session_->space()));
@@ -318,18 +290,30 @@ Result<std::string> JsonlService::HandleVerify(const JsonValue& request) {
 }
 
 Result<std::string> JsonlService::HandleRerank(const JsonValue& request) {
-  FAIRTOPK_ASSIGN_OR_RETURN(SessionQuery query, DecodeQuery(request));
-  FAIRTOPK_ASSIGN_OR_RETURN(std::shared_ptr<const DetectionResult> detected,
+  FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query, DecodeRequest(request));
+  FAIRTOPK_ASSIGN_OR_RETURN(const api::DetectorDescriptor* descriptor,
+                            api::ResolveRequest(query));
+  if (!descriptor->lower_violations) {
+    // Over-represented groups must never become representation floors:
+    // the repair would guarantee MORE of exactly the groups detected
+    // as exceeding their bound. Checked before the (expensive,
+    // cache-filling) detection runs.
+    return Status::InvalidArgument(
+        "'rerank' requires a lower-bound detector ('" + descriptor->name +
+        "' reports over-represented groups)");
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(api::AuditResponse detected,
                             session_->Detect(query));
   // Detected groups become representation floors, mirroring
   // fairtopk_audit --rerank: the global staircase directly, the
   // proportional band as a constant floor at k_max.
   std::vector<RepresentationConstraint> constraints;
-  for (const Pattern& p : detected->AllDistinct()) {
-    if (SessionDetectorIsGlobal(query.detector)) {
-      constraints.push_back({p, query.global_bounds.lower});
+  for (const Pattern& p : detected.result->AllDistinct()) {
+    if (const auto* global = std::get_if<GlobalBoundSpec>(&query.bounds)) {
+      constraints.push_back({p, global->lower});
     } else {
-      const double floor_at_kmax = query.prop_bounds.LowerAt(
+      const auto& prop = std::get<PropBoundSpec>(query.bounds);
+      const double floor_at_kmax = prop.LowerAt(
           static_cast<int>(session_->input().index().PatternCount(p)),
           query.config.k_max, session_->num_rows());
       constraints.push_back(
@@ -480,6 +464,8 @@ std::string JsonlService::HandleLine(const std::string& line) {
   const std::string op = request->StringOr("op", "");
   Result<std::string> data = [&]() -> Result<std::string> {
     if (op == "detect") return HandleDetect(*request);
+    if (op == "detect_batch") return HandleDetectBatch(*request);
+    if (op == "capabilities") return HandleCapabilities(*request);
     if (op == "suggest") return HandleSuggest(*request);
     if (op == "verify") return HandleVerify(*request);
     if (op == "rerank") return HandleRerank(*request);

@@ -3,9 +3,17 @@
 // the wire protocol of tools/fairtopk_serve.
 //
 // Requests: {"op": ..., "id": <any scalar, echoed back>, ...}.
-//   op=detect   one detection query (measure/algo select the detector;
-//               k_min/k_max/tau/threads and the bound parameters fall
-//               back to the service defaults)
+//   op=detect   one detection query. The detector is selected by its
+//               registry name ("detector": "PropBounds") or by the
+//               wire pair measure/algo; k_min/k_max/tau/threads and
+//               the bound parameters fall back to the service
+//               defaults (field vocabulary: api/canonical.h, listed
+//               per detector by op=capabilities)
+//   op=detect_batch  {"queries": [{...}, ...]} — several detection
+//               queries against the one prepared input via
+//               AuditSession::DetectMany (identical queries run once)
+//   op=capabilities  the registered detectors with their parameter
+//               schemas, generated from api::DetectorRegistry
 //   op=suggest  parameter calibration (SuggestParameters)
 //   op=verify   check one declared group ("group": {"Attr": "label"})
 //   op=rerank   detect + repair; reports the repair outcome without
@@ -27,6 +35,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "api/audit.h"
+#include "api/canonical.h"
 #include "common/json.h"
 #include "service/audit_session.h"
 
@@ -38,11 +48,9 @@ struct ServeDefaults {
   std::string dataset;
   /// k range, size threshold, and worker threads.
   DetectionConfig config;
-  /// Global lower staircase fraction (L_k = max(1, fraction * k) with
-  /// steps every 10 ranks), as fairtopk_audit's --lower.
-  double lower_fraction = 0.5;
-  /// Proportional lower multiplier, as --alpha.
-  double alpha = 0.8;
+  /// Bound fraction knobs (--lower / --alpha) expanded over the
+  /// request's k range when explicit bounds are omitted.
+  api::BoundsDefaults bounds;
 };
 
 /// Stateless-per-line request processor bound to one session.
@@ -64,13 +72,20 @@ class JsonlService {
   const AuditSession& session() const { return *session_; }
 
  private:
-  /// Builds the SessionQuery described by `request` (shared by detect
-  /// and rerank).
-  Result<SessionQuery> DecodeQuery(const JsonValue& request) const;
+  /// Builds the api::AuditRequest described by `request` (shared by
+  /// detect, detect_batch, verify, and rerank): detector resolution
+  /// through the registry, config and bounds through the canonical
+  /// codec.
+  Result<api::AuditRequest> DecodeRequest(const JsonValue& request) const;
+
+  /// Serializes one detection response as {"cached": ..., "report": ...}.
+  std::string DetectionResponseJson(const api::AuditResponse& response) const;
 
   /// Per-op payload builders; on success the returned string is the
   /// serialized "data" object.
   Result<std::string> HandleDetect(const JsonValue& request);
+  Result<std::string> HandleDetectBatch(const JsonValue& request);
+  Result<std::string> HandleCapabilities(const JsonValue& request);
   Result<std::string> HandleSuggest(const JsonValue& request);
   Result<std::string> HandleVerify(const JsonValue& request);
   Result<std::string> HandleRerank(const JsonValue& request);

@@ -43,15 +43,18 @@ AuditSession MakeSession(size_t rows, uint64_t seed,
   return std::move(session).value();
 }
 
-SessionQuery PropQuery(int k_min, int k_max, int tau, int threads = 1) {
-  SessionQuery query;
-  query.detector = SessionDetector::kPropBounds;
-  query.config.k_min = k_min;
-  query.config.k_max = k_max;
-  query.config.size_threshold = tau;
-  query.config.num_threads = threads;
-  query.prop_bounds.alpha = 0.85;
-  return query;
+api::AuditRequest PropQuery(int k_min, int k_max, int tau,
+                            int threads = 1) {
+  api::AuditRequest request;
+  request.detector = "PropBounds";
+  request.config.k_min = k_min;
+  request.config.k_max = k_max;
+  request.config.size_threshold = tau;
+  request.config.num_threads = threads;
+  PropBoundSpec bounds;
+  bounds.alpha = 0.85;
+  request.bounds = bounds;
+  return request;
 }
 
 TEST(AuditSessionTest, CreateRejectsBadScoreColumn) {
@@ -80,12 +83,16 @@ TEST(AuditSessionTest, RankingIsSortedByScoreDescending) {
 
 TEST(AuditSessionTest, RepeatedQueryServesCachedSharedResult) {
   AuditSession session = MakeSession(80, 3);
-  SessionQuery query = PropQuery(5, 30, 6);
+  api::AuditRequest query = PropQuery(5, 30, 6);
   auto first = session.Detect(query);
   ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cached);
+  ASSERT_NE(first->detector, nullptr);
+  EXPECT_EQ(first->detector->name, "PropBounds");
   auto second = session.Detect(query);
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(first->get(), second->get());
+  EXPECT_TRUE(second->cached);
+  EXPECT_EQ(first->result.get(), second->result.get());
   EXPECT_EQ(session.service_stats().detect_queries, 2u);
   EXPECT_EQ(session.service_stats().cache_hits, 1u);
   EXPECT_EQ(session.cache_size(), 1u);
@@ -99,7 +106,7 @@ TEST(AuditSessionTest, ThreadCountDoesNotSplitCacheEntries) {
   ASSERT_TRUE(sequential.ok());
   auto parallel = session.Detect(PropQuery(5, 30, 6, /*threads=*/4));
   ASSERT_TRUE(parallel.ok());
-  EXPECT_EQ(sequential->get(), parallel->get());
+  EXPECT_EQ(sequential->result.get(), parallel->result.get());
   EXPECT_EQ(session.service_stats().cache_hits, 1u);
 }
 
@@ -107,11 +114,11 @@ TEST(AuditSessionTest, DistinctParametersMissTheCache) {
   AuditSession session = MakeSession(80, 3);
   ASSERT_TRUE(session.Detect(PropQuery(5, 30, 6)).ok());
   ASSERT_TRUE(session.Detect(PropQuery(5, 30, 7)).ok());
-  SessionQuery other_alpha = PropQuery(5, 30, 6);
-  other_alpha.prop_bounds.alpha = 0.7;
+  api::AuditRequest other_alpha = PropQuery(5, 30, 6);
+  std::get<PropBoundSpec>(other_alpha.bounds).alpha = 0.7;
   ASSERT_TRUE(session.Detect(other_alpha).ok());
-  SessionQuery other_detector = PropQuery(5, 30, 6);
-  other_detector.detector = SessionDetector::kPropIterTD;
+  api::AuditRequest other_detector = PropQuery(5, 30, 6);
+  other_detector.detector = "PropIterTD";
   ASSERT_TRUE(session.Detect(other_detector).ok());
   EXPECT_EQ(session.service_stats().cache_hits, 0u);
   EXPECT_EQ(session.cache_size(), 4u);
@@ -140,7 +147,7 @@ TEST(AuditSessionTest, ZeroCapacityDisablesCaching) {
 
 TEST(AuditSessionTest, ScoreUpdateInvalidatesCache) {
   AuditSession session = MakeSession(80, 5);
-  SessionQuery query = PropQuery(5, 30, 6);
+  api::AuditRequest query = PropQuery(5, 30, 6);
   ASSERT_TRUE(session.Detect(query).ok());
   // Jump the lowest-ranked row to the top: the permutation changes, so
   // the cached result must be dropped.
@@ -154,7 +161,7 @@ TEST(AuditSessionTest, ScoreUpdateInvalidatesCache) {
 
 TEST(AuditSessionTest, PermutationPreservingUpdateKeepsCache) {
   AuditSession session = MakeSession(80, 5);
-  SessionQuery query = PropQuery(5, 30, 6);
+  api::AuditRequest query = PropQuery(5, 30, 6);
   auto first = session.Detect(query);
   ASSERT_TRUE(first.ok());
   // Re-assert a row's existing score: the ranking cannot change, so
@@ -165,7 +172,7 @@ TEST(AuditSessionTest, PermutationPreservingUpdateKeepsCache) {
   EXPECT_EQ(session.cache_size(), 1u);
   auto second = session.Detect(query);
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ(first->result.get(), second->result.get());
   EXPECT_EQ(session.service_stats().cache_hits, 1u);
   EXPECT_EQ(session.service_stats().index_patches, 0u);
   EXPECT_EQ(session.service_stats().index_rebuilds, 0u);
@@ -228,13 +235,13 @@ TEST(AuditSessionTest, PatchedSessionMatchesRebuiltSession) {
   ASSERT_TRUE(patched.ApplyScoreUpdates(updates).ok());
   ASSERT_TRUE(rebuilt.ApplyScoreUpdates(updates).ok());
   EXPECT_EQ(patched.ranking(), rebuilt.ranking());
-  SessionQuery query = PropQuery(5, 40, 8);
+  api::AuditRequest query = PropQuery(5, 40, 8);
   auto p = patched.Detect(query);
   auto r = rebuilt.Detect(query);
   ASSERT_TRUE(p.ok());
   ASSERT_TRUE(r.ok());
   for (int k = 5; k <= 40; ++k) {
-    EXPECT_EQ((*p)->AtK(k), (*r)->AtK(k)) << "k=" << k;
+    EXPECT_EQ(p->result->AtK(k), r->result->AtK(k)) << "k=" << k;
   }
 }
 
@@ -277,7 +284,7 @@ TEST(AuditSessionTest, UpdateRejectsOutOfRangeRow) {
 
 TEST(AuditSessionTest, AppendExtendsDatasetAndRanking) {
   AuditSession session = MakeSession(50, 10);
-  SessionQuery query = PropQuery(5, 30, 5);
+  api::AuditRequest query = PropQuery(5, 30, 5);
   ASSERT_TRUE(session.Detect(query).ok());
   // One unbeatable row and one bottom row.
   ASSERT_TRUE(session
@@ -344,25 +351,42 @@ TEST(AuditSessionTest, ScorelessSessionNeedsExplicitScores) {
 
 TEST(AuditSessionTest, DetectValidatesConfig) {
   AuditSession session = MakeSession(40, 12);
-  SessionQuery query = PropQuery(5, 400, 4);  // k_max > |D|
+  api::AuditRequest query = PropQuery(5, 400, 4);  // k_max > |D|
   EXPECT_FALSE(session.Detect(query).ok());
 }
 
-TEST(AuditSessionTest, AllDetectorsDispatch) {
+TEST(AuditSessionTest, DetectRejectsUnknownDetectorAndWrongBounds) {
+  AuditSession session = MakeSession(40, 12);
+  api::AuditRequest unknown = PropQuery(5, 20, 4);
+  unknown.detector = "NoSuchDetector";
+  EXPECT_FALSE(session.Detect(unknown).ok());
+  // A request whose bounds variant does not match the detector's
+  // declared kind is rejected before anything runs.
+  api::AuditRequest mismatched = PropQuery(5, 20, 4);
+  mismatched.bounds = GlobalBoundSpec{};
+  EXPECT_FALSE(session.Detect(mismatched).ok());
+  EXPECT_EQ(session.service_stats().detect_queries, 0u);
+}
+
+TEST(AuditSessionTest, AllRegisteredDetectorsDispatch) {
   AuditSession session = MakeSession(80, 13);
-  for (SessionDetector detector :
-       {SessionDetector::kGlobalIterTD, SessionDetector::kPropIterTD,
-        SessionDetector::kGlobalBounds, SessionDetector::kPropBounds,
-        SessionDetector::kGlobalUpper, SessionDetector::kPropUpper}) {
-    SessionQuery query = PropQuery(5, 30, 6);
-    query.detector = detector;
-    query.global_bounds.lower = StepFunction::Constant(3.0);
-    query.global_bounds.upper = StepFunction::Constant(25.0);
-    query.prop_bounds.beta = 1.5;
+  const api::DetectorRegistry& registry = api::DetectorRegistry::Global();
+  ASSERT_EQ(registry.detectors().size(), 6u);
+  for (const api::DetectorDescriptor& descriptor : registry.detectors()) {
+    api::AuditRequest query = PropQuery(5, 30, 6);
+    query.detector = descriptor.name;
+    if (descriptor.bounds_kind == api::BoundsKind::kGlobal) {
+      GlobalBoundSpec bounds;
+      bounds.lower = StepFunction::Constant(3.0);
+      bounds.upper = StepFunction::Constant(25.0);
+      query.bounds = bounds;
+    } else {
+      std::get<PropBoundSpec>(query.bounds).beta = 1.5;
+    }
     auto result = session.Detect(query);
     ASSERT_TRUE(result.ok())
-        << SessionDetectorName(detector) << ": "
-        << result.status().ToString();
+        << descriptor.name << ": " << result.status().ToString();
+    EXPECT_EQ(result->detector, &descriptor);
   }
   EXPECT_EQ(session.cache_size(), 6u);
 }
@@ -387,21 +411,133 @@ TEST(AuditSessionTest, SuggestVerifyRepairForward) {
   EXPECT_TRUE(repair->feasible);
 }
 
-TEST(AuditSessionTest, ParseSessionDetectorCoversMatrix) {
-  EXPECT_EQ(*ParseSessionDetector("global", "itertd"),
-            SessionDetector::kGlobalIterTD);
-  EXPECT_EQ(*ParseSessionDetector("prop", "itertd"),
-            SessionDetector::kPropIterTD);
-  EXPECT_EQ(*ParseSessionDetector("global", "bounds"),
-            SessionDetector::kGlobalBounds);
-  EXPECT_EQ(*ParseSessionDetector("prop", "bounds"),
-            SessionDetector::kPropBounds);
-  EXPECT_EQ(*ParseSessionDetector("global", "upper"),
-            SessionDetector::kGlobalUpper);
-  EXPECT_EQ(*ParseSessionDetector("prop", "upper"),
-            SessionDetector::kPropUpper);
-  EXPECT_FALSE(ParseSessionDetector("nope", "bounds").ok());
-  EXPECT_FALSE(ParseSessionDetector("global", "nope").ok());
+/// Collects a streamed detection for comparison with the materialized
+/// path.
+class CollectingSink : public ResultSink {
+ public:
+  Status OnResult(int k, std::vector<Pattern> patterns) override {
+    ks.push_back(k);
+    batches.push_back(std::move(patterns));
+    return Status::OK();
+  }
+  void OnStats(const DetectionStats&) override { ++stats_calls; }
+
+  std::vector<int> ks;
+  std::vector<std::vector<Pattern>> batches;
+  int stats_calls = 0;
+};
+
+TEST(AuditSessionTest, DetectStreamMatchesMaterializedDetect) {
+  AuditSession session = MakeSession(80, 15);
+  api::AuditRequest query = PropQuery(5, 30, 6);
+  CollectingSink streamed;
+  ASSERT_TRUE(session.DetectStream(query, streamed).ok());
+  EXPECT_EQ(streamed.stats_calls, 1);
+  ASSERT_EQ(streamed.ks.size(), 26u);
+  EXPECT_EQ(streamed.ks.front(), 5);
+  EXPECT_EQ(streamed.ks.back(), 30);
+  // The streaming run populated the cache; Detect serves from it.
+  auto materialized = session.Detect(query);
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_TRUE(materialized->cached);
+  for (size_t i = 0; i < streamed.ks.size(); ++i) {
+    EXPECT_EQ(streamed.batches[i],
+              materialized->result->AtK(streamed.ks[i]));
+  }
+  // A second stream replays the cached result with the same sequence.
+  CollectingSink replayed;
+  ASSERT_TRUE(session.DetectStream(query, replayed).ok());
+  EXPECT_EQ(replayed.ks, streamed.ks);
+  EXPECT_EQ(replayed.batches, streamed.batches);
+  EXPECT_EQ(session.service_stats().cache_hits, 2u);
+}
+
+/// Re-enters the session mid-replay: invalidating the cache destroys
+/// the map's reference to the result being streamed, so the replay
+/// must hold its own (caught under ASan if it does not).
+class InvalidatingSink : public ResultSink {
+ public:
+  explicit InvalidatingSink(AuditSession* session) : session_(session) {}
+  Status OnResult(int k, std::vector<Pattern> patterns) override {
+    session_->InvalidateCache();
+    last_k_ = k;
+    total_ += patterns.size();
+    return Status::OK();
+  }
+  int last_k() const { return last_k_; }
+
+ private:
+  AuditSession* session_;
+  int last_k_ = 0;
+  size_t total_ = 0;
+};
+
+TEST(AuditSessionTest, CachedReplaySurvivesReentrantInvalidation) {
+  AuditSession session = MakeSession(80, 19);
+  api::AuditRequest query = PropQuery(5, 30, 6);
+  ASSERT_TRUE(session.Detect(query).ok());  // populate the cache
+  InvalidatingSink sink(&session);
+  ASSERT_TRUE(session.DetectStream(query, sink).ok());
+  EXPECT_EQ(sink.last_k(), 30);  // the full replay ran
+  EXPECT_EQ(session.cache_size(), 0u);
+}
+
+TEST(AuditSessionTest, DetectStreamWithoutCacheMaterializesNothing) {
+  SessionOptions options;
+  options.cache_capacity = 0;
+  AuditSession session = MakeSession(80, 15, options);
+  CollectingSink streamed;
+  ASSERT_TRUE(session.DetectStream(PropQuery(5, 30, 6), streamed).ok());
+  EXPECT_EQ(streamed.ks.size(), 26u);
+  EXPECT_EQ(session.cache_size(), 0u);
+}
+
+TEST(AuditSessionTest, DetectManyDedupesIdenticalCacheKeys) {
+  SessionOptions options;
+  options.cache_capacity = 0;  // in-batch dedup is the only sharing
+  AuditSession session = MakeSession(80, 16, options);
+  api::AuditRequest a = PropQuery(5, 30, 6);
+  api::AuditRequest b = PropQuery(5, 30, 7);
+  api::AuditRequest a_threaded = PropQuery(5, 30, 6, /*threads=*/4);
+  auto responses = session.DetectMany({a, b, a, a_threaded});
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  ASSERT_EQ(responses->size(), 4u);
+  EXPECT_FALSE((*responses)[0].cached);
+  EXPECT_FALSE((*responses)[1].cached);
+  // The repeated request and its thread-count variant share run 0.
+  EXPECT_TRUE((*responses)[2].cached);
+  EXPECT_TRUE((*responses)[3].cached);
+  EXPECT_EQ((*responses)[0].result.get(), (*responses)[2].result.get());
+  EXPECT_EQ((*responses)[0].result.get(), (*responses)[3].result.get());
+  EXPECT_NE((*responses)[0].result.get(), (*responses)[1].result.get());
+  EXPECT_EQ(session.service_stats().detect_queries, 4u);
+  EXPECT_EQ(session.service_stats().cache_hits, 2u);
+}
+
+TEST(AuditSessionTest, DetectManyMatchesSequentialDetects) {
+  AuditSession batched = MakeSession(80, 17);
+  AuditSession sequential = MakeSession(80, 17);
+  std::vector<api::AuditRequest> requests = {
+      PropQuery(5, 30, 6), PropQuery(5, 25, 6), PropQuery(5, 30, 6)};
+  auto responses = batched.DetectMany(requests);
+  ASSERT_TRUE(responses.ok());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto one = sequential.Detect(requests[i]);
+    ASSERT_TRUE(one.ok());
+    for (int k = requests[i].config.k_min; k <= requests[i].config.k_max;
+         ++k) {
+      EXPECT_EQ((*responses)[i].result->AtK(k), one->result->AtK(k))
+          << "request " << i << " k=" << k;
+    }
+  }
+  EXPECT_EQ(batched.service_stats().cache_hits,
+            sequential.service_stats().cache_hits);
+}
+
+TEST(AuditSessionTest, DetectManyAbortsOnFirstBadRequest) {
+  AuditSession session = MakeSession(40, 18);
+  api::AuditRequest bad = PropQuery(5, 400, 4);  // k_max > |D|
+  EXPECT_FALSE(session.DetectMany({PropQuery(5, 20, 4), bad}).ok());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -115,6 +116,72 @@ TEST_F(JsonlServiceTest, DetectSelectsDetector) {
   ExpectError(R"({"op":"detect","algo":"nope"})", "INVALID_ARGUMENT");
 }
 
+TEST_F(JsonlServiceTest, DetectSelectsDetectorByRegistryName) {
+  JsonValue v = ExpectOk(R"({"op":"detect","detector":"GlobalIterTD"})");
+  EXPECT_EQ(v.Find("data")->Find("report")->StringOr("algorithm", ""),
+            "GlobalIterTD");
+  ExpectError(R"({"op":"detect","detector":"NoSuchDetector"})",
+              "NOT_FOUND");
+  ExpectError(R"({"op":"detect","detector":7})", "INVALID_ARGUMENT");
+}
+
+TEST_F(JsonlServiceTest, CapabilitiesListsAllRegisteredDetectors) {
+  JsonValue v = ExpectOk(R"({"op":"capabilities","id":"c1"})");
+  const JsonValue* detectors = v.Find("data")->Find("detectors");
+  ASSERT_NE(detectors, nullptr);
+  ASSERT_TRUE(detectors->is_array());
+  ASSERT_EQ(detectors->array_items().size(), 6u);
+  std::vector<std::string> names;
+  for (const JsonValue& d : detectors->array_items()) {
+    names.push_back(d.StringOr("name", ""));
+    // Every entry carries its wire identity and a parameter schema
+    // whose bound fields match the declared kind.
+    EXPECT_FALSE(d.StringOr("measure", "").empty());
+    EXPECT_FALSE(d.StringOr("algo", "").empty());
+    EXPECT_FALSE(d.StringOr("summary", "").empty());
+    const JsonValue* params = d.Find("params");
+    ASSERT_NE(params, nullptr);
+    EXPECT_NE(params->Find("k_min"), nullptr);
+    EXPECT_NE(params->Find("tau"), nullptr);
+    if (d.StringOr("bounds", "") == "global") {
+      EXPECT_NE(params->Find("lower_steps"), nullptr);
+      EXPECT_EQ(params->Find("alpha"), nullptr);
+    } else {
+      EXPECT_NE(params->Find("alpha"), nullptr);
+      EXPECT_EQ(params->Find("lower_steps"), nullptr);
+    }
+  }
+  const std::vector<std::string> expected = {
+      "GlobalIterTD", "PropIterTD",        "GlobalBounds",
+      "PropBounds",   "GlobalUpperBounds", "PropUpperBounds"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST_F(JsonlServiceTest, DetectBatchDedupesAndAlignsResults) {
+  JsonValue v = ExpectOk(
+      R"({"op":"detect_batch","queries":[)"
+      R"({"measure":"prop","algo":"bounds"},)"
+      R"({"detector":"GlobalIterTD","lower":0.3},)"
+      R"({"measure":"prop","algo":"bounds"}]})");
+  const JsonValue* results = v.Find("data")->Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array_items().size(), 3u);
+  const JsonValue& first = results->array_items()[0];
+  const JsonValue& second = results->array_items()[1];
+  const JsonValue& third = results->array_items()[2];
+  EXPECT_FALSE(first.BoolOr("cached", true));
+  EXPECT_FALSE(second.BoolOr("cached", true));
+  EXPECT_TRUE(third.BoolOr("cached", false));
+  EXPECT_EQ(first.Find("report")->StringOr("algorithm", ""), "PropBounds");
+  EXPECT_EQ(second.Find("report")->StringOr("algorithm", ""),
+            "GlobalIterTD");
+
+  ExpectError(R"({"op":"detect_batch"})", "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"detect_batch","queries":[]})", "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"detect_batch","queries":[{"measure":"nope"}]})",
+              "INVALID_ARGUMENT");
+}
+
 TEST_F(JsonlServiceTest, DetectAcceptsExplicitSteps) {
   JsonValue v = ExpectOk(
       R"({"op":"detect","measure":"global","algo":"bounds",)"
@@ -164,6 +231,15 @@ TEST_F(JsonlServiceTest, MistypedParametersErrorInsteadOfDefaulting) {
   ExpectError(
       R"({"op":"detect","measure":"global","lower_steps":[[5.5,2]]})",
       "INVALID_ARGUMENT");
+  // Mistyped bound fields of the OTHER family are ignored value-wise
+  // but still type-checked — they signal a client mistake.
+  ExpectError(R"({"op":"detect","measure":"global","alpha":"0.9"})",
+              "INVALID_ARGUMENT");
+  ExpectError(
+      R"({"op":"detect","measure":"prop","lower_steps":[[5,2],[1,1]]})",
+      "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"detect","measure":"prop","upper":"9"})",
+              "INVALID_ARGUMENT");
 }
 
 TEST_F(JsonlServiceTest, AppendByLabelsGrowsSession) {
@@ -221,6 +297,11 @@ TEST_F(JsonlServiceTest, RerankReportsRepairOutcome) {
   ASSERT_NE(data->Find("feasible"), nullptr);
   ASSERT_NE(data->Find("tuples_moved"), nullptr);
   ASSERT_NE(data->Find("unsatisfied"), nullptr);
+  // Upper-bound detections must never feed the repair (their groups
+  // would become representation floors, amplifying the violation).
+  ExpectError(
+      R"({"op":"rerank","measure":"global","algo":"upper","upper":5})",
+      "INVALID_ARGUMENT");
 }
 
 TEST_F(JsonlServiceTest, StatsAndInvalidate) {

@@ -6,6 +6,7 @@
 // DetectionResults with equal work counters for every detector at 1
 // and 4 threads.
 #include <optional>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -115,8 +116,7 @@ class SessionEquivalenceTest : public ::testing::TestWithParam<SessionCase> {
         ASSERT_TRUE(session_->AppendRows(rows).ok());
       }
       if (step % 2 == 0) {
-        ASSERT_TRUE(session_->Detect(Query(SessionDetector::kPropBounds, 1))
-                        .ok());
+        ASSERT_TRUE(session_->Detect(Query("PropBounds", 1)).ok());
       }
     }
 
@@ -135,39 +135,46 @@ class SessionEquivalenceTest : public ::testing::TestWithParam<SessionCase> {
     fresh_.emplace(std::move(fresh).value());
   }
 
-  SessionQuery Query(SessionDetector detector, int threads) const {
+  api::AuditRequest Query(const std::string& detector, int threads) const {
     const SessionCase& c = GetParam();
-    SessionQuery query;
+    api::AuditRequest query;
     query.detector = detector;
     query.config.k_min = 5;
     query.config.k_max = static_cast<int>(c.rows / 2);
     query.config.size_threshold = static_cast<int>(c.rows / 15);
     query.config.num_threads = threads;
-    query.global_bounds.lower =
-        StepFunction::Constant(0.25 * query.config.k_min + 2.0);
-    query.global_bounds.upper =
-        StepFunction::Constant(0.5 * query.config.k_min + 2.0);
-    query.prop_bounds.alpha = 0.85;
-    query.prop_bounds.beta = 1.4;
+    const api::DetectorDescriptor* descriptor =
+        api::DetectorRegistry::Global().Find(detector);
+    EXPECT_NE(descriptor, nullptr) << detector;
+    if (descriptor->bounds_kind == api::BoundsKind::kGlobal) {
+      GlobalBoundSpec bounds;
+      bounds.lower = StepFunction::Constant(0.25 * query.config.k_min + 2.0);
+      bounds.upper = StepFunction::Constant(0.5 * query.config.k_min + 2.0);
+      query.bounds = bounds;
+    } else {
+      PropBoundSpec bounds;
+      bounds.alpha = 0.85;
+      bounds.beta = 1.4;
+      query.bounds = bounds;
+    }
     return query;
   }
 
-  void ExpectEquivalent(SessionDetector detector) {
+  void ExpectEquivalent(const std::string& detector) {
     ASSERT_EQ(session_->ranking(), fresh_->ranking());
     for (int threads : {1, 4}) {
       auto incremental = session_->Detect(Query(detector, threads));
       ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
       auto scratch = fresh_->Detect(Query(detector, threads));
       ASSERT_TRUE(scratch.ok()) << scratch.status().ToString();
-      const DetectionResult& a = **incremental;
-      const DetectionResult& b = **scratch;
+      const DetectionResult& a = *incremental->result;
+      const DetectionResult& b = *scratch->result;
       ASSERT_EQ(a.k_min(), b.k_min());
       ASSERT_EQ(a.k_max(), b.k_max());
       for (int k = a.k_min(); k <= a.k_max(); ++k) {
         ASSERT_EQ(a.AtK(k), b.AtK(k))
-            << "seed=" << GetParam().seed << " detector="
-            << SessionDetectorName(detector) << " threads=" << threads
-            << " k=" << k;
+            << "seed=" << GetParam().seed << " detector=" << detector
+            << " threads=" << threads << " k=" << k;
       }
       // Work counters are a pure function of (index, config): equal
       // counters are strong evidence the patched index is bit-exact.
@@ -181,27 +188,27 @@ class SessionEquivalenceTest : public ::testing::TestWithParam<SessionCase> {
 };
 
 TEST_P(SessionEquivalenceTest, GlobalIterTD) {
-  ExpectEquivalent(SessionDetector::kGlobalIterTD);
+  ExpectEquivalent("GlobalIterTD");
 }
 
 TEST_P(SessionEquivalenceTest, PropIterTD) {
-  ExpectEquivalent(SessionDetector::kPropIterTD);
+  ExpectEquivalent("PropIterTD");
 }
 
 TEST_P(SessionEquivalenceTest, GlobalBounds) {
-  ExpectEquivalent(SessionDetector::kGlobalBounds);
+  ExpectEquivalent("GlobalBounds");
 }
 
 TEST_P(SessionEquivalenceTest, PropBounds) {
-  ExpectEquivalent(SessionDetector::kPropBounds);
+  ExpectEquivalent("PropBounds");
 }
 
 TEST_P(SessionEquivalenceTest, GlobalUpperBounds) {
-  ExpectEquivalent(SessionDetector::kGlobalUpper);
+  ExpectEquivalent("GlobalUpperBounds");
 }
 
 TEST_P(SessionEquivalenceTest, PropUpperBounds) {
-  ExpectEquivalent(SessionDetector::kPropUpper);
+  ExpectEquivalent("PropUpperBounds");
 }
 
 TEST_P(SessionEquivalenceTest, MaintenanceStatsInvariants) {

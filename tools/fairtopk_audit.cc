@@ -6,9 +6,10 @@
 // Pipeline: load the CSV (numeric columns inferred), bucketize numeric
 // attributes so they can participate in group definitions, rank by the
 // requested score column (descending by default), detect groups with
-// biased representation under the chosen fairness measure, and print a
-// text report (or JSON with --json). Optionally explains the most
-// biased group via the Shapley pipeline.
+// biased representation under the chosen detector (resolved from the
+// api::DetectorRegistry by --measure x --algo), and print a text
+// report (or JSON with --json). Optionally explains the most biased
+// group via the Shapley pipeline.
 //
 // Options:
 //   --csv PATH             input CSV file (required)
@@ -16,9 +17,19 @@
 //                          (required)
 //   --ascending            rank ascending instead
 //   --measure global|prop  fairness measure (default: prop)
+//   --algo itertd|bounds|upper
+//                          detection algorithm within the measure
+//                          (default: bounds — the paper's optimized
+//                          incremental detector; itertd is the
+//                          baseline, upper reports over-represented
+//                          groups)
 //   --alpha X              proportional multiplier (default 0.8)
+//   --beta X               proportional upper multiplier (default
+//                          +inf; used by --algo upper / verification)
 //   --lower X              global lower bound, fraction of k
 //                          (default 0.5: L_k = 0.5k staircase)
+//   --upper X              constant global upper bound (default +inf;
+//                          used by --algo upper / verification)
 //   --kmin K --kmax K      rank range (default 10..49, clamped to |D|)
 //   --tau N                group size threshold (default 5% of rows)
 //   --threads N            worker threads for the top-down searches
@@ -40,16 +51,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
+#include <variant>
 #include <vector>
 
+#include "api/audit.h"
+#include "api/canonical.h"
 #include "common/strings.h"
-#include "detect/global_bounds.h"
 #include "detect/presentation.h"
-#include "detect/prop_bounds.h"
 #include "detect/suggest.h"
-#include "explain/group_explainer.h"
 #include "detect/verify.h"
+#include "explain/group_explainer.h"
 #include "mitigate/rerank.h"
 #include "ranking/attribute_ranker.h"
 #include "relation/csv.h"
@@ -64,8 +77,14 @@ struct Args {
   std::string rank_by;
   bool ascending = false;
   std::string measure = "prop";
+  std::string algo = "bounds";
+  /// Registry entry resolved from (measure, algo) at the end of
+  /// ParseArgs.
+  const api::DetectorDescriptor* detector = nullptr;
   double alpha = 0.8;
+  double beta = std::numeric_limits<double>::infinity();
   double lower_fraction = 0.5;
+  double upper = std::numeric_limits<double>::infinity();
   int k_min = 10;
   int k_max = 49;
   int tau = 0;  // 0 = 5% of rows
@@ -92,9 +111,20 @@ void PrintUsage(std::FILE* out) {
       "                         (required)\n"
       "  --ascending            rank ascending instead\n"
       "  --measure global|prop  fairness measure (default: prop)\n"
+      "  --algo itertd|bounds|upper\n"
+      "                         detection algorithm within the measure\n"
+      "                         (default: bounds; itertd is the paper\n"
+      "                         baseline, upper reports\n"
+      "                         over-represented groups)\n"
       "  --alpha X              proportional multiplier (default 0.8)\n"
+      "  --beta X               proportional upper multiplier\n"
+      "                         (default +inf; used by --algo upper\n"
+      "                         and verification)\n"
       "  --lower X              global lower bound, fraction of k\n"
       "                         (default 0.5: L_k = 0.5k staircase)\n"
+      "  --upper X              constant global upper bound (default\n"
+      "                         +inf; used by --algo upper and\n"
+      "                         verification)\n"
       "  --kmin K --kmax K      rank range (default 10..49, clamped\n"
       "                         to |D|)\n"
       "  --tau N                group size threshold (default 5%% of\n"
@@ -146,10 +176,22 @@ bool ParseArgs(int argc, char** argv, Args& args, bool& help) {
       const char* v = next("--measure");
       if (v == nullptr) return false;
       args.measure = v;
+    } else if (flag == "--algo") {
+      const char* v = next("--algo");
+      if (v == nullptr) return false;
+      args.algo = v;
     } else if (flag == "--alpha") {
       const char* v = next("--alpha");
       if (v == nullptr) return false;
       args.alpha = std::atof(v);
+    } else if (flag == "--beta") {
+      const char* v = next("--beta");
+      if (v == nullptr) return false;
+      args.beta = std::atof(v);
+    } else if (flag == "--upper") {
+      const char* v = next("--upper");
+      if (v == nullptr) return false;
+      args.upper = std::atof(v);
     } else if (flag == "--lower") {
       const char* v = next("--lower");
       if (v == nullptr) return false;
@@ -213,9 +255,37 @@ bool ParseArgs(int argc, char** argv, Args& args, bool& help) {
     PrintUsage(stderr);
     return false;
   }
-  if (args.measure != "global" && args.measure != "prop") {
-    std::fprintf(stderr, "--measure must be 'global' or 'prop'\n");
+  // One registry lookup validates the (measure, algo) matrix — no
+  // hand-maintained flag table to drift from the detector set.
+  auto detector =
+      api::DetectorRegistry::Global().Resolve(args.measure, args.algo);
+  if (!detector.ok()) {
+    std::fprintf(stderr, "%s\n", detector.status().ToString().c_str());
     return false;
+  }
+  args.detector = *detector;
+  if (!args.detector->lower_violations) {
+    // An upper detector with its bound left at +inf can only report
+    // nothing — refuse instead of printing a silently empty audit.
+    const bool knob_set =
+        args.detector->bounds_kind == api::BoundsKind::kGlobal
+            ? !std::isinf(args.upper)
+            : !std::isinf(args.beta);
+    if (!knob_set) {
+      std::fprintf(stderr,
+                   "--algo upper needs an upper bound: pass %s\n",
+                   args.detector->bounds_kind == api::BoundsKind::kGlobal
+                       ? "--upper X"
+                       : "--beta X");
+      return false;
+    }
+    // Over-represented groups must never become representation floors.
+    if (!args.rerank_path.empty()) {
+      std::fprintf(stderr,
+                   "--rerank requires a lower-bound detector (--algo "
+                   "upper reports over-represented groups)\n");
+      return false;
+    }
   }
   return true;
 }
@@ -275,39 +345,50 @@ int RunAudit(const Args& args) {
     return 1;
   }
 
-  DetectionConfig config;
-  config.k_min = args.k_min;
-  const int n = static_cast<int>(table.num_rows());
-  config.k_max = std::min(args.k_max, n);
-  if (config.k_min > config.k_max) config.k_min = 1;
-  config.size_threshold =
-      args.tau > 0 ? args.tau : std::max(2, n / 20);
-  config.num_threads = args.threads;
-
-  Result<GlobalBoundSpec> gbounds_result = GlobalBoundSpec::FractionStaircase(
-      args.lower_fraction, config.k_min, config.k_max);
-  if (!gbounds_result.ok()) {
-    std::fprintf(stderr, "%s\n",
-                 gbounds_result.status().ToString().c_str());
+  // The typed request: detector by registry name, config and bounds
+  // through the shared tool/canonical builders.
+  api::AuditRequest request;
+  request.detector = args.detector->name;
+  request.config = MakeToolConfig(args.k_min, args.k_max, args.tau,
+                                  args.threads, table.num_rows());
+  Result<api::BoundsSpec> bounds = api::BoundsFromDefaults(
+      args.detector->bounds_kind,
+      api::BoundsDefaults{args.lower_fraction, args.alpha}, request.config);
+  if (!bounds.ok()) {
+    std::fprintf(stderr, "%s\n", bounds.status().ToString().c_str());
     return 1;
   }
-  GlobalBoundSpec gbounds = *gbounds_result;
-  PropBoundSpec pbounds;
-  pbounds.alpha = args.alpha;
+  request.bounds = std::move(bounds).value();
 
   if (args.suggest) {
-    auto suggestion = SuggestParameters(*input, config, SuggestOptions{});
+    auto suggestion =
+        SuggestParameters(*input, request.config, SuggestOptions{});
     if (!suggestion.ok()) {
       std::fprintf(stderr, "%s\n", suggestion.status().ToString().c_str());
       return 1;
     }
-    config.size_threshold = suggestion->size_threshold;
-    gbounds = suggestion->global_bounds;
-    pbounds.alpha = suggestion->alpha;
+    request.config.size_threshold = suggestion->size_threshold;
+    if (std::holds_alternative<GlobalBoundSpec>(request.bounds)) {
+      request.bounds = suggestion->global_bounds;
+    } else {
+      PropBoundSpec prop;
+      prop.alpha = suggestion->alpha;
+      request.bounds = prop;
+    }
     std::fprintf(stderr,
                  "suggested: tau=%d global_level=%.2f alpha=%.2f\n",
                  suggestion->size_threshold, suggestion->global_level,
                  suggestion->alpha);
+  }
+
+  // The upper-bound knobs ride on top of the lower-bound expansion
+  // (both default to +inf, i.e. disabled) — applied after the suggest
+  // override, which calibrates only the lower side, so --upper/--beta
+  // survive --suggest.
+  if (auto* global = std::get_if<GlobalBoundSpec>(&request.bounds)) {
+    global->upper = StepFunction::Constant(args.upper);
+  } else {
+    std::get<PropBoundSpec>(request.bounds).beta = args.beta;
   }
 
   if (!args.verify_group.empty()) {
@@ -319,9 +400,13 @@ int RunAudit(const Args& args) {
       return 1;
     }
     Result<FairnessReport> report =
-        args.measure == "global"
-            ? VerifyGlobalFairness(*input, *group, gbounds, config)
-            : VerifyPropFairness(*input, *group, pbounds, config);
+        std::holds_alternative<GlobalBoundSpec>(request.bounds)
+            ? VerifyGlobalFairness(*input, *group,
+                                   std::get<GlobalBoundSpec>(request.bounds),
+                                   request.config)
+            : VerifyPropFairness(*input, *group,
+                                 std::get<PropBoundSpec>(request.bounds),
+                                 request.config);
     if (!report.ok()) {
       std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
       return 1;
@@ -342,31 +427,32 @@ int RunAudit(const Args& args) {
     return report->fair() ? 0 : 3;
   }
 
-  Result<DetectionResult> detected =
-      args.measure == "global"
-          ? DetectGlobalBounds(*input, gbounds, config)
-          : DetectPropBounds(*input, pbounds, config);
+  Result<DetectionResult> detected = api::RunAudit(*input, request);
   if (!detected.ok()) {
     std::fprintf(stderr, "%s\n", detected.status().ToString().c_str());
     return 1;
   }
 
+  // Per-k presentation annotations against the request's bounds kind.
+  auto annotate = [&](int k) {
+    if (const auto* global = std::get_if<GlobalBoundSpec>(&request.bounds)) {
+      return AnnotateGlobal(*detected, *input, *global, k,
+                            GroupOrder::kByBiasDesc);
+    }
+    return AnnotateProp(*detected, *input,
+                        std::get<PropBoundSpec>(request.bounds), k,
+                        GroupOrder::kByBiasDesc);
+  };
+
   if (args.json) {
-    ReportContext context{args.csv, args.measure,
-                          args.measure == "global" ? "GlobalBounds"
-                                                   : "PropBounds"};
+    ReportContext context{args.csv, args.measure, args.detector->name};
     std::printf("%s\n",
                 DetectionResultToJson(*detected, *input, context).c_str());
   } else {
-    for (int k = config.k_min; k <= config.k_max; ++k) {
+    for (int k = request.config.k_min; k <= request.config.k_max; ++k) {
       if (detected->AtK(k).empty()) continue;
-      auto groups =
-          args.measure == "global"
-              ? AnnotateGlobal(*detected, *input, gbounds, k,
-                               GroupOrder::kByBiasDesc)
-              : AnnotateProp(*detected, *input, pbounds, k,
-                             GroupOrder::kByBiasDesc);
-      std::printf("%s", RenderReport(groups, input->space(), k).c_str());
+      std::printf("%s",
+                  RenderReport(annotate(k), input->space(), k).c_str());
     }
   }
 
@@ -376,18 +462,20 @@ int RunAudit(const Args& args) {
     // floors at k_max (a conservative approximation of the band).
     std::vector<RepresentationConstraint> constraints;
     for (const Pattern& p : detected->AllDistinct()) {
-      if (args.measure == "global") {
-        constraints.push_back({p, gbounds.lower});
+      if (const auto* global =
+              std::get_if<GlobalBoundSpec>(&request.bounds)) {
+        constraints.push_back({p, global->lower});
       } else {
-        const double floor_at_kmax = pbounds.LowerAt(
+        const auto& prop = std::get<PropBoundSpec>(request.bounds);
+        const double floor_at_kmax = prop.LowerAt(
             static_cast<int>(input->index().PatternCount(p)),
-            config.k_max, table.num_rows());
+            request.config.k_max, table.num_rows());
         constraints.push_back(
             {p, StepFunction::Constant(std::ceil(floor_at_kmax))});
       }
     }
     Result<RepairOutcome> repair =
-        RepairRanking(*input, constraints, config);
+        RepairRanking(*input, constraints, request.config);
     if (!repair.ok()) {
       std::fprintf(stderr, "%s\n", repair.status().ToString().c_str());
       return 1;
@@ -436,12 +524,8 @@ int RunAudit(const Args& args) {
   }
 
   if (args.explain) {
-    const int k = config.k_max;
-    auto groups = args.measure == "global"
-                      ? AnnotateGlobal(*detected, *input, gbounds, k,
-                                       GroupOrder::kByBiasDesc)
-                      : AnnotateProp(*detected, *input, pbounds, k,
-                                     GroupOrder::kByBiasDesc);
+    const int k = request.config.k_max;
+    auto groups = annotate(k);
     if (groups.empty()) {
       std::fprintf(stderr, "nothing to explain at k=%d\n", k);
       return 0;

@@ -50,8 +50,10 @@ void PrintUsage(std::FILE* out) {
       "\n"
       "Serves an audit session over the CSV: reads one JSON request per\n"
       "stdin line, writes one JSON response per stdout line until EOF.\n"
-      "Ops: detect, suggest, verify, rerank, update, append, stats,\n"
-      "invalidate (see README.md, \"Serving audits\").\n"
+      "Ops: detect, detect_batch, capabilities, suggest, verify, rerank,\n"
+      "update, append, stats, invalidate (see README.md, \"Serving\n"
+      "audits\"; capabilities lists every registered detector with its\n"
+      "parameter schema).\n"
       "\n"
       "Options:\n"
       "  --csv PATH             input CSV file (required)\n"
@@ -187,16 +189,10 @@ int RunServe(const Args& args) {
 
   ServeDefaults defaults;
   defaults.dataset = args.csv;
-  defaults.config.k_min = args.k_min;
-  defaults.config.k_max = std::min(args.k_max, n);
-  if (defaults.config.k_min > defaults.config.k_max) {
-    defaults.config.k_min = 1;
-  }
-  defaults.config.size_threshold =
-      args.tau > 0 ? args.tau : std::max(2, n / 20);
-  defaults.config.num_threads = args.threads;
-  defaults.lower_fraction = args.lower_fraction;
-  defaults.alpha = args.alpha;
+  defaults.config = MakeToolConfig(args.k_min, args.k_max, args.tau,
+                                   args.threads, static_cast<size_t>(n));
+  defaults.bounds.lower_fraction = args.lower_fraction;
+  defaults.bounds.alpha = args.alpha;
 
   std::fprintf(stderr, "session ready: %d rows, %zu pattern attributes\n", n,
                session->space().num_attributes());

@@ -1,16 +1,23 @@
 // Startup shared by the fairtopk CLI tools (fairtopk_audit,
-// fairtopk_serve): load the CSV, validate the ranking column, and
-// bucketize every other numeric column so it can participate in group
-// definitions. Kept in one place so the one-shot and serving
-// front-ends can never drift in how they prepare a dataset.
+// fairtopk_serve): load the CSV, validate the ranking column,
+// bucketize numeric columns so they can participate in group
+// definitions, and expand the shared flag vocabulary (k range / tau /
+// --lower / --alpha) into a DetectionConfig and api::BoundsSpec. Kept
+// in one place so the one-shot and serving front-ends can never drift
+// in how they prepare a dataset or interpret a bound knob — the bound
+// expansion itself lives in api/canonical.h, the same canonical codec
+// the JSONL protocol and the session cache key use.
 #ifndef FAIRTOPK_TOOLS_TOOL_COMMON_H_
 #define FAIRTOPK_TOOLS_TOOL_COMMON_H_
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "api/canonical.h"
 #include "common/status.h"
+#include "detect/detection_result.h"
 #include "relation/bucketize.h"
 #include "relation/csv.h"
 #include "relation/table.h"
@@ -53,6 +60,22 @@ inline Result<Table> LoadAuditTable(const std::string& csv_path,
     table = std::move(bucketized).value();
   }
   return table;
+}
+
+/// Expands the CLI's range flags into a DetectionConfig with the
+/// shared clamping rules: k_max is capped by the dataset size (with
+/// k_min dropping to 1 when the cap inverts the range) and tau
+/// defaults to 5% of the rows (minimum 2) when not set.
+inline DetectionConfig MakeToolConfig(int k_min, int k_max, int tau,
+                                      int threads, size_t num_rows) {
+  DetectionConfig config;
+  const int n = static_cast<int>(num_rows);
+  config.k_min = k_min;
+  config.k_max = std::min(k_max, n);
+  if (config.k_min > config.k_max) config.k_min = 1;
+  config.size_threshold = tau > 0 ? tau : std::max(2, n / 20);
+  config.num_threads = threads;
+  return config;
 }
 
 }  // namespace fairtopk
