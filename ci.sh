@@ -1,11 +1,25 @@
 #!/usr/bin/env sh
-# CI entry point: header self-containment, tier-1 verify from a clean
-# tree, then an ASan/UBSan pass over the unit and property suites, then
-# a ThreadSanitizer pass over the detection tests (which exercise
-# num_threads > 1 through the parallel-equivalence property suite).
+# CI entry point, split into named stages so the GitHub Actions matrix
+# can run them as parallel jobs while one local invocation still covers
+# everything:
 #
-#   ./ci.sh            # all stages
-#   SKIP_SANITIZE=1 ./ci.sh   # skip the sanitizer stages
+#   headers   every src/**/*.h compiles standalone
+#   tier1     configure + build + full ctest (the tier-1 verify)
+#   asan      ASan/UBSan over the unit and property suites
+#   tsan      ThreadSanitizer over every `concurrency`-labeled test
+#             (ctest -L concurrency — suites opt in via the label in
+#             tests/CMakeLists.txt, not by editing a regex here)
+#   perf      perf smoke: pinned bench_micro subset vs the checked-in
+#             baseline via tools/bench_compare.py, plus the intra-run
+#             4-vs-1-worker serving throughput gate
+#
+#   ./ci.sh                    # headers tier1 asan tsan
+#   ./ci.sh tier1              # a single stage
+#   ./ci.sh tier1 perf         # any subset, in the given order
+#   SKIP_SANITIZE=1 ./ci.sh    # back-compat: headers tier1 only
+#
+# ccache is picked up automatically when installed (the Actions jobs
+# cache its directory between runs).
 set -eu
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
@@ -13,49 +27,108 @@ GENERATOR=""
 if command -v ninja >/dev/null 2>&1; then
   GENERATOR="-GNinja"
 fi
-
-echo "== stage 0: header self-containment =="
-# Every public header must compile standalone (so api/, engine/, and
-# service headers stay includable in isolation — a new public type
-# cannot silently lean on a sibling's transitive includes).
-CXX_BIN="${CXX:-c++}"
-find src -name '*.h' | sort | xargs -P "${JOBS}" -I {} \
-  "${CXX_BIN}" -std=c++20 -fsyntax-only -Isrc -x c++ {}
-echo "all src headers compile standalone"
-
-echo "== tier-1: configure + build + ctest =="
-rm -rf build-ci
-cmake -B build-ci -S . ${GENERATOR}
-cmake --build build-ci -j "${JOBS}"
-(cd build-ci && ctest --output-on-failure -j "${JOBS}")
-
-if [ "${SKIP_SANITIZE:-0}" = "1" ]; then
-  echo "== sanitize stage skipped (SKIP_SANITIZE=1) =="
-  exit 0
+LAUNCHER=""
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER="-DCMAKE_C_COMPILER_LAUNCHER=ccache -DCMAKE_CXX_COMPILER_LAUNCHER=ccache"
 fi
 
-echo "== stage 2: ASan/UBSan =="
-rm -rf build-ci-asan
-# Benches/examples/tools are skipped; with them off, cli_test and the
-# smoke tests are unregistered, so a plain ctest runs every library
-# test (unit + property + integration_test) under the sanitizers.
-cmake -B build-ci-asan -S . ${GENERATOR} -DFAIRTOPK_SANITIZE=ON \
-  -DFAIRTOPK_BUILD_BENCHES=OFF -DFAIRTOPK_BUILD_EXAMPLES=OFF \
-  -DFAIRTOPK_BUILD_TOOLS=OFF
-cmake --build build-ci-asan -j "${JOBS}"
-(cd build-ci-asan && ctest --output-on-failure -j "${JOBS}")
+PERF_BASELINE="${PERF_BASELINE:-BENCH_pr5.json}"
+PERF_BENCHMARKS="BM_DetectGlobalIterTDSmall,BM_SessionReuseDetect/0,BM_SessionReuseDetect/1,BM_ConcurrentDetectThroughput/1/real_time,BM_ConcurrentDetectThroughput/4/real_time"
 
-echo "== stage 3: TSan (multi-threaded detection) =="
-rm -rf build-ci-tsan
-# The detection suites cover the search engine's sharded parallelism;
-# parallel_equivalence_test runs every algorithm with num_threads > 1,
-# and the service suites (audit_session, session_equivalence) drive
-# multi-threaded queries through the session layer.
-cmake -B build-ci-tsan -S . ${GENERATOR} -DFAIRTOPK_SANITIZE=thread \
-  -DFAIRTOPK_BUILD_BENCHES=OFF -DFAIRTOPK_BUILD_EXAMPLES=OFF \
-  -DFAIRTOPK_BUILD_TOOLS=OFF
-cmake --build build-ci-tsan -j "${JOBS}"
-(cd build-ci-tsan && ctest --output-on-failure -j "${JOBS}" \
-  -R 'parallel_equivalence|session_equivalence|audit_session|topdown|global_bounds|prop_bounds|upper_bounds|variants|pattern_cursor')
+stage_headers() {
+  echo "== stage headers: header self-containment =="
+  # Every public header must compile standalone (so api/, engine/, and
+  # service headers stay includable in isolation — a new public type
+  # cannot silently lean on a sibling's transitive includes).
+  CXX_BIN="${CXX:-c++}"
+  find src -name '*.h' | sort | xargs -P "${JOBS}" -I {} \
+    "${CXX_BIN}" -std=c++20 -fsyntax-only -Isrc -x c++ {}
+  echo "all src headers compile standalone"
+}
 
-echo "== ci.sh: all green =="
+stage_tier1() {
+  echo "== stage tier1: configure + build + ctest =="
+  rm -rf build-ci
+  # shellcheck disable=SC2086
+  cmake -B build-ci -S . ${GENERATOR} ${LAUNCHER}
+  cmake --build build-ci -j "${JOBS}"
+  (cd build-ci && ctest --output-on-failure -j "${JOBS}")
+}
+
+stage_asan() {
+  echo "== stage asan: ASan/UBSan =="
+  rm -rf build-ci-asan
+  # Benches/examples/tools are skipped; with them off, cli_test and the
+  # smoke tests are unregistered, so a plain ctest runs every library
+  # test (unit + property + integration_test) under the sanitizers.
+  # shellcheck disable=SC2086
+  cmake -B build-ci-asan -S . ${GENERATOR} ${LAUNCHER} \
+    -DFAIRTOPK_SANITIZE=ON \
+    -DFAIRTOPK_BUILD_BENCHES=OFF -DFAIRTOPK_BUILD_EXAMPLES=OFF \
+    -DFAIRTOPK_BUILD_TOOLS=OFF
+  cmake --build build-ci-asan -j "${JOBS}"
+  (cd build-ci-asan && ctest --output-on-failure -j "${JOBS}")
+}
+
+stage_tsan() {
+  echo "== stage tsan: ThreadSanitizer over concurrency-labeled tests =="
+  rm -rf build-ci-tsan
+  # Everything threaded carries the `concurrency` CTest label: the
+  # engine's sharded searches, the thread-safe session suites, the
+  # pooled JSONL front-end. New concurrent suites get TSan coverage by
+  # adding themselves to FAIRTOPK_CONCURRENCY_TESTS in
+  # tests/CMakeLists.txt.
+  # shellcheck disable=SC2086
+  cmake -B build-ci-tsan -S . ${GENERATOR} ${LAUNCHER} \
+    -DFAIRTOPK_SANITIZE=thread \
+    -DFAIRTOPK_BUILD_BENCHES=OFF -DFAIRTOPK_BUILD_EXAMPLES=OFF \
+    -DFAIRTOPK_BUILD_TOOLS=OFF
+  cmake --build build-ci-tsan -j "${JOBS}"
+  (cd build-ci-tsan && ctest --output-on-failure -j "${JOBS}" -L concurrency)
+}
+
+stage_perf() {
+  echo "== stage perf: bench smoke vs ${PERF_BASELINE} =="
+  # Reuses the tier1 tree when present so the perf job can piggyback on
+  # a cached build.
+  if [ ! -d build-ci ]; then
+    # shellcheck disable=SC2086
+    cmake -B build-ci -S . ${GENERATOR} ${LAUNCHER}
+  fi
+  cmake --build build-ci -j "${JOBS}" --target bench_micro
+  ./build-ci/bench/bench_micro \
+    --benchmark_filter='BM_DetectGlobalIterTDSmall|BM_SessionReuseDetect|BM_ConcurrentDetectThroughput' \
+    --benchmark_out=build-ci/bench_current.json \
+    --benchmark_out_format=json
+  python3 tools/bench_compare.py "${PERF_BASELINE}" \
+    build-ci/bench_current.json \
+    --max-ratio 3.0 \
+    --benchmarks "${PERF_BENCHMARKS}" \
+    --min-speedup 'BM_ConcurrentDetectThroughput/1/real_time,BM_ConcurrentDetectThroughput/4/real_time,2.0'
+  echo "perf smoke green (json: build-ci/bench_current.json)"
+}
+
+STAGES="${*:-}"
+if [ -z "${STAGES}" ]; then
+  if [ "${SKIP_SANITIZE:-0}" = "1" ]; then
+    STAGES="headers tier1"
+  else
+    STAGES="headers tier1 asan tsan"
+  fi
+fi
+
+for stage in ${STAGES}; do
+  case "${stage}" in
+    headers) stage_headers ;;
+    tier1) stage_tier1 ;;
+    asan) stage_asan ;;
+    tsan) stage_tsan ;;
+    perf) stage_perf ;;
+    *)
+      echo "unknown stage '${stage}' (headers tier1 asan tsan perf)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "== ci.sh: all requested stages green =="

@@ -57,6 +57,10 @@ struct AuditResponse {
   /// True when the result was served from a cache (session layer) or
   /// deduplicated within a batch, false when the detector ran.
   bool cached = false;
+  /// True when this response waited on an identical concurrent run
+  /// instead of computing (session-layer in-flight coalescing; implies
+  /// `cached`).
+  bool coalesced = false;
 };
 
 /// Resolves the request's detector against `registry` and checks that

@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+namespace fairtopk {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Submissions racing the destructor would be dropped by the drain;
+    // the deadlock rule already forbids them (only live scopes submit).
+    queue_.push_back(std::move(fn));
+  }
+  wake_.notify_one();
+}
+
+size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + running_;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and fully drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --running_;
+  }
+}
+
+void ParallelFor(Executor* executor, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (executor == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Fork/join on the caller: submit every index, then block until the
+  // last completion. The join state lives on this frame — safe because
+  // we never return before `done == n`.
+  std::mutex mutex;
+  std::condition_variable joined;
+  size_t done = 0;
+  for (size_t i = 0; i < n; ++i) {
+    executor->Submit([&, i] {
+      fn(i);
+      // Notify UNDER the lock: the waiter owns this frame and may
+      // destroy `joined` the moment it observes done == n, which it
+      // cannot do before this task releases the mutex.
+      std::lock_guard<std::mutex> lock(mutex);
+      ++done;
+      joined.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  joined.wait(lock, [&] { return done == n; });
+}
+
+}  // namespace fairtopk

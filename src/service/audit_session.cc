@@ -1,6 +1,7 @@
 #include "service/audit_session.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 namespace fairtopk {
@@ -71,7 +72,8 @@ AuditSession::AuditSession(Table table, std::vector<double> scores,
       ascending_(ascending),
       score_column_(score_column),
       options_(std::move(options)),
-      input_(std::move(input)) {
+      input_(std::move(input)),
+      sync_(std::make_unique<Sync>()) {
   inverse_.resize(input_.ranking().size());
   keys_.resize(input_.ranking().size());
   for (size_t pos = 0; pos < inverse_.size(); ++pos) {
@@ -131,93 +133,205 @@ Result<AuditSession> AuditSession::CreateWithScores(Table table,
                       std::move(options), std::move(input).value());
 }
 
+std::shared_lock<std::shared_mutex> AuditSession::ReadLock() const {
+  return std::shared_lock<std::shared_mutex>(sync_->state);
+}
+
+void AuditSession::Bump(uint64_t SessionServiceStats::* field,
+                        uint64_t delta) const {
+  std::lock_guard<std::mutex> lock(sync_->stats);
+  service_stats_.*field += delta;
+}
+
+SessionServiceStats AuditSession::service_stats() const {
+  std::lock_guard<std::mutex> lock(sync_->stats);
+  return service_stats_;
+}
+
+size_t AuditSession::num_rows() const {
+  std::shared_lock<std::shared_mutex> lock(sync_->state);
+  return input_.num_rows();
+}
+
+size_t AuditSession::cache_size() const {
+  std::lock_guard<std::mutex> lock(sync_->cache);
+  return cache_.size();
+}
+
 Result<api::AuditResponse> AuditSession::Detect(
     const api::AuditRequest& request) {
   FAIRTOPK_ASSIGN_OR_RETURN(const api::DetectorDescriptor* descriptor,
                             api::ResolveRequest(request));
+  // Admission: the shared lock pins the ranking for the whole call, so
+  // a validated config stays valid and a coalesced response is always
+  // computed against the ranking this request saw.
+  std::shared_lock<std::shared_mutex> state_lock(sync_->state);
   FAIRTOPK_RETURN_IF_ERROR(input_.ValidateConfig(request.config));
-  ++service_stats_.detect_queries;
+  Bump(&SessionServiceStats::detect_queries);
   const bool caching = options_.cache_capacity > 0;
-  std::string key;
-  if (caching) {
-    key = request.CacheKey();
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++service_stats_.cache_hits;
-      return api::AuditResponse{descriptor, it->second, /*cached=*/true};
+  std::string key = request.CacheKey();
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> cache_lock(sync_->cache);
+    if (caching) {
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        Bump(&SessionServiceStats::cache_hits);
+        return api::AuditResponse{descriptor, it->second, /*cached=*/true};
+      }
     }
+    auto [fit, inserted] = sync_->inflight.try_emplace(key);
+    if (inserted) {
+      fit->second = std::make_shared<InFlight>();
+      owner = true;
+    }
+    flight = fit->second;
   }
-
-  FAIRTOPK_ASSIGN_OR_RETURN(DetectionResult run,
-                            api::RunAudit(input_, request));
-  auto shared = std::make_shared<const DetectionResult>(std::move(run));
-  if (caching) CacheInsert(std::move(key), shared);
+  if (!owner) {
+    // Coalesce: wait for the owner's run. Both hold the shared state
+    // lock, so waiting cannot block the owner — only writers, for no
+    // longer than the run itself.
+    Bump(&SessionServiceStats::cache_hits);
+    Bump(&SessionServiceStats::coalesced_hits);
+    Result<std::shared_ptr<const DetectionResult>> run = flight->future.get();
+    if (!run.ok()) return run.status();
+    return api::AuditResponse{descriptor, *run, /*cached=*/true,
+                              /*coalesced=*/true};
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(std::shared_ptr<const DetectionResult> shared,
+                            RunAndPublish(request, key, flight));
   return api::AuditResponse{descriptor, std::move(shared), /*cached=*/false};
+}
+
+Result<std::shared_ptr<const DetectionResult>> AuditSession::RunAndPublish(
+    const api::AuditRequest& request, const std::string& key,
+    const std::shared_ptr<InFlight>& flight) {
+  Result<DetectionResult> run = api::RunAudit(input_, request);
+  if (!run.ok()) {
+    {
+      std::lock_guard<std::mutex> cache_lock(sync_->cache);
+      sync_->inflight.erase(key);
+    }
+    flight->promise.set_value(run.status());
+    return run.status();
+  }
+  auto shared = std::make_shared<const DetectionResult>(std::move(run).value());
+  {
+    std::lock_guard<std::mutex> cache_lock(sync_->cache);
+    sync_->inflight.erase(key);
+    if (options_.cache_capacity > 0) CacheInsertLocked(key, shared);
+  }
+  flight->promise.set_value(shared);
+  return shared;
 }
 
 Status AuditSession::DetectStream(const api::AuditRequest& request,
                                   ResultSink& sink) {
   FAIRTOPK_RETURN_IF_ERROR(api::ResolveRequest(request).status());
-  FAIRTOPK_RETURN_IF_ERROR(input_.ValidateConfig(request.config));
-  ++service_stats_.detect_queries;
-  if (options_.cache_capacity == 0) {
-    // Pure streaming: the per-k sets flow straight through `sink`,
-    // nothing is materialized.
-    return api::RunAuditStream(input_, request, sink);
+  // Replay is served OUTSIDE the state lock: the pinned result is
+  // immutable and owned, so a sink that re-enters the session (a
+  // follow-up Detect evicting this entry, an explicit InvalidateCache)
+  // is safe — and must not free the result mid-iteration.
+  std::shared_ptr<const DetectionResult> pinned;
+  {
+    std::shared_lock<std::shared_mutex> state_lock(sync_->state);
+    FAIRTOPK_RETURN_IF_ERROR(input_.ValidateConfig(request.config));
+    Bump(&SessionServiceStats::detect_queries);
+    if (options_.cache_capacity == 0) {
+      // Pure streaming: the per-k sets flow straight through `sink`,
+      // nothing is materialized.
+      return api::RunAuditStream(input_, request, sink);
+    }
+    std::string key = request.CacheKey();
+    {
+      std::lock_guard<std::mutex> cache_lock(sync_->cache);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) pinned = it->second;
+    }
+    if (pinned == nullptr) {
+      // Tee the live run: materialize a cache entry while streaming
+      // the same batches to the caller.
+      MaterializingSink materialize(request.config.k_min,
+                                    request.config.k_max);
+      TeeSink tee(materialize, sink);
+      FAIRTOPK_RETURN_IF_ERROR(api::RunAuditStream(input_, request, tee));
+      auto shared = std::make_shared<const DetectionResult>(
+          std::move(materialize).TakeResult());
+      std::lock_guard<std::mutex> cache_lock(sync_->cache);
+      CacheInsertLocked(std::move(key), std::move(shared));
+      return Status::OK();
+    }
+    Bump(&SessionServiceStats::cache_hits);
   }
-  std::string key = request.CacheKey();
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++service_stats_.cache_hits;
-    // Hold an owning reference for the replay: a sink that re-enters
-    // the session (a follow-up Detect evicting this entry, an explicit
-    // InvalidateCache) must not free the result mid-iteration.
-    const std::shared_ptr<const DetectionResult> pinned = it->second;
-    return ReplayResult(*pinned, sink);
-  }
-  // Tee the live run: materialize a cache entry while streaming the
-  // same batches to the caller.
-  MaterializingSink materialize(request.config.k_min, request.config.k_max);
-  TeeSink tee(materialize, sink);
-  FAIRTOPK_RETURN_IF_ERROR(api::RunAuditStream(input_, request, tee));
-  CacheInsert(std::move(key), std::make_shared<const DetectionResult>(
-                                  std::move(materialize).TakeResult()));
-  return Status::OK();
+  return ReplayResult(*pinned, sink);
 }
 
 Result<std::vector<api::AuditResponse>> AuditSession::DetectMany(
     const std::vector<api::AuditRequest>& requests) {
-  std::vector<api::AuditResponse> responses;
-  responses.reserve(requests.size());
-  // Index of the first response per cache key: identical keys later in
-  // the batch share that run's result even when the session cache is
+  const size_t n = requests.size();
+  // In-batch dedup by cache key: identical keys later in the batch
+  // share the first run's result even when the session cache is
   // disabled (the key is injective over the parameterization, so the
   // results are interchangeable).
   std::unordered_map<std::string, size_t> first_with_key;
-  for (const api::AuditRequest& request : requests) {
-    std::string key = request.CacheKey();
-    auto it = first_with_key.find(key);
-    if (it != first_with_key.end()) {
-      ++service_stats_.detect_queries;
-      ++service_stats_.cache_hits;
-      api::AuditResponse duplicate = responses[it->second];
-      duplicate.cached = true;
-      responses.push_back(std::move(duplicate));
+  std::vector<size_t> dup_of(n, n);  // n = "distinct, runs itself"
+  std::vector<size_t> distinct;
+  distinct.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto [it, inserted] = first_with_key.try_emplace(requests[i].CacheKey(), i);
+    if (inserted) {
+      distinct.push_back(i);
+    } else {
+      dup_of[i] = it->second;
+    }
+  }
+
+  std::vector<std::optional<Result<api::AuditResponse>>> runs(n);
+  Executor* executor = options_.batch_executor.get();
+  if (executor == nullptr) {
+    // Serial: preserve the early-abort (later members never run after
+    // a failure).
+    for (size_t i : distinct) {
+      runs[i] = Detect(requests[i]);
+      if (!runs[i]->ok()) return runs[i]->status();
+    }
+  } else {
+    // Concurrent: every distinct member runs (each is a leaf task
+    // taking the session's shared lock); the response is still the
+    // first failure in batch order, matching the serial contract.
+    ParallelFor(executor, distinct.size(), [&](size_t j) {
+      const size_t i = distinct[j];
+      runs[i] = Detect(requests[i]);
+    });
+    for (size_t i : distinct) {
+      if (!runs[i]->ok()) return runs[i]->status();
+    }
+  }
+
+  std::vector<api::AuditResponse> responses;
+  responses.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (dup_of[i] == n) {
+      responses.push_back(std::move(*runs[i]).value());
       continue;
     }
-    FAIRTOPK_ASSIGN_OR_RETURN(api::AuditResponse response, Detect(request));
-    first_with_key.emplace(std::move(key), responses.size());
-    responses.push_back(std::move(response));
+    Bump(&SessionServiceStats::detect_queries);
+    Bump(&SessionServiceStats::cache_hits);
+    api::AuditResponse duplicate = responses[dup_of[i]];
+    duplicate.cached = true;
+    responses.push_back(std::move(duplicate));
   }
   return responses;
 }
 
-void AuditSession::CacheInsert(std::string key,
-                               std::shared_ptr<const DetectionResult> result) {
-  // A re-entrant query (a sink calling back into the session during a
-  // live DetectStream) may have inserted this key already: replace the
-  // value in place so cache_order_ never carries duplicate entries
-  // (which would skew FIFO eviction and shrink effective capacity).
+void AuditSession::CacheInsertLocked(
+    std::string key, std::shared_ptr<const DetectionResult> result) {
+  // A re-entrant or racing insert (a sink calling back into the
+  // session during a live DetectStream, two concurrent streams of the
+  // same query) may have inserted this key already: replace the value
+  // in place so cache_order_ never carries duplicate entries (which
+  // would skew FIFO eviction and shrink effective capacity).
   if (auto it = cache_.find(key); it != cache_.end()) {
     it->second = std::move(result);
     return;
@@ -232,30 +346,36 @@ void AuditSession::CacheInsert(std::string key,
 
 Result<SuggestedParameters> AuditSession::Suggest(
     const DetectionConfig& config, const SuggestOptions& options) const {
+  std::shared_lock<std::shared_mutex> state_lock(sync_->state);
   return SuggestParameters(input_, config, options);
 }
 
 Result<FairnessReport> AuditSession::VerifyGlobal(
     const Pattern& group, const GlobalBoundSpec& bounds,
     const DetectionConfig& config) const {
+  std::shared_lock<std::shared_mutex> state_lock(sync_->state);
   return VerifyGlobalFairness(input_, group, bounds, config);
 }
 
 Result<FairnessReport> AuditSession::VerifyProp(
     const Pattern& group, const PropBoundSpec& bounds,
     const DetectionConfig& config) const {
+  std::shared_lock<std::shared_mutex> state_lock(sync_->state);
   return VerifyPropFairness(input_, group, bounds, config);
 }
 
 Result<RepairOutcome> AuditSession::Repair(
     const std::vector<RepresentationConstraint>& constraints,
     const DetectionConfig& config) const {
+  std::shared_lock<std::shared_mutex> state_lock(sync_->state);
   return RepairRanking(input_, constraints, config);
 }
 
-Status AuditSession::ApplyScoreUpdates(
-    const std::vector<ScoreUpdate>& updates) {
+Status AuditSession::ApplyScoreUpdates(const std::vector<ScoreUpdate>& updates,
+                                       MaintenanceReport* report) {
+  if (report != nullptr) *report = MaintenanceReport{};
   if (updates.empty()) return Status::OK();
+  std::unique_lock<std::shared_mutex> state_lock(sync_->state);
   const size_t n = scores_.size();
   for (const ScoreUpdate& u : updates) {
     if (u.row >= n) {
@@ -264,14 +384,14 @@ Status AuditSession::ApplyScoreUpdates(
                                 std::to_string(n));
     }
   }
-  ++service_stats_.score_updates;
+  Bump(&SessionServiceStats::score_updates);
   return updates.size() <= options_.repair_rerank_max_batch
-             ? RepairRerankUpdates(updates)
-             : MergeRerankUpdates(updates);
+             ? RepairRerankUpdates(updates, report)
+             : MergeRerankUpdates(updates, report);
 }
 
 Status AuditSession::RepairRerankUpdates(
-    const std::vector<ScoreUpdate>& updates) {
+    const std::vector<ScoreUpdate>& updates, MaintenanceReport* report) {
   // One insertion-sort repair per update, in order (duplicates simply
   // repair twice): apply the new score, then slide the row from its
   // current position toward its new one, shifting the rows in between
@@ -305,11 +425,11 @@ Status AuditSession::RepairRerankUpdates(
     keys_[pos] = key;
     inverse_[u.row] = static_cast<uint32_t>(pos);
   }
-  return AdoptRanking(std::move(ranking));
+  return AdoptRanking(std::move(ranking), report);
 }
 
 Status AuditSession::MergeRerankUpdates(
-    const std::vector<ScoreUpdate>& updates) {
+    const std::vector<ScoreUpdate>& updates, MaintenanceReport* report) {
   const size_t n = scores_.size();
   std::vector<char> moved(n, 0);
   std::vector<uint32_t> movers;
@@ -361,7 +481,7 @@ Status AuditSession::MergeRerankUpdates(
   std::vector<double> region_keys(hi - lo + 1);
   MergeEntries(region_survivors, mover_entries, new_ranking.data() + lo,
                region_keys.data());
-  FAIRTOPK_RETURN_IF_ERROR(AdoptRanking(std::move(new_ranking)));
+  FAIRTOPK_RETURN_IF_ERROR(AdoptRanking(std::move(new_ranking), report));
   std::copy(region_keys.begin(), region_keys.end(), keys_.begin() + lo);
   for (size_t pos = lo; pos <= hi; ++pos) {
     inverse_[input_.ranking()[pos]] = static_cast<uint32_t>(pos);
@@ -369,7 +489,8 @@ Status AuditSession::MergeRerankUpdates(
   return Status::OK();
 }
 
-Status AuditSession::AppendRows(const std::vector<std::vector<Cell>>& rows) {
+Status AuditSession::AppendRows(const std::vector<std::vector<Cell>>& rows,
+                                MaintenanceReport* report) {
   if (score_column_ < 0) {
     return Status::FailedPrecondition(
         "session has no score column; use AppendRowsWithScores");
@@ -384,21 +505,24 @@ Status AuditSession::AppendRows(const std::vector<std::vector<Cell>>& rows) {
     }
     scores.push_back(row[col].value);
   }
-  return AppendInternal(rows, scores);
+  return AppendInternal(rows, scores, report);
 }
 
 Status AuditSession::AppendRowsWithScores(
     const std::vector<std::vector<Cell>>& rows,
-    const std::vector<double>& scores) {
+    const std::vector<double>& scores, MaintenanceReport* report) {
   if (rows.size() != scores.size()) {
     return Status::InvalidArgument("rows and scores differ in length");
   }
-  return AppendInternal(rows, scores);
+  return AppendInternal(rows, scores, report);
 }
 
 Status AuditSession::AppendInternal(const std::vector<std::vector<Cell>>& rows,
-                                    const std::vector<double>& scores) {
+                                    const std::vector<double>& scores,
+                                    MaintenanceReport* report) {
+  if (report != nullptr) *report = MaintenanceReport{};
   if (rows.empty()) return Status::OK();
+  std::unique_lock<std::shared_mutex> state_lock(sync_->state);
   // Validate every row before mutating anything, so a bad batch leaves
   // the session untouched (Table::AppendRow performs the same checks,
   // but only row by row).
@@ -429,8 +553,8 @@ Status AuditSession::AppendInternal(const std::vector<std::vector<Cell>>& rows,
     FAIRTOPK_RETURN_IF_ERROR(table_.AppendRow(row));
   }
   scores_.insert(scores_.end(), scores.begin(), scores.end());
-  ++service_stats_.appends;
-  service_stats_.rows_appended += rows.size();
+  Bump(&SessionServiceStats::appends);
+  Bump(&SessionServiceStats::rows_appended, rows.size());
 
   std::vector<RankEntry> movers;
   movers.reserve(rows.size());
@@ -471,7 +595,7 @@ Status AuditSession::AppendInternal(const std::vector<std::vector<Cell>>& rows,
   new_ranking.resize(n);
   std::vector<double> suffix_keys(n - lo);
   MergeEntries(suffix, movers, new_ranking.data() + lo, suffix_keys.data());
-  FAIRTOPK_RETURN_IF_ERROR(AdoptRanking(std::move(new_ranking)));
+  FAIRTOPK_RETURN_IF_ERROR(AdoptRanking(std::move(new_ranking), report));
   keys_.resize(n);
   std::copy(suffix_keys.begin(), suffix_keys.end(), keys_.begin() + lo);
   inverse_.resize(n);
@@ -481,21 +605,29 @@ Status AuditSession::AppendInternal(const std::vector<std::vector<Cell>>& rows,
   return Status::OK();
 }
 
-Status AuditSession::AdoptRanking(std::vector<uint32_t> new_ranking) {
+Status AuditSession::AdoptRanking(std::vector<uint32_t> new_ranking,
+                                  MaintenanceReport* report) {
   DetectionInput::MaintenanceOutcome outcome;
   FAIRTOPK_RETURN_IF_ERROR(input_.UpdateRanking(
       table_, std::move(new_ranking), options_.rebuild_threshold, &outcome));
+  if (report != nullptr) {
+    report->kind = outcome.kind;
+    report->positions_patched =
+        outcome.kind == DetectionInput::Maintenance::kPatched
+            ? outcome.patched_positions
+            : 0;
+  }
   switch (outcome.kind) {
     case DetectionInput::Maintenance::kNoop:
       // Same permutation — every cached result is still exact.
       break;
     case DetectionInput::Maintenance::kPatched:
-      ++service_stats_.index_patches;
-      service_stats_.positions_patched += outcome.patched_positions;
+      Bump(&SessionServiceStats::index_patches);
+      Bump(&SessionServiceStats::positions_patched, outcome.patched_positions);
       InvalidateCache();
       break;
     case DetectionInput::Maintenance::kRebuilt:
-      ++service_stats_.index_rebuilds;
+      Bump(&SessionServiceStats::index_rebuilds);
       InvalidateCache();
       break;
   }
@@ -503,6 +635,7 @@ Status AuditSession::AdoptRanking(std::vector<uint32_t> new_ranking) {
 }
 
 void AuditSession::InvalidateCache() {
+  std::lock_guard<std::mutex> cache_lock(sync_->cache);
   cache_.clear();
   cache_order_.clear();
 }

@@ -10,10 +10,11 @@
 //    api::AuditRequest with per-query DetectionConfig (including
 //    num_threads); DetectStream() delivers per-k results through a
 //    ResultSink as they are finalized, DetectMany() runs a batch
-//    against the one prepared input deduping identical cache keys;
-//    Suggest(), Verify() and Repair() expose calibration,
-//    single-group verification, and the rerank mitigation against the
-//    same prepared input.
+//    against the one prepared input deduping identical cache keys (and
+//    running the distinct members concurrently when the session has a
+//    batch executor); Suggest(), Verify() and Repair() expose
+//    calibration, single-group verification, and the rerank mitigation
+//    against the same prepared input.
 //
 //  * Result cache. Detect() results are cached under the request's
 //    canonical cache key (api/canonical.h; num_threads is
@@ -30,21 +31,60 @@
 //    fallback when the diff window exceeds
 //    SessionOptions::rebuild_threshold.
 //
-// Sessions are not thread-safe: serialize calls externally (the JSONL
-// front-end processes requests one line at a time). Individual queries
-// may still fan out internally via DetectionConfig::num_threads.
+// Concurrency model (the contract README.md documents):
+//
+//  * Readers share, writers exclude. Detect / DetectStream /
+//    DetectMany / Suggest / VerifyGlobal / VerifyProp / Repair take a
+//    shared lock on the session state and may run concurrently with
+//    each other (each query may additionally fan out internally via
+//    DetectionConfig::num_threads — the two axes multiply).
+//    ApplyScoreUpdates / AppendRows* take the exclusive side: they
+//    wait for in-flight queries to drain and block new ones while the
+//    ranking and index are patched.
+//
+//  * Coalescing. When two Detect() calls with the same cache key are
+//    in flight at once, the second waits for the first run instead of
+//    recomputing (also with caching disabled — coalescing keys off
+//    concurrency, not cache capacity). Coalesced responses are marked
+//    cached + coalesced and counted in SessionServiceStats. The
+//    exclusive lock cannot intervene between a run and its waiters, so
+//    every coalesced response is computed under the same ranking its
+//    owner admitted.
+//
+//  * Cache. The FIFO result cache has its own lock; InvalidateCache()
+//    only takes that lock, so a streaming sink may call it re-entrantly.
+//    A run that was in flight when an explicit InvalidateCache()
+//    happened may publish afterwards — still exact, since explicit
+//    invalidation does not change the ranking. Maintenance-triggered
+//    invalidation runs under the exclusive state lock, where no run can
+//    be in flight.
+//
+//  * Raw accessors (table() / input() / ranking() / scores()) return
+//    references into the guarded state: when writers may run
+//    concurrently, hold ReadLock() across the access and every use of
+//    the referenced data. Sinks passed to a LIVE DetectStream run are
+//    invoked under the session's shared lock and must not call back
+//    into the session (InvalidateCache excepted); replayed (cached)
+//    streams hold no lock and may re-enter freely.
+//
+// Moving an AuditSession while any concurrent call runs is undefined
+// behavior (moves are for construction-time plumbing only).
 #ifndef FAIRTOPK_SERVICE_AUDIT_SESSION_H_
 #define FAIRTOPK_SERVICE_AUDIT_SESSION_H_
 
 #include <cstdint>
 #include <deque>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "api/audit.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "detect/bounds.h"
 #include "detect/detection_result.h"
 #include "detect/engine/result_sink.h"
@@ -77,6 +117,12 @@ struct SessionOptions {
   /// blowup when many rows move far). 0 always merges, SIZE_MAX always
   /// repairs.
   size_t repair_rerank_max_batch = 256;
+  /// Executor running DetectMany's distinct batch members concurrently
+  /// (null runs them serially on the caller). Must be a pool DEDICATED
+  /// to session batches: the submitted tasks are leaves, but a caller
+  /// blocking inside DetectMany on the same pool that runs its
+  /// requests can starve itself (see common/thread_pool.h).
+  std::shared_ptr<Executor> batch_executor;
 };
 
 /// One score change of ApplyScoreUpdates.
@@ -85,10 +131,22 @@ struct ScoreUpdate {
   double score = 0.0;
 };
 
+/// How one maintenance call (ApplyScoreUpdates / AppendRows*) serviced
+/// the index. Reported per call (out-parameter) because diffing the
+/// global SessionServiceStats counters misattributes work when
+/// concurrent writers interleave between the two reads.
+struct MaintenanceReport {
+  DetectionInput::Maintenance kind = DetectionInput::Maintenance::kNoop;
+  /// Rank positions rewritten in place (kPatched only).
+  uint64_t positions_patched = 0;
+};
+
 /// Counters describing a session's life so far.
 struct SessionServiceStats {
   uint64_t detect_queries = 0;   ///< Detect() calls served
-  uint64_t cache_hits = 0;       ///< served from the result cache
+  uint64_t cache_hits = 0;       ///< served without running a detector
+  uint64_t coalesced_hits = 0;   ///< of cache_hits: waited on an
+                                 ///< identical in-flight run
   uint64_t score_updates = 0;    ///< ApplyScoreUpdates() calls
   uint64_t appends = 0;          ///< AppendRows*() calls
   uint64_t rows_appended = 0;    ///< total rows added by appends
@@ -124,21 +182,27 @@ class AuditSession {
   /// detector registered in api::DetectorRegistry::Global(). The
   /// response's result is shared with the cache; it stays valid after
   /// later maintenance calls even though the cache entry is dropped.
+  /// Safe to call from any number of threads; identical concurrent
+  /// queries coalesce onto one run (see the file comment).
   Result<api::AuditResponse> Detect(const api::AuditRequest& request);
 
   /// Streaming detection: per-k violation sets are delivered through
   /// `sink` the moment they are finalized. Cached results are replayed
-  /// with the same call sequence; live runs are teed into the cache
-  /// while streaming (with caching disabled nothing is materialized —
-  /// the pure streaming path).
+  /// with the same call sequence (no session lock held — the sink may
+  /// re-enter the session); live runs are teed into the cache while
+  /// streaming under the shared state lock (with caching disabled
+  /// nothing is materialized — the pure streaming path). Live streams
+  /// do not coalesce: concurrent identical streams each run.
   Status DetectStream(const api::AuditRequest& request, ResultSink& sink);
 
   /// Runs several requests against the one prepared input. Requests
   /// with identical cache keys are served from the first run — also
   /// with caching disabled, where in-batch deduplication is the only
   /// sharing (deduplicated entries count as cache hits in the service
-  /// stats and are marked `cached`). Responses align with `requests`
-  /// by index; the first failing request aborts the batch.
+  /// stats and are marked `cached`). Distinct members run concurrently
+  /// on SessionOptions::batch_executor when one is set. Responses
+  /// align with `requests` by index; the first (in batch order)
+  /// failing request aborts the batch.
   Result<std::vector<api::AuditResponse>> DetectMany(
       const std::vector<api::AuditRequest>& requests);
 
@@ -170,33 +234,70 @@ class AuditSession {
   /// affected rank region (see SessionOptions::repair_rerank_max_batch
   /// for the crossover) — never a full sort. The index is then patched
   /// or rebuilt per the rebuild threshold. The result cache survives
-  /// only when the ranking permutation is unchanged.
-  Status ApplyScoreUpdates(const std::vector<ScoreUpdate>& updates);
+  /// only when the ranking permutation is unchanged. Takes the
+  /// exclusive state lock. `report`, when given, receives how THIS
+  /// call serviced the index.
+  Status ApplyScoreUpdates(const std::vector<ScoreUpdate>& updates,
+                           MaintenanceReport* report = nullptr);
 
   /// Appends full rows (cells per the session table's schema). The
   /// score is read from the session's score column; only sessions
-  /// opened with Create() may use this overload.
-  Status AppendRows(const std::vector<std::vector<Cell>>& rows);
+  /// opened with Create() may use this overload. Takes the exclusive
+  /// state lock.
+  Status AppendRows(const std::vector<std::vector<Cell>>& rows,
+                    MaintenanceReport* report = nullptr);
 
-  /// Appends rows with explicit scores (one per row).
+  /// Appends rows with explicit scores (one per row). Takes the
+  /// exclusive state lock.
   Status AppendRowsWithScores(const std::vector<std::vector<Cell>>& rows,
-                              const std::vector<double>& scores);
+                              const std::vector<double>& scores,
+                              MaintenanceReport* report = nullptr);
 
-  /// Drops every cached detection result.
+  /// Drops every cached detection result. Only takes the cache lock,
+  /// so it is safe to call re-entrantly from a streaming sink.
   void InvalidateCache();
+
+  /// A shared (reader) lock on the session state. While held, the
+  /// ranking, scores, table, and index are stable: hold one across any
+  /// use of the reference-returning accessors below when writers may
+  /// run concurrently. Do not acquire around calls that lock
+  /// internally (Detect, Suggest, ... — the lock is not recursive).
+  std::shared_lock<std::shared_mutex> ReadLock() const;
 
   const Table& table() const { return table_; }
   const DetectionInput& input() const { return input_; }
+  /// The pattern space is fixed at creation (appends may not extend
+  /// domains), so this accessor needs no lock.
   const PatternSpace& space() const { return input_.space(); }
-  size_t num_rows() const { return input_.num_rows(); }
+  size_t num_rows() const;
   const std::vector<uint32_t>& ranking() const { return input_.ranking(); }
   /// The authoritative per-row scores (post-updates).
   const std::vector<double>& scores() const { return scores_; }
-  size_t cache_size() const { return cache_.size(); }
-  const SessionServiceStats& service_stats() const { return service_stats_; }
+  size_t cache_size() const;
+  SessionServiceStats service_stats() const;
   const SessionOptions& options() const { return options_; }
 
  private:
+  /// One in-flight Detect run: the owner computes and publishes here;
+  /// coalesced callers wait on the shared future.
+  struct InFlight {
+    std::promise<Result<std::shared_ptr<const DetectionResult>>> promise;
+    std::shared_future<Result<std::shared_ptr<const DetectionResult>>>
+        future = promise.get_future().share();
+  };
+
+  /// Synchronization state, heap-allocated so the session stays
+  /// movable (mutexes are neither movable nor copyable). Lock order:
+  /// state -> cache -> stats; never acquire leftwards while holding a
+  /// lock to the right.
+  struct Sync {
+    mutable std::shared_mutex state;  ///< ranking / index / scores / table
+    mutable std::mutex cache;  ///< cache_, cache_order_, inflight
+    mutable std::mutex stats;  ///< service_stats_
+    /// Cache key -> the in-flight run coalescing waiters attach to.
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight;
+  };
+
   AuditSession(Table table, std::vector<double> scores, bool ascending,
                int score_column, SessionOptions options,
                DetectionInput input);
@@ -207,22 +308,39 @@ class AuditSession {
 
   /// The two re-rank strategies behind ApplyScoreUpdates. Both leave
   /// scores_/keys_/inverse_ consistent and finish through
-  /// AdoptRanking.
-  Status RepairRerankUpdates(const std::vector<ScoreUpdate>& updates);
-  Status MergeRerankUpdates(const std::vector<ScoreUpdate>& updates);
+  /// AdoptRanking. Callers hold the exclusive state lock.
+  Status RepairRerankUpdates(const std::vector<ScoreUpdate>& updates,
+                             MaintenanceReport* report);
+  Status MergeRerankUpdates(const std::vector<ScoreUpdate>& updates,
+                            MaintenanceReport* report);
 
   /// Replaces the ranking with `new_ranking` (patch or rebuild per the
-  /// threshold), updates maintenance stats, and invalidates the cache
-  /// when the permutation actually changed.
-  Status AdoptRanking(std::vector<uint32_t> new_ranking);
+  /// threshold), updates maintenance stats (and `report`, when given),
+  /// and invalidates the cache when the permutation actually changed.
+  Status AdoptRanking(std::vector<uint32_t> new_ranking,
+                      MaintenanceReport* report);
 
   /// Shared implementation of the append overloads.
   Status AppendInternal(const std::vector<std::vector<Cell>>& rows,
-                        const std::vector<double>& scores);
+                        const std::vector<double>& scores,
+                        MaintenanceReport* report);
 
-  /// Inserts a result under `key`, evicting FIFO beyond capacity.
-  void CacheInsert(std::string key,
-                   std::shared_ptr<const DetectionResult> result);
+  /// Runs the detector for `request` under the caller's shared state
+  /// lock and publishes the outcome: fulfills `flight`'s promise,
+  /// removes it from the in-flight map, and (when caching) inserts the
+  /// result into the cache — all before the state lock is released, so
+  /// the exclusive side never observes a half-published run.
+  Result<std::shared_ptr<const DetectionResult>> RunAndPublish(
+      const api::AuditRequest& request, const std::string& key,
+      const std::shared_ptr<InFlight>& flight);
+
+  /// Inserts a result under `key`, evicting FIFO beyond capacity. The
+  /// caller holds Sync::cache.
+  void CacheInsertLocked(std::string key,
+                         std::shared_ptr<const DetectionResult> result);
+
+  /// Adds `delta` to one service counter under the stats lock.
+  void Bump(uint64_t SessionServiceStats::* field, uint64_t delta = 1) const;
 
   Table table_;
   std::vector<double> scores_;
@@ -243,11 +361,15 @@ class AuditSession {
   SessionOptions options_;
   DetectionInput input_;
 
-  /// FIFO-evicted result cache; keys in insertion order.
+  std::unique_ptr<Sync> sync_;
+
+  /// FIFO-evicted result cache; keys in insertion order. Guarded by
+  /// Sync::cache.
   std::unordered_map<std::string, std::shared_ptr<const DetectionResult>>
       cache_;
   std::deque<std::string> cache_order_;
-  SessionServiceStats service_stats_;
+  /// Guarded by Sync::stats (mutable: const queries still count).
+  mutable SessionServiceStats service_stats_;
 };
 
 }  // namespace fairtopk

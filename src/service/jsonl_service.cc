@@ -1,12 +1,16 @@
 #include "service/jsonl_service.h"
 
 #include <cmath>
+#include <condition_variable>
 #include <istream>
 #include <limits>
+#include <map>
+#include <mutex>
 #include <ostream>
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "report/json_report.h"
 
 namespace fairtopk {
@@ -110,17 +114,15 @@ Result<Pattern> PatternField(const JsonValue& group,
   return pattern;
 }
 
-void WriteMaintenanceDelta(JsonWriter& w, const SessionServiceStats& before,
-                           const SessionServiceStats& after) {
+void WriteMaintenance(JsonWriter& w, const MaintenanceReport& report) {
   const char* kind = "noop";
-  if (after.index_rebuilds > before.index_rebuilds) {
+  if (report.kind == DetectionInput::Maintenance::kRebuilt) {
     kind = "rebuilt";
-  } else if (after.index_patches > before.index_patches) {
+  } else if (report.kind == DetectionInput::Maintenance::kPatched) {
     kind = "patched";
   }
   w.Key("maintenance").String(kind);
-  w.Key("positions_patched")
-      .Uint(after.positions_patched - before.positions_patched);
+  w.Key("positions_patched").Uint(report.positions_patched);
 }
 
 /// The report-facing measure label of a registered detector, derived
@@ -172,6 +174,11 @@ std::string JsonlService::DetectionResponseJson(
   JsonWriter w;
   w.BeginObject();
   w.Key("cached").Bool(response.cached);
+  w.Key("coalesced").Bool(response.coalesced);
+  // The report annotates each violating group with its current
+  // index counts — pin the index against concurrent update/append
+  // requests while it is read.
+  auto read_guard = session_->ReadLock();
   w.Key("report").Raw(
       DetectionResultToJson(*response.result, session_->input(), context));
   w.EndObject();
@@ -308,16 +315,22 @@ Result<std::string> JsonlService::HandleRerank(const JsonValue& request) {
   // fairtopk_audit --rerank: the global staircase directly, the
   // proportional band as a constant floor at k_max.
   std::vector<RepresentationConstraint> constraints;
-  for (const Pattern& p : detected.result->AllDistinct()) {
-    if (const auto* global = std::get_if<GlobalBoundSpec>(&query.bounds)) {
-      constraints.push_back({p, global->lower});
-    } else {
-      const auto& prop = std::get<PropBoundSpec>(query.bounds);
-      const double floor_at_kmax = prop.LowerAt(
-          static_cast<int>(session_->input().index().PatternCount(p)),
-          query.config.k_max, session_->num_rows());
-      constraints.push_back(
-          {p, StepFunction::Constant(std::ceil(floor_at_kmax))});
+  {
+    // Pin the index for the proportional floor's group counts; the
+    // lock is dropped before Repair (which takes it internally).
+    auto read_guard = session_->ReadLock();
+    const size_t num_rows = session_->input().num_rows();
+    for (const Pattern& p : detected.result->AllDistinct()) {
+      if (const auto* global = std::get_if<GlobalBoundSpec>(&query.bounds)) {
+        constraints.push_back({p, global->lower});
+      } else {
+        const auto& prop = std::get<PropBoundSpec>(query.bounds);
+        const double floor_at_kmax = prop.LowerAt(
+            static_cast<int>(session_->input().index().PatternCount(p)),
+            query.config.k_max, num_rows);
+        constraints.push_back(
+            {p, StepFunction::Constant(std::ceil(floor_at_kmax))});
+      }
     }
   }
   FAIRTOPK_ASSIGN_OR_RETURN(RepairOutcome repair,
@@ -360,12 +373,15 @@ Result<std::string> JsonlService::HandleUpdate(const JsonValue& request) {
     updates.push_back({static_cast<uint32_t>(row),
                        item.array_items()[1].number_value()});
   }
-  const SessionServiceStats before = session_->service_stats();
-  FAIRTOPK_RETURN_IF_ERROR(session_->ApplyScoreUpdates(updates));
+  // Per-call report: with concurrent update/append requests in flight,
+  // diffing the global counters would attribute another request's
+  // maintenance to this one.
+  MaintenanceReport report;
+  FAIRTOPK_RETURN_IF_ERROR(session_->ApplyScoreUpdates(updates, &report));
   JsonWriter w;
   w.BeginObject();
   w.Key("rows_updated").Uint(updates.size());
-  WriteMaintenanceDelta(w, before, session_->service_stats());
+  WriteMaintenance(w, report);
   w.EndObject();
   return w.str();
 }
@@ -413,19 +429,19 @@ Result<std::string> JsonlService::HandleAppend(const JsonValue& request) {
     }
     cells.push_back(std::move(out));
   }
-  const SessionServiceStats before = session_->service_stats();
-  FAIRTOPK_RETURN_IF_ERROR(session_->AppendRows(cells));
+  MaintenanceReport report;
+  FAIRTOPK_RETURN_IF_ERROR(session_->AppendRows(cells, &report));
   JsonWriter w;
   w.BeginObject();
   w.Key("rows_appended").Uint(cells.size());
   w.Key("num_rows").Uint(session_->num_rows());
-  WriteMaintenanceDelta(w, before, session_->service_stats());
+  WriteMaintenance(w, report);
   w.EndObject();
   return w.str();
 }
 
 Result<std::string> JsonlService::HandleStats(const JsonValue&) {
-  const SessionServiceStats& stats = session_->service_stats();
+  const SessionServiceStats stats = session_->service_stats();
   JsonWriter w;
   w.BeginObject();
   w.Key("num_rows").Uint(session_->num_rows());
@@ -433,6 +449,7 @@ Result<std::string> JsonlService::HandleStats(const JsonValue&) {
   w.Key("cache_entries").Uint(session_->cache_size());
   w.Key("detect_queries").Uint(stats.detect_queries);
   w.Key("cache_hits").Uint(stats.cache_hits);
+  w.Key("coalesced_hits").Uint(stats.coalesced_hits);
   w.Key("score_updates").Uint(stats.score_updates);
   w.Key("appends").Uint(stats.appends);
   w.Key("rows_appended").Uint(stats.rows_appended);
@@ -482,22 +499,89 @@ std::string JsonlService::HandleLine(const std::string& line) {
   return OkResponse(*request, *data);
 }
 
-void JsonlService::Serve(std::istream& in, std::ostream& out) {
-  std::string line;
-  while (std::getline(in, line)) {
-    // Skip blank lines so hand-written scripts can use them for
-    // readability.
-    bool blank = true;
-    for (char c : line) {
-      if (c != ' ' && c != '\t' && c != '\r') {
-        blank = false;
-        break;
-      }
-    }
-    if (blank) continue;
-    out << HandleLine(line) << '\n';
-    out.flush();
+namespace {
+
+bool IsBlankLine(const std::string& line) {
+  for (char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
   }
+  return true;
+}
+
+}  // namespace
+
+void JsonlService::Serve(std::istream& in, std::ostream& out,
+                         const ServeOptions& options) {
+  std::string line;
+  if (options.workers <= 1) {
+    while (std::getline(in, line)) {
+      // Skip blank lines so hand-written scripts can use them for
+      // readability.
+      if (IsBlankLine(line)) continue;
+      out << HandleLine(line) << '\n';
+      out.flush();
+    }
+    return;
+  }
+
+  // Concurrent mode: the calling thread reads and admits lines (with
+  // read-ahead backpressure so a huge piped script is not slurped into
+  // memory), pool workers execute them, and completions write whole
+  // response lines under one output lock — in completion order, or
+  // through a reorder buffer keyed by admission sequence when
+  // `ordered`. Requests are leaves (HandleLine never blocks on another
+  // request), satisfying the pool's deadlock rule.
+  ThreadPool pool(options.workers);
+  const size_t max_pending =
+      options.max_pending != 0
+          ? options.max_pending
+          : static_cast<size_t>(options.workers) * 4;
+  std::mutex mutex;
+  std::condition_variable room;  // signaled whenever a request finishes
+  size_t in_flight = 0;
+  size_t next_to_emit = 0;                 // ordered mode: next sequence
+  std::map<size_t, std::string> held;      // ordered mode: done, waiting
+  size_t sequence = 0;
+  while (std::getline(in, line)) {
+    if (IsBlankLine(line)) continue;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      // Ordered mode bounds admitted-but-unemitted (sequence -
+      // next_to_emit), which counts the reorder buffer too: a slow
+      // early request must throttle admission, not just execution, or
+      // `held` would absorb the whole remaining stream. Unordered mode
+      // emits on completion, so in-flight alone is the backlog.
+      room.wait(lock, [&] {
+        return options.ordered ? sequence - next_to_emit < max_pending
+                               : in_flight < max_pending;
+      });
+      ++in_flight;
+    }
+    pool.Submit([this, &out, &options, &mutex, &room, &in_flight,
+                 &next_to_emit, &held, seq = sequence, line] {
+      std::string response = HandleLine(line);
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!options.ordered) {
+        out << response << '\n';
+        out.flush();
+      } else {
+        held.emplace(seq, std::move(response));
+        while (!held.empty() && held.begin()->first == next_to_emit) {
+          out << held.begin()->second << '\n';
+          held.erase(held.begin());
+          ++next_to_emit;
+        }
+        out.flush();
+      }
+      --in_flight;
+      room.notify_all();
+    });
+    ++sequence;
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  room.wait(lock, [&] { return in_flight == 0; });
+  // Every response emitted: in ordered mode the reorder buffer drains
+  // exactly when the last gap closes, so `held` is empty here.
 }
 
 }  // namespace fairtopk

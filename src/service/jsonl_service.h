@@ -27,11 +27,26 @@
 //
 // Responses: {"id": ..., "ok": true, "data": {...}} on success,
 // {"id": ..., "ok": false, "error": {"code": ..., "message": ...}}
-// otherwise. The loop never aborts on a bad request — every line gets
+// otherwise. The loop never aborts on a bad request — a malformed line
+// (broken JSON, a non-object, an unknown op) gets an {"id": null, "ok":
+// false, ...} envelope and the stream continues; every line gets
 // exactly one response line.
+//
+// With ServeOptions::workers > 1 the loop executes independent request
+// lines concurrently on a thread pool over the (thread-safe) session.
+// Responses are emitted in COMPLETION order by default — clients
+// correlate by the echoed "id" — or in input order with
+// ServeOptions::ordered (a reorder buffer holds completed responses
+// until their predecessors flush). Ordering of effects is only
+// guaranteed through the session's reader/writer lock: a write op
+// (update/append) excludes concurrent detects while it patches the
+// ranking, but WHICH requests run before the write is scheduling —
+// order-sensitive scripts should serialize externally or run with one
+// worker.
 #ifndef FAIRTOPK_SERVICE_JSONL_SERVICE_H_
 #define FAIRTOPK_SERVICE_JSONL_SERVICE_H_
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -53,7 +68,22 @@ struct ServeDefaults {
   api::BoundsDefaults bounds;
 };
 
-/// Stateless-per-line request processor bound to one session.
+/// Execution knobs of one Serve() loop.
+struct ServeOptions {
+  /// Request lines executed concurrently; <= 1 serves serially on the
+  /// calling thread (the classic one-line-at-a-time loop).
+  int workers = 1;
+  /// Emit responses in input order instead of completion order.
+  bool ordered = false;
+  /// Upper bound on request lines admitted but not yet answered
+  /// (read-ahead backpressure); 0 picks 4 * workers.
+  size_t max_pending = 0;
+};
+
+/// Stateless-per-line request processor bound to one session. Handlers
+/// are thread-safe: HandleLine may be called from many threads at once
+/// (the session's concurrency contract does the heavy lifting; the
+/// service only reads its immutable defaults).
 class JsonlService {
  public:
   /// `session` must outlive the service.
@@ -67,7 +97,11 @@ class JsonlService {
   /// Reads request lines from `in` until EOF, writing one response
   /// line per request to `out` (blank lines are skipped). Flushes after
   /// every response so the tool can be driven interactively by a pipe.
-  void Serve(std::istream& in, std::ostream& out);
+  /// With options.workers > 1, lines are dispatched to a pool and
+  /// responses stream back tagged by their echoed id (see the file
+  /// comment for the ordering contract).
+  void Serve(std::istream& in, std::ostream& out,
+             const ServeOptions& options = {});
 
   const AuditSession& session() const { return *session_; }
 

@@ -186,18 +186,27 @@ TEST(AuditSessionTest, LocalUpdatePatchesGlobalUpdateRebuilds) {
   const auto& ranking = session.ranking();
   const uint32_t a = ranking[97];
   const uint32_t b = ranking[98];
-  // Swap two adjacent bottom rows by nudging scores.
+  // Swap two adjacent bottom rows by nudging scores. The per-call
+  // MaintenanceReport must agree with the global counters (and is the
+  // concurrency-safe way to attribute the work to THIS call).
+  MaintenanceReport report;
   ASSERT_TRUE(session
                   .ApplyScoreUpdates({{a, session.scores()[b] - 1e-9},
-                                      {b, session.scores()[a] + 1e-9}})
+                                      {b, session.scores()[a] + 1e-9}},
+                                     &report)
                   .ok());
   EXPECT_EQ(session.service_stats().index_patches, 1u);
   EXPECT_EQ(session.service_stats().index_rebuilds, 0u);
   EXPECT_LE(session.service_stats().positions_patched, 4u);
+  EXPECT_EQ(report.kind, DetectionInput::Maintenance::kPatched);
+  EXPECT_EQ(report.positions_patched,
+            session.service_stats().positions_patched);
 
   const uint32_t last = session.ranking().back();
-  ASSERT_TRUE(session.ApplyScoreUpdates({{last, 1e6}}).ok());
+  ASSERT_TRUE(session.ApplyScoreUpdates({{last, 1e6}}, &report).ok());
   EXPECT_EQ(session.service_stats().index_rebuilds, 1u);
+  EXPECT_EQ(report.kind, DetectionInput::Maintenance::kRebuilt);
+  EXPECT_EQ(report.positions_patched, 0u);
 }
 
 TEST(AuditSessionTest, ThresholdExtremesForceEachPath) {

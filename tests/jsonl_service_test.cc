@@ -4,9 +4,11 @@
 // echoed id, and follow the {ok, data|error} envelope.
 #include "service/jsonl_service.h"
 
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -371,6 +373,176 @@ TEST_F(JsonlServiceTest, ServeProcessesLinesAndSkipsBlanks) {
     ++count;
   }
   EXPECT_EQ(count, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent Serve (--workers): responses must be a permutation of the
+// serial run keyed by id, input-ordered under `ordered`, and malformed
+// lines must keep the stream alive in both modes.
+
+namespace {
+
+/// Canonical recursive serialization of a JsonValue with volatile
+/// subtrees removed (report.stats carries wall-clock seconds, which
+/// differ between any two runs). Object members serialize in map
+/// order, so two semantically equal responses compare byte-equal.
+std::string Canonical(const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      return "null";
+    case JsonValue::Type::kBool:
+      return v.bool_value() ? "true" : "false";
+    case JsonValue::Type::kNumber: {
+      JsonWriter w;
+      w.Double(v.number_value());
+      return w.str();
+    }
+    case JsonValue::Type::kString:
+      return "\"" + JsonEscape(v.string_value()) + "\"";
+    case JsonValue::Type::kArray: {
+      std::string out = "[";
+      for (const JsonValue& item : v.array_items()) {
+        if (out.size() > 1) out += ",";
+        out += Canonical(item);
+      }
+      return out + "]";
+    }
+    case JsonValue::Type::kObject: {
+      std::string out = "{";
+      for (const auto& [key, value] : v.object_members()) {
+        if (key == "stats" || key == "seconds" || key == "cpu_seconds") {
+          continue;
+        }
+        if (out.size() > 1) out += ",";
+        out += "\"" + JsonEscape(key) + "\":" + Canonical(value);
+      }
+      return out + "}";
+    }
+  }
+  return "";
+}
+
+/// Parses a response stream into (id, canonical response) pairs in
+/// emission order.
+std::vector<std::pair<std::string, std::string>> ParseResponses(
+    const std::string& stream) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::istringstream lines(stream);
+  std::string line;
+  while (std::getline(lines, line)) {
+    auto parsed = ParseJson(line);
+    EXPECT_TRUE(parsed.ok()) << line;
+    if (!parsed.ok()) continue;
+    const JsonValue* id = parsed->Find("id");
+    EXPECT_NE(id, nullptr) << line;
+    out.emplace_back(id == nullptr ? "?" : Canonical(*id),
+                     Canonical(*parsed));
+  }
+  return out;
+}
+
+/// A read-only request script of distinct detection queries (distinct
+/// cache keys, so every response's content is execution-order
+/// invariant) plus stray valid ops.
+std::string WorkerScript() {
+  std::string script;
+  for (int tau = 5; tau < 17; ++tau) {
+    script += "{\"op\":\"detect\",\"id\":\"d" + std::to_string(tau) +
+              "\",\"measure\":\"prop\",\"algo\":\"bounds\",\"tau\":" +
+              std::to_string(tau) + "}\n";
+    script += "{\"op\":\"verify\",\"id\":\"v" + std::to_string(tau) +
+              "\",\"measure\":\"global\",\"lower\":0.3,\"tau\":" +
+              std::to_string(tau) + ",\"group\":{\"gender\":\"F\"}}\n";
+  }
+  script += "{\"op\":\"capabilities\",\"id\":\"caps\"}\n";
+  return script;
+}
+
+}  // namespace
+
+TEST_F(JsonlServiceTest, WorkersResponsesArePermutationOfSerialById) {
+  const std::string script = WorkerScript();
+  std::istringstream serial_in(script);
+  std::ostringstream serial_out;
+  service_->Serve(serial_in, serial_out);
+
+  ServeOptions options;
+  options.workers = 4;
+  std::istringstream workers_in(script);
+  std::ostringstream workers_out;
+  // A second session over the same data so the serial run's cache
+  // cannot leak into the concurrent one.
+  auto session = AuditSession::Create(ServiceTable(100, 99), "score");
+  ASSERT_TRUE(session.ok());
+  ServeDefaults defaults;
+  defaults.dataset = "unit-fixture";
+  defaults.config = DetectionConfig{5, 30, 10};
+  JsonlService workers_service(&session.value(), defaults);
+  workers_service.Serve(workers_in, workers_out, options);
+
+  auto serial = ParseResponses(serial_out.str());
+  auto concurrent = ParseResponses(workers_out.str());
+  ASSERT_EQ(serial.size(), concurrent.size());
+  std::map<std::string, std::string> serial_by_id(serial.begin(),
+                                                  serial.end());
+  std::map<std::string, std::string> concurrent_by_id(concurrent.begin(),
+                                                      concurrent.end());
+  ASSERT_EQ(serial_by_id.size(), serial.size()) << "duplicate ids";
+  EXPECT_EQ(concurrent_by_id, serial_by_id);
+}
+
+TEST_F(JsonlServiceTest, OrderedWorkersEmitInInputOrder) {
+  const std::string script = WorkerScript();
+  std::istringstream serial_in(script);
+  std::ostringstream serial_out;
+  service_->Serve(serial_in, serial_out);
+
+  ServeOptions options;
+  options.workers = 3;
+  options.ordered = true;
+  auto session = AuditSession::Create(ServiceTable(100, 99), "score");
+  ASSERT_TRUE(session.ok());
+  ServeDefaults defaults;
+  defaults.dataset = "unit-fixture";
+  defaults.config = DetectionConfig{5, 30, 10};
+  JsonlService ordered_service(&session.value(), defaults);
+  std::istringstream ordered_in(script);
+  std::ostringstream ordered_out;
+  ordered_service.Serve(ordered_in, ordered_out, options);
+
+  // Same responses in the same (input) order — the streams compare
+  // equal id-by-id and payload-by-payload.
+  auto serial = ParseResponses(serial_out.str());
+  auto ordered = ParseResponses(ordered_out.str());
+  EXPECT_EQ(ordered, serial);
+}
+
+TEST_F(JsonlServiceTest, WorkersSurviveMalformedLinesMidStream) {
+  const std::string script =
+      "{\"op\":\"stats\",\"id\":\"a\"}\n"
+      "utter garbage {{{\n"
+      "{\"op\":\"stats\",\"id\":\"b\"}\n"
+      "42\n"
+      "{\"op\":\"stats\",\"id\":\"c\"}\n";
+  for (int workers : {1, 4}) {
+    ServeOptions options;
+    options.workers = workers;
+    options.ordered = true;
+    std::istringstream in(script);
+    std::ostringstream out;
+    service_->Serve(in, out, options);
+    auto responses = ParseResponses(out.str());
+    ASSERT_EQ(responses.size(), 5u) << "workers=" << workers;
+    // The two malformed lines answer {"id":null,"ok":false,...} and
+    // the stream continues to the last stats op.
+    EXPECT_EQ(responses[1].first, "null");
+    EXPECT_NE(responses[1].second.find("\"ok\":false"), std::string::npos);
+    EXPECT_EQ(responses[3].first, "null");
+    EXPECT_NE(responses[3].second.find("\"ok\":false"), std::string::npos);
+    EXPECT_EQ(responses[0].first, "\"a\"");
+    EXPECT_EQ(responses[2].first, "\"b\"");
+    EXPECT_EQ(responses[4].first, "\"c\"");
+  }
 }
 
 }  // namespace

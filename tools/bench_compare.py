@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and gate on regressions.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [--max-ratio X]
+                   [--benchmarks name1,name2,...]
+                   [--min-speedup SLOW_NAME,FAST_NAME,X]...
+
+Checks, in order:
+  * Regression gate: for every benchmark present in BOTH files (or only
+    the --benchmarks subset when given), current real_time must be at
+    most --max-ratio times the baseline real_time (default 3.0 — wide
+    enough to absorb machine-to-machine variance in CI while still
+    catching order-of-magnitude regressions). Benchmarks missing from
+    the baseline are reported and skipped, so adding a benchmark does
+    not require regenerating old baselines.
+  * Intra-run speedups: every --min-speedup SLOW,FAST,X asserts
+    real_time(SLOW) / real_time(FAST) >= X inside CURRENT alone. This
+    is machine-independent (both numbers come from the same run), so it
+    can gate properties like "4 serving workers are at least 2x the
+    throughput of 1" on any CI hardware.
+
+Exit code 0 when every gate passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """Returns {benchmark name: real_time in ns} for a benchmark JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = float(bench["real_time"])
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-ratio", type=float, default=3.0,
+                        help="fail when current/baseline exceeds this")
+    parser.add_argument("--benchmarks", default="",
+                        help="comma-separated subset to compare "
+                             "(default: every benchmark in CURRENT)")
+    parser.add_argument("--min-speedup", action="append", default=[],
+                        metavar="SLOW,FAST,X",
+                        help="assert real_time(SLOW)/real_time(FAST) >= X "
+                             "within CURRENT (repeatable)")
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+    names = ([n for n in args.benchmarks.split(",") if n]
+             if args.benchmarks else sorted(current))
+
+    failures = []
+    print(f"{'benchmark':55} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for name in names:
+        if name not in current:
+            failures.append(f"benchmark '{name}' missing from {args.current}")
+            continue
+        if name not in baseline:
+            print(f"{name:55} {'-':>12} {current[name]:>10.0f}ns "
+                  f"{'new':>7}")
+            continue
+        ratio = current[name] / baseline[name]
+        flag = "" if ratio <= args.max_ratio else "  << REGRESSION"
+        print(f"{name:55} {baseline[name]:>10.0f}ns {current[name]:>10.0f}ns "
+              f"{ratio:>6.2f}x{flag}")
+        if ratio > args.max_ratio:
+            failures.append(
+                f"{name}: {ratio:.2f}x slower than baseline "
+                f"(limit {args.max_ratio:.2f}x)")
+
+    for spec in args.min_speedup:
+        parts = spec.split(",")
+        if len(parts) != 3:
+            failures.append(f"bad --min-speedup spec: {spec}")
+            continue
+        slow, fast, minimum = parts[0], parts[1], float(parts[2])
+        if slow not in current or fast not in current:
+            failures.append(
+                f"--min-speedup names missing from current run: {spec}")
+            continue
+        speedup = current[slow] / current[fast]
+        ok = speedup >= minimum
+        print(f"speedup {slow} / {fast} = {speedup:.2f}x "
+              f"(minimum {minimum:.2f}x){'' if ok else '  << TOO SLOW'}")
+        if not ok:
+            failures.append(
+                f"{fast} is only {speedup:.2f}x faster than {slow} "
+                f"(minimum {minimum:.2f}x)")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall perf gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,10 +17,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "service/jsonl_service.h"
 #include "tool_common.h"
 
@@ -41,6 +44,9 @@ struct Args {
   double alpha = 0.8;
   double rebuild_threshold = 0.5;
   int cache_capacity = 64;
+  int workers = 1;
+  bool ordered = false;
+  int batch_workers = 0;
 };
 
 void PrintUsage(std::FILE* out) {
@@ -78,6 +84,15 @@ void PrintUsage(std::FILE* out) {
       "                         rebuild beyond it (default 0.5)\n"
       "  --cache-capacity N     cached detection results (default 64,\n"
       "                         0 disables)\n"
+      "  --workers N            request lines executed concurrently\n"
+      "                         (default 1 = serial; 0 = hardware\n"
+      "                         concurrency). Responses stream in\n"
+      "                         completion order, tagged by request id\n"
+      "  --ordered              with --workers, reorder responses into\n"
+      "                         input order before flushing\n"
+      "  --batch-workers N      pool running detect_batch members\n"
+      "                         concurrently (default 0 = serial;\n"
+      "                         multiplies with per-query --threads)\n"
       "  --help                 print this message and exit\n");
 }
 
@@ -142,6 +157,14 @@ bool ParseArgs(int argc, char** argv, Args& args, bool& help) {
       if (!next_int("--cache-capacity", 0, 1 << 30, args.cache_capacity)) {
         return false;
       }
+    } else if (flag == "--workers") {
+      if (!next_int("--workers", 0, 4096, args.workers)) return false;
+    } else if (flag == "--ordered") {
+      args.ordered = true;
+    } else if (flag == "--batch-workers") {
+      if (!next_int("--batch-workers", 0, 4096, args.batch_workers)) {
+        return false;
+      }
     } else if (flag == "--lower") {
       if (!next_double("--lower", args.lower_fraction)) return false;
     } else if (flag == "--alpha") {
@@ -180,6 +203,13 @@ int RunServe(const Args& args) {
   SessionOptions session_options;
   session_options.rebuild_threshold = args.rebuild_threshold;
   session_options.cache_capacity = static_cast<size_t>(args.cache_capacity);
+  if (args.batch_workers > 0) {
+    // Dedicated pool for detect_batch members; deliberately separate
+    // from the front-end workers (a request line blocking inside
+    // DetectMany must never occupy the pool its sub-queries need).
+    session_options.batch_executor =
+        std::make_shared<ThreadPool>(args.batch_workers);
+  }
   Result<AuditSession> session = AuditSession::Create(
       std::move(table), args.rank_by, args.ascending, session_options);
   if (!session.ok()) {
@@ -194,10 +224,21 @@ int RunServe(const Args& args) {
   defaults.bounds.lower_fraction = args.lower_fraction;
   defaults.bounds.alpha = args.alpha;
 
-  std::fprintf(stderr, "session ready: %d rows, %zu pattern attributes\n", n,
-               session->space().num_attributes());
+  ServeOptions serve_options;
+  serve_options.workers = args.workers;
+  if (serve_options.workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    serve_options.workers = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  serve_options.ordered = args.ordered;
+
+  std::fprintf(stderr,
+               "session ready: %d rows, %zu pattern attributes, "
+               "%d worker(s)%s\n",
+               n, session->space().num_attributes(), serve_options.workers,
+               serve_options.ordered ? " (ordered)" : "");
   JsonlService service(&session.value(), defaults);
-  service.Serve(std::cin, std::cout);
+  service.Serve(std::cin, std::cout, serve_options);
   return 0;
 }
 
