@@ -258,7 +258,14 @@ class JsonParser {
       if (!Consume(':')) return Error("expected ':' after object key");
       SkipWhitespace();
       FAIRTOPK_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
-      members[std::move(key)] = std::move(value);
+      // Reject duplicate keys instead of the map's silent last-wins:
+      // on the wire, {"sex":"M","sex":"F"} would otherwise audit F
+      // with no error (and re-sent fields could smuggle past earlier
+      // validation). RFC 8259 leaves the semantics open; a request
+      // protocol must not.
+      if (!members.emplace(std::move(key), std::move(value)).second) {
+        return Error("duplicate object key");
+      }
       SkipWhitespace();
       if (Consume(',')) continue;
       if (Consume('}')) return JsonValue::Object(std::move(members));

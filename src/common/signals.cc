@@ -1,0 +1,57 @@
+#include "common/signals.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace fairtopk {
+
+namespace {
+
+// Write end of the shutdown self-pipe; volatile sig_atomic_t is not
+// needed for an int fd set before the handlers are installed.
+int g_shutdown_write_fd = -1;
+
+extern "C" void ShutdownSignalHandler(int /*signum*/) {
+  // write() is on the async-signal-safe list; errno must be preserved
+  // for the code the handler interrupted.
+  const int saved_errno = errno;
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(g_shutdown_write_fd, &byte, 1);
+  errno = saved_errno;
+}
+
+}  // namespace
+
+Result<int> InstallShutdownSignalPipe() {
+  if (g_shutdown_write_fd >= 0) {
+    return Status::FailedPrecondition(
+        "shutdown signal pipe already installed");
+  }
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC) != 0) {
+    return Status::Internal(std::string("pipe2: ") + std::strerror(errno));
+  }
+  g_shutdown_write_fd = fds[1];
+  struct sigaction action {};
+  action.sa_handler = ShutdownSignalHandler;
+  ::sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a signal should also interrupt slow syscalls the
+  // serving loop might be blocked in (they all retry EINTR themselves).
+  action.sa_flags = 0;
+  if (::sigaction(SIGINT, &action, nullptr) != 0 ||
+      ::sigaction(SIGTERM, &action, nullptr) != 0) {
+    const Status status =
+        Status::Internal(std::string("sigaction: ") + std::strerror(errno));
+    ::close(fds[0]);
+    ::close(fds[1]);
+    g_shutdown_write_fd = -1;
+    return status;
+  }
+  return fds[0];
+}
+
+}  // namespace fairtopk

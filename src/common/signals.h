@@ -1,0 +1,22 @@
+// Async-signal-safe shutdown plumbing for the serving tools: SIGINT /
+// SIGTERM handlers that write one byte to a self-pipe, so ordinary
+// (non-handler) code can block on the pipe and run an orderly
+// shutdown — the only thing a handler itself may safely do is write().
+#ifndef FAIRTOPK_COMMON_SIGNALS_H_
+#define FAIRTOPK_COMMON_SIGNALS_H_
+
+#include "common/status.h"
+
+namespace fairtopk {
+
+/// Installs process-wide SIGINT and SIGTERM handlers that write one
+/// byte to an internal self-pipe, and returns the pipe's read end.
+/// Blocking read() on it returns as soon as either signal arrives
+/// (repeat signals write repeat bytes — keep draining if you only
+/// want to shut down once). Call at most once per process; the pipe
+/// lives until exit. The handlers replace any previous disposition.
+Result<int> InstallShutdownSignalPipe();
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_COMMON_SIGNALS_H_

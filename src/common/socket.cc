@@ -1,0 +1,193 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace fairtopk {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Result<size_t> TcpConnection::Receive(char* buffer, size_t capacity) {
+  if (fd_ < 0) return Status::FailedPrecondition("receive on closed socket");
+  while (true) {
+    const ssize_t n = ::recv(fd_, buffer, capacity, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Status TcpConnection::SendAll(const char* data, size_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("send on closed socket");
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a vanished peer must surface as a Status, not kill
+    // the server with SIGPIPE.
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+void TcpConnection::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void TcpConnection::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void TcpConnection::Close() { CloseFd(fd_); }
+
+Result<TcpListener> TcpListener::Listen(const std::string& host,
+                                        uint16_t port, int backlog) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: '" + host +
+                                   "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Errno("bind " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  int wake[2];
+  if (::pipe2(wake, O_CLOEXEC) != 0) {
+    const Status status = Errno("pipe2");
+    ::close(fd);
+    return status;
+  }
+  return TcpListener(fd, wake[0], wake[1], ntohs(bound.sin_port));
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      wake_read_(std::exchange(other.wake_read_, -1)),
+      wake_write_(std::exchange(other.wake_write_, -1)),
+      port_(other.port_) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    CloseFd(fd_);
+    CloseFd(wake_read_);
+    CloseFd(wake_write_);
+    fd_ = std::exchange(other.fd_, -1);
+    wake_read_ = std::exchange(other.wake_read_, -1);
+    wake_write_ = std::exchange(other.wake_write_, -1);
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() {
+  CloseFd(fd_);
+  CloseFd(wake_read_);
+  CloseFd(wake_write_);
+}
+
+Result<TcpConnection> TcpListener::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("accept on closed listener");
+  while (true) {
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_read_, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    // The wake byte stays in the pipe so every later Accept() also
+    // returns immediately — Interrupt() is one-shot and final.
+    if (fds[1].revents != 0) return TcpConnection();
+    if (fds[0].revents == 0) continue;
+    const int conn = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Errno("accept");
+    }
+    return TcpConnection(conn);
+  }
+}
+
+void TcpListener::Interrupt() {
+  if (wake_write_ < 0) return;
+  const char byte = 1;
+  // Best effort: a full pipe means a wake byte is already pending.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+}
+
+Result<TcpConnection> TcpConnect(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: '" + host +
+                                   "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    const Status status =
+        Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  return TcpConnection(fd);
+}
+
+}  // namespace fairtopk

@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 #include <ostream>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -21,8 +22,8 @@ namespace {
 /// anything else — including a missing id — becomes null. Integral
 /// numeric ids are rendered exactly: JsonWriter::Double's %.10g is
 /// meant for report metrics and would corrupt ids with more than 10
-/// significant digits (e.g. epoch-millis), orphaning the response for
-/// any client correlating by id.
+/// significant digits (e.g. epoch-millis or uint64 snowflake ids),
+/// orphaning the response for any client correlating by id.
 void WriteId(JsonWriter& w, const JsonValue& request) {
   const JsonValue* id = request.Find("id");
   w.Key("id");
@@ -39,6 +40,12 @@ void WriteId(JsonWriter& w, const JsonValue& request) {
       if (v == std::floor(v) && v >= -9223372036854775808.0 &&
           v < 9223372036854775808.0) {
         w.Int(static_cast<long long>(v));
+      } else if (v == std::floor(v) && v >= 9223372036854775808.0 &&
+                 v < 18446744073709551616.0) {
+        // Integral ids in [2^63, 2^64) — uint64 snowflake ids — fit
+        // Uint exactly (every integral double in this range is a
+        // uint64); Double would mangle them.
+        w.Uint(static_cast<unsigned long long>(v));
       } else {
         w.Double(v);
       }
@@ -91,6 +98,13 @@ Result<Pattern> PatternField(const JsonValue& group,
     bool found = false;
     for (size_t a = 0; a < space.num_attributes() && !found; ++a) {
       if (space.name(a) != name) continue;
+      // Re-assignment would silently audit whichever label landed
+      // last. The parser already rejects duplicate keys on the wire;
+      // this guards any other path that builds the group object.
+      if (pattern.value(a) != Pattern::kUnspecified) {
+        return Status::InvalidArgument("attribute '" + name +
+                                       "' assigned twice in 'group'");
+      }
       for (int16_t v = 0; v < space.domain_size(a); ++v) {
         if (space.label(a, v) == label.string_value()) {
           pattern = pattern.With(a, v);
@@ -134,10 +148,54 @@ const char* MeasureLabel(const api::DetectorDescriptor& descriptor) {
              : "proportional";
 }
 
+/// The required string field `key`, or InvalidArgument.
+Result<std::string> RequiredString(const JsonValue& request,
+                                   const std::string& key,
+                                   const std::string& op) {
+  const JsonValue* value = request.Find(key);
+  if (value == nullptr || !value->is_string() ||
+      value->string_value().empty()) {
+    return Status::InvalidArgument("'" + op + "' requires a non-empty '" +
+                                   key + "' string");
+  }
+  return value->string_value();
+}
+
 }  // namespace
 
+Result<JsonlService::Target> JsonlService::ResolveTarget(
+    const JsonValue& request, Context& context) const {
+  const JsonValue* selector = request.Find("session");
+  if (catalog_ == nullptr) {
+    if (selector != nullptr) {
+      return Status::FailedPrecondition(
+          "this service has no session catalog ('session' routing "
+          "requires one)");
+    }
+    return Target{session_, &defaults_, nullptr};
+  }
+  std::string name;
+  if (selector != nullptr) {
+    if (!selector->is_string()) {
+      return Status::InvalidArgument("'session' must be a session name");
+    }
+    name = selector->string_value();
+  } else {
+    name = context.current();
+    if (name.empty()) name = default_session_;
+  }
+  std::shared_ptr<SessionCatalog::Entry> entry = catalog_->Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no session named '" + name +
+                            "' (see op=list)");
+  }
+  AuditSession* session = &entry->session;
+  const ServeDefaults* defaults = &entry->defaults;
+  return Target{session, defaults, std::move(entry)};
+}
+
 Result<api::AuditRequest> JsonlService::DecodeRequest(
-    const JsonValue& request) const {
+    const JsonValue& request, const ServeDefaults& defaults) const {
   const api::DetectorRegistry& registry = api::DetectorRegistry::Global();
   const api::DetectorDescriptor* descriptor = nullptr;
   // The registry name wins over the wire (measure, algo) pair.
@@ -159,17 +217,18 @@ Result<api::AuditRequest> JsonlService::DecodeRequest(
   api::AuditRequest query;
   query.detector = descriptor->name;
   FAIRTOPK_ASSIGN_OR_RETURN(query.config,
-                            api::ConfigFromJson(request, defaults_.config));
+                            api::ConfigFromJson(request, defaults.config));
   FAIRTOPK_ASSIGN_OR_RETURN(
       query.bounds,
-      api::BoundsFromJson(request, descriptor->bounds_kind, defaults_.bounds,
+      api::BoundsFromJson(request, descriptor->bounds_kind, defaults.bounds,
                           query.config));
   return query;
 }
 
 std::string JsonlService::DetectionResponseJson(
-    const api::AuditResponse& response) const {
-  ReportContext context{defaults_.dataset, MeasureLabel(*response.detector),
+    const Target& target, const api::AuditResponse& response) const {
+  ReportContext context{target.defaults->dataset,
+                        MeasureLabel(*response.detector),
                         response.detector->name};
   JsonWriter w;
   w.BeginObject();
@@ -178,21 +237,24 @@ std::string JsonlService::DetectionResponseJson(
   // The report annotates each violating group with its current
   // index counts — pin the index against concurrent update/append
   // requests while it is read.
-  auto read_guard = session_->ReadLock();
-  w.Key("report").Raw(
-      DetectionResultToJson(*response.result, session_->input(), context));
+  auto read_guard = target.session->ReadLock();
+  w.Key("report").Raw(DetectionResultToJson(
+      *response.result, target.session->input(), context));
   w.EndObject();
   return w.str();
 }
 
-Result<std::string> JsonlService::HandleDetect(const JsonValue& request) {
-  FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query, DecodeRequest(request));
+Result<std::string> JsonlService::HandleDetect(const Target& target,
+                                               const JsonValue& request) {
+  FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query,
+                            DecodeRequest(request, *target.defaults));
   FAIRTOPK_ASSIGN_OR_RETURN(api::AuditResponse response,
-                            session_->Detect(query));
-  return DetectionResponseJson(response);
+                            target.session->Detect(query));
+  return DetectionResponseJson(target, response);
 }
 
-Result<std::string> JsonlService::HandleDetectBatch(const JsonValue& request) {
+Result<std::string> JsonlService::HandleDetectBatch(const Target& target,
+                                                    const JsonValue& request) {
   const JsonValue* queries = request.Find("queries");
   if (queries == nullptr || !queries->is_array() ||
       queries->array_items().empty()) {
@@ -205,16 +267,17 @@ Result<std::string> JsonlService::HandleDetectBatch(const JsonValue& request) {
     if (!q.is_object()) {
       return Status::InvalidArgument("each batched query must be an object");
     }
-    FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query, DecodeRequest(q));
+    FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query,
+                              DecodeRequest(q, *target.defaults));
     batch.push_back(std::move(query));
   }
   FAIRTOPK_ASSIGN_OR_RETURN(std::vector<api::AuditResponse> responses,
-                            session_->DetectMany(batch));
+                            target.session->DetectMany(batch));
   JsonWriter w;
   w.BeginObject();
   w.Key("results").BeginArray();
   for (const api::AuditResponse& response : responses) {
-    w.Raw(DetectionResponseJson(response));
+    w.Raw(DetectionResponseJson(target, response));
   }
   w.EndArray();
   w.EndObject();
@@ -225,8 +288,9 @@ Result<std::string> JsonlService::HandleCapabilities(const JsonValue&) {
   return api::CapabilitiesJson(api::DetectorRegistry::Global());
 }
 
-Result<std::string> JsonlService::HandleSuggest(const JsonValue& request) {
-  DetectionConfig config = defaults_.config;
+Result<std::string> JsonlService::HandleSuggest(const Target& target,
+                                                const JsonValue& request) {
+  DetectionConfig config = target.defaults->config;
   FAIRTOPK_ASSIGN_OR_RETURN(config.k_min,
                             api::ReadIntField(request, "k_min", config.k_min));
   FAIRTOPK_ASSIGN_OR_RETURN(config.k_max,
@@ -244,7 +308,7 @@ Result<std::string> JsonlService::HandleSuggest(const JsonValue& request) {
   }
   options.max_groups = static_cast<size_t>(max_groups);
   FAIRTOPK_ASSIGN_OR_RETURN(SuggestedParameters params,
-                            session_->Suggest(config, options));
+                            target.session->Suggest(config, options));
   JsonWriter w;
   w.BeginObject();
   w.Key("tau").Int(params.size_threshold);
@@ -258,26 +322,28 @@ Result<std::string> JsonlService::HandleSuggest(const JsonValue& request) {
   return w.str();
 }
 
-Result<std::string> JsonlService::HandleVerify(const JsonValue& request) {
-  FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query, DecodeRequest(request));
+Result<std::string> JsonlService::HandleVerify(const Target& target,
+                                               const JsonValue& request) {
+  FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query,
+                            DecodeRequest(request, *target.defaults));
   const JsonValue* group = request.Find("group");
   if (group == nullptr) {
     return Status::InvalidArgument("'verify' requires a 'group' object");
   }
   FAIRTOPK_ASSIGN_OR_RETURN(Pattern pattern,
-                            PatternField(*group, session_->space()));
+                            PatternField(*group, target.session->space()));
   FAIRTOPK_ASSIGN_OR_RETURN(
       FairnessReport report,
       std::holds_alternative<GlobalBoundSpec>(query.bounds)
-          ? session_->VerifyGlobal(pattern,
-                                   std::get<GlobalBoundSpec>(query.bounds),
-                                   query.config)
-          : session_->VerifyProp(pattern,
-                                 std::get<PropBoundSpec>(query.bounds),
-                                 query.config));
+          ? target.session->VerifyGlobal(
+                pattern, std::get<GlobalBoundSpec>(query.bounds),
+                query.config)
+          : target.session->VerifyProp(pattern,
+                                       std::get<PropBoundSpec>(query.bounds),
+                                       query.config));
   JsonWriter w;
   w.BeginObject();
-  w.Key("group").Raw(PatternToJson(report.group, session_->space()));
+  w.Key("group").Raw(PatternToJson(report.group, target.session->space()));
   w.Key("size").Uint(report.size_in_d);
   w.Key("fair").Bool(report.fair());
   w.Key("violations").BeginArray();
@@ -296,8 +362,10 @@ Result<std::string> JsonlService::HandleVerify(const JsonValue& request) {
   return w.str();
 }
 
-Result<std::string> JsonlService::HandleRerank(const JsonValue& request) {
-  FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query, DecodeRequest(request));
+Result<std::string> JsonlService::HandleRerank(const Target& target,
+                                               const JsonValue& request) {
+  FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query,
+                            DecodeRequest(request, *target.defaults));
   FAIRTOPK_ASSIGN_OR_RETURN(const api::DetectorDescriptor* descriptor,
                             api::ResolveRequest(query));
   if (!descriptor->lower_violations) {
@@ -310,7 +378,7 @@ Result<std::string> JsonlService::HandleRerank(const JsonValue& request) {
         "' reports over-represented groups)");
   }
   FAIRTOPK_ASSIGN_OR_RETURN(api::AuditResponse detected,
-                            session_->Detect(query));
+                            target.session->Detect(query));
   // Detected groups become representation floors, mirroring
   // fairtopk_audit --rerank: the global staircase directly, the
   // proportional band as a constant floor at k_max.
@@ -318,15 +386,16 @@ Result<std::string> JsonlService::HandleRerank(const JsonValue& request) {
   {
     // Pin the index for the proportional floor's group counts; the
     // lock is dropped before Repair (which takes it internally).
-    auto read_guard = session_->ReadLock();
-    const size_t num_rows = session_->input().num_rows();
+    auto read_guard = target.session->ReadLock();
+    const size_t num_rows = target.session->input().num_rows();
     for (const Pattern& p : detected.result->AllDistinct()) {
       if (const auto* global = std::get_if<GlobalBoundSpec>(&query.bounds)) {
         constraints.push_back({p, global->lower});
       } else {
         const auto& prop = std::get<PropBoundSpec>(query.bounds);
         const double floor_at_kmax = prop.LowerAt(
-            static_cast<int>(session_->input().index().PatternCount(p)),
+            static_cast<int>(
+                target.session->input().index().PatternCount(p)),
             query.config.k_max, num_rows);
         constraints.push_back(
             {p, StepFunction::Constant(std::ceil(floor_at_kmax))});
@@ -334,7 +403,7 @@ Result<std::string> JsonlService::HandleRerank(const JsonValue& request) {
     }
   }
   FAIRTOPK_ASSIGN_OR_RETURN(RepairOutcome repair,
-                            session_->Repair(constraints, query.config));
+                            target.session->Repair(constraints, query.config));
   JsonWriter w;
   w.BeginObject();
   w.Key("constraints").Uint(constraints.size());
@@ -343,14 +412,15 @@ Result<std::string> JsonlService::HandleRerank(const JsonValue& request) {
   w.Key("feasible").Bool(repair.feasible);
   w.Key("unsatisfied").BeginArray();
   for (const Pattern& p : repair.unsatisfied) {
-    w.Raw(PatternToJson(p, session_->space()));
+    w.Raw(PatternToJson(p, target.session->space()));
   }
   w.EndArray();
   w.EndObject();
   return w.str();
 }
 
-Result<std::string> JsonlService::HandleUpdate(const JsonValue& request) {
+Result<std::string> JsonlService::HandleUpdate(const Target& target,
+                                               const JsonValue& request) {
   const JsonValue* scores = request.Find("scores");
   if (scores == nullptr || !scores->is_array()) {
     return Status::InvalidArgument(
@@ -373,11 +443,30 @@ Result<std::string> JsonlService::HandleUpdate(const JsonValue& request) {
     updates.push_back({static_cast<uint32_t>(row),
                        item.array_items()[1].number_value()});
   }
+  // Wire contract: duplicate rows inside one batch are last-write-wins
+  // (documented in README's protocol section). Collapsed here so the
+  // session only ever sees one entry per row, independent of which
+  // re-rank strategy it picks.
+  {
+    std::unordered_map<uint32_t, size_t> position;
+    position.reserve(updates.size());
+    size_t kept = 0;
+    for (const ScoreUpdate& u : updates) {
+      auto [it, inserted] = position.emplace(u.row, kept);
+      if (inserted) {
+        updates[kept++] = u;
+      } else {
+        updates[it->second].score = u.score;
+      }
+    }
+    updates.resize(kept);
+  }
   // Per-call report: with concurrent update/append requests in flight,
   // diffing the global counters would attribute another request's
   // maintenance to this one.
   MaintenanceReport report;
-  FAIRTOPK_RETURN_IF_ERROR(session_->ApplyScoreUpdates(updates, &report));
+  FAIRTOPK_RETURN_IF_ERROR(
+      target.session->ApplyScoreUpdates(updates, &report));
   JsonWriter w;
   w.BeginObject();
   w.Key("rows_updated").Uint(updates.size());
@@ -386,13 +475,14 @@ Result<std::string> JsonlService::HandleUpdate(const JsonValue& request) {
   return w.str();
 }
 
-Result<std::string> JsonlService::HandleAppend(const JsonValue& request) {
+Result<std::string> JsonlService::HandleAppend(const Target& target,
+                                               const JsonValue& request) {
   const JsonValue* rows = request.Find("rows");
   if (rows == nullptr || !rows->is_array()) {
     return Status::InvalidArgument(
         "'append' requires 'rows': [{column: value, ...}, ...]");
   }
-  const Schema& schema = session_->table().schema();
+  const Schema& schema = target.session->table().schema();
   std::vector<std::vector<Cell>> cells;
   cells.reserve(rows->array_items().size());
   for (const JsonValue& row : rows->array_items()) {
@@ -430,23 +520,24 @@ Result<std::string> JsonlService::HandleAppend(const JsonValue& request) {
     cells.push_back(std::move(out));
   }
   MaintenanceReport report;
-  FAIRTOPK_RETURN_IF_ERROR(session_->AppendRows(cells, &report));
+  FAIRTOPK_RETURN_IF_ERROR(target.session->AppendRows(cells, &report));
   JsonWriter w;
   w.BeginObject();
   w.Key("rows_appended").Uint(cells.size());
-  w.Key("num_rows").Uint(session_->num_rows());
+  w.Key("num_rows").Uint(target.session->num_rows());
   WriteMaintenance(w, report);
   w.EndObject();
   return w.str();
 }
 
-Result<std::string> JsonlService::HandleStats(const JsonValue&) {
-  const SessionServiceStats stats = session_->service_stats();
+Result<std::string> JsonlService::HandleStats(const Target& target,
+                                              const JsonValue&) {
+  const SessionServiceStats stats = target.session->service_stats();
   JsonWriter w;
   w.BeginObject();
-  w.Key("num_rows").Uint(session_->num_rows());
-  w.Key("pattern_attributes").Uint(session_->space().num_attributes());
-  w.Key("cache_entries").Uint(session_->cache_size());
+  w.Key("num_rows").Uint(target.session->num_rows());
+  w.Key("pattern_attributes").Uint(target.session->space().num_attributes());
+  w.Key("cache_entries").Uint(target.session->cache_size());
   w.Key("detect_queries").Uint(stats.detect_queries);
   w.Key("cache_hits").Uint(stats.cache_hits);
   w.Key("coalesced_hits").Uint(stats.coalesced_hits);
@@ -460,16 +551,142 @@ Result<std::string> JsonlService::HandleStats(const JsonValue&) {
   return w.str();
 }
 
-Result<std::string> JsonlService::HandleInvalidate(const JsonValue&) {
-  session_->InvalidateCache();
+Result<std::string> JsonlService::HandleInvalidate(const Target& target,
+                                                   const JsonValue&) {
+  target.session->InvalidateCache();
   JsonWriter w;
   w.BeginObject();
-  w.Key("cache_entries").Uint(session_->cache_size());
+  w.Key("cache_entries").Uint(target.session->cache_size());
   w.EndObject();
   return w.str();
 }
 
-std::string JsonlService::HandleLine(const std::string& line) {
+Result<std::string> JsonlService::HandleOpen(const JsonValue& request) {
+  if (catalog_ == nullptr) {
+    return Status::FailedPrecondition(
+        "this service has no session catalog (single-session mode)");
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(std::string name,
+                            RequiredString(request, "name", "open"));
+  SessionSpec spec;
+  FAIRTOPK_ASSIGN_OR_RETURN(spec.csv, RequiredString(request, "csv", "open"));
+  FAIRTOPK_ASSIGN_OR_RETURN(spec.rank_by,
+                            RequiredString(request, "rank_by", "open"));
+  spec.ascending = request.BoolOr("ascending", spec.ascending);
+  FAIRTOPK_ASSIGN_OR_RETURN(spec.bins,
+                            api::ReadIntField(request, "bins", spec.bins));
+  if (spec.bins < 2) {
+    return Status::InvalidArgument("'bins' must be at least 2");
+  }
+  if (const JsonValue* drop = request.Find("drop")) {
+    if (!drop->is_array()) {
+      return Status::InvalidArgument(
+          "'drop' must be an array of column names");
+    }
+    for (const JsonValue& column : drop->array_items()) {
+      if (!column.is_string()) {
+        return Status::InvalidArgument(
+            "'drop' must be an array of column names");
+      }
+      spec.drop.push_back(column.string_value());
+    }
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(spec.k_min,
+                            api::ReadIntField(request, "k_min", spec.k_min));
+  FAIRTOPK_ASSIGN_OR_RETURN(spec.k_max,
+                            api::ReadIntField(request, "k_max", spec.k_max));
+  FAIRTOPK_ASSIGN_OR_RETURN(spec.tau,
+                            api::ReadIntField(request, "tau", spec.tau));
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      spec.threads, api::ReadIntField(request, "threads", spec.threads));
+  spec.lower_fraction = request.NumberOr("lower", spec.lower_fraction);
+  spec.alpha = request.NumberOr("alpha", spec.alpha);
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      int cache_capacity,
+      api::ReadIntField(request, "cache_capacity",
+                        static_cast<int>(spec.session.cache_capacity)));
+  if (cache_capacity < 0) {
+    return Status::InvalidArgument("'cache_capacity' must be >= 0");
+  }
+  spec.session.cache_capacity = static_cast<size_t>(cache_capacity);
+  spec.session.rebuild_threshold =
+      request.NumberOr("rebuild_threshold", spec.session.rebuild_threshold);
+  FAIRTOPK_RETURN_IF_ERROR(catalog_->Open(name, spec));
+  std::shared_ptr<SessionCatalog::Entry> entry = catalog_->Find(name);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String(name);
+  if (entry != nullptr) {  // a concurrent close may already have won
+    w.Key("num_rows").Uint(entry->session.num_rows());
+    w.Key("pattern_attributes")
+        .Uint(entry->session.space().num_attributes());
+  }
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> JsonlService::HandleClose(const JsonValue& request) {
+  if (catalog_ == nullptr) {
+    return Status::FailedPrecondition(
+        "this service has no session catalog (single-session mode)");
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(std::string name,
+                            RequiredString(request, "name", "close"));
+  FAIRTOPK_RETURN_IF_ERROR(catalog_->Close(name));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("closed").String(name);
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> JsonlService::HandleList(const JsonValue&,
+                                             Context& context) {
+  if (catalog_ == nullptr) {
+    return Status::FailedPrecondition(
+        "this service has no session catalog (single-session mode)");
+  }
+  std::string current = context.current();
+  if (current.empty()) current = default_session_;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("current").String(current);
+  w.Key("sessions").BeginArray();
+  for (const SessionCatalog::Info& info : catalog_->List()) {
+    w.BeginObject();
+    w.Key("name").String(info.name);
+    w.Key("dataset").String(info.dataset);
+    w.Key("num_rows").Uint(info.num_rows);
+    w.Key("pattern_attributes").Uint(info.pattern_attributes);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> JsonlService::HandleUse(const JsonValue& request,
+                                            Context& context) {
+  if (catalog_ == nullptr) {
+    return Status::FailedPrecondition(
+        "this service has no session catalog (single-session mode)");
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(std::string name,
+                            RequiredString(request, "name", "use"));
+  if (catalog_->Find(name) == nullptr) {
+    return Status::NotFound("no session named '" + name +
+                            "' (see op=list)");
+  }
+  context.set_current(name);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("session").String(name);
+  w.EndObject();
+  return w.str();
+}
+
+std::string JsonlService::HandleLine(const std::string& line,
+                                     Context& context) {
   Result<JsonValue> request = ParseJson(line);
   if (!request.ok()) {
     return ErrorResponse(JsonValue::Null(), request.status());
@@ -480,16 +697,23 @@ std::string JsonlService::HandleLine(const std::string& line) {
   }
   const std::string op = request->StringOr("op", "");
   Result<std::string> data = [&]() -> Result<std::string> {
-    if (op == "detect") return HandleDetect(*request);
-    if (op == "detect_batch") return HandleDetectBatch(*request);
+    // Catalog lifecycle ops do not run against a session.
+    if (op == "open") return HandleOpen(*request);
+    if (op == "close") return HandleClose(*request);
+    if (op == "list") return HandleList(*request, context);
+    if (op == "use") return HandleUse(*request, context);
     if (op == "capabilities") return HandleCapabilities(*request);
-    if (op == "suggest") return HandleSuggest(*request);
-    if (op == "verify") return HandleVerify(*request);
-    if (op == "rerank") return HandleRerank(*request);
-    if (op == "update") return HandleUpdate(*request);
-    if (op == "append") return HandleAppend(*request);
-    if (op == "stats") return HandleStats(*request);
-    if (op == "invalidate") return HandleInvalidate(*request);
+    FAIRTOPK_ASSIGN_OR_RETURN(Target target,
+                              ResolveTarget(*request, context));
+    if (op == "detect") return HandleDetect(target, *request);
+    if (op == "detect_batch") return HandleDetectBatch(target, *request);
+    if (op == "suggest") return HandleSuggest(target, *request);
+    if (op == "verify") return HandleVerify(target, *request);
+    if (op == "rerank") return HandleRerank(target, *request);
+    if (op == "update") return HandleUpdate(target, *request);
+    if (op == "append") return HandleAppend(target, *request);
+    if (op == "stats") return HandleStats(target, *request);
+    if (op == "invalidate") return HandleInvalidate(target, *request);
     return Status::InvalidArgument(
         op.empty() ? "request misses 'op'" : "unknown op '" + op + "'");
   }();
@@ -497,6 +721,11 @@ std::string JsonlService::HandleLine(const std::string& line) {
     return ErrorResponse(*request, data.status());
   }
   return OkResponse(*request, *data);
+}
+
+std::string JsonlService::HandleLine(const std::string& line) {
+  Context context;
+  return HandleLine(line, context);
 }
 
 namespace {
@@ -512,13 +741,14 @@ bool IsBlankLine(const std::string& line) {
 
 void JsonlService::Serve(std::istream& in, std::ostream& out,
                          const ServeOptions& options) {
+  Context context;
   std::string line;
   if (options.workers <= 1) {
     while (std::getline(in, line)) {
       // Skip blank lines so hand-written scripts can use them for
       // readability.
       if (IsBlankLine(line)) continue;
-      out << HandleLine(line) << '\n';
+      out << HandleLine(line, context) << '\n';
       out.flush();
     }
     return;
@@ -558,8 +788,8 @@ void JsonlService::Serve(std::istream& in, std::ostream& out,
       ++in_flight;
     }
     pool.Submit([this, &out, &options, &mutex, &room, &in_flight,
-                 &next_to_emit, &held, seq = sequence, line] {
-      std::string response = HandleLine(line);
+                 &next_to_emit, &held, &context, seq = sequence, line] {
+      std::string response = HandleLine(line, context);
       std::lock_guard<std::mutex> lock(mutex);
       if (!options.ordered) {
         out << response << '\n';

@@ -1,12 +1,13 @@
-// Batched JSONL front-end over an AuditSession: one JSON request
+// Batched JSONL front-end over audit sessions: one JSON request
 // object per input line, one JSON response object per output line —
-// the wire protocol of tools/fairtopk_serve.
+// the wire protocol of tools/fairtopk_serve on stdin/stdout and, via
+// service/net/socket_server.h, on TCP.
 //
 // Requests: {"op": ..., "id": <any scalar, echoed back>, ...}.
 //   op=detect   one detection query. The detector is selected by its
 //               registry name ("detector": "PropBounds") or by the
 //               wire pair measure/algo; k_min/k_max/tau/threads and
-//               the bound parameters fall back to the service
+//               the bound parameters fall back to the session's
 //               defaults (field vocabulary: api/canonical.h, listed
 //               per detector by op=capabilities)
 //   op=detect_batch  {"queries": [{...}, ...]} — several detection
@@ -19,18 +20,35 @@
 //   op=rerank   detect + repair; reports the repair outcome without
 //               mutating the session
 //   op=update   {"scores": [[row, score], ...]} — incremental ranking
-//               maintenance via AuditSession::ApplyScoreUpdates
+//               maintenance via AuditSession::ApplyScoreUpdates.
+//               Duplicate rows within one batch are last-write-wins
+//               (collapsed at this layer before the session runs)
 //   op=append   {"rows": [{"Col": value, ...}, ...]} — appends rows
 //               (categorical cells by label, numeric cells by number)
 //   op=stats    session/service counters
 //   op=invalidate  explicit result-cache invalidation
 //
+// Catalog ops (services bound to a SessionCatalog; single-session
+// services answer them with FAILED_PRECONDITION):
+//   op=open     {"name": ..., "csv": ..., "rank_by": ..., options} —
+//               loads a CSV into a new named session (knob vocabulary
+//               mirrors the fairtopk_serve flags: ascending, bins,
+//               drop, k_min/k_max/tau/threads, lower, alpha,
+//               cache_capacity, rebuild_threshold)
+//   op=close    {"name": ...} — drops a session; requests already
+//               running against it finish unharmed
+//   op=list     the registered sessions and this client's current one
+//   op=use      {"name": ...} — sets this client's default session
+// Every non-catalog op additionally accepts "session": "name" to
+// route one request explicitly; without it the client's `use` choice
+// (initially the service's default session) applies.
+//
 // Responses: {"id": ..., "ok": true, "data": {...}} on success,
 // {"id": ..., "ok": false, "error": {"code": ..., "message": ...}}
 // otherwise. The loop never aborts on a bad request — a malformed line
-// (broken JSON, a non-object, an unknown op) gets an {"id": null, "ok":
-// false, ...} envelope and the stream continues; every line gets
-// exactly one response line.
+// (broken JSON, a non-object, an unknown op, a duplicate object key)
+// gets an {"id": null, "ok": false, ...} envelope and the stream
+// continues; every line gets exactly one response line.
 //
 // With ServeOptions::workers > 1 the loop executes independent request
 // lines concurrently on a thread pool over the (thread-safe) session.
@@ -48,25 +66,19 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 
 #include "api/audit.h"
 #include "api/canonical.h"
 #include "common/json.h"
 #include "service/audit_session.h"
+#include "service/jsonl_defaults.h"
+#include "service/session_catalog.h"
 
 namespace fairtopk {
-
-/// Per-service fallbacks applied when a request omits a field.
-struct ServeDefaults {
-  /// Dataset label echoed in detection reports.
-  std::string dataset;
-  /// k range, size threshold, and worker threads.
-  DetectionConfig config;
-  /// Bound fraction knobs (--lower / --alpha) expanded over the
-  /// request's k range when explicit bounds are omitted.
-  api::BoundsDefaults bounds;
-};
 
 /// Execution knobs of one Serve() loop.
 struct ServeOptions {
@@ -80,18 +92,56 @@ struct ServeOptions {
   size_t max_pending = 0;
 };
 
-/// Stateless-per-line request processor bound to one session. Handlers
-/// are thread-safe: HandleLine may be called from many threads at once
-/// (the session's concurrency contract does the heavy lifting; the
-/// service only reads its immutable defaults).
+/// Stateless-per-line request processor bound to one session or to a
+/// session catalog. Handlers are thread-safe: HandleLine may be called
+/// from many threads at once (the session's concurrency contract does
+/// the heavy lifting; the service only reads its immutable defaults,
+/// and per-client mutable state lives in the Context).
 class JsonlService {
  public:
-  /// `session` must outlive the service.
+  /// Per-client request state: the session selected by op=use. One per
+  /// serving loop / network connection; safe to share between the
+  /// concurrent workers of one loop (which of two racing requests sees
+  /// a concurrent `use` is scheduling, like all cross-request
+  /// ordering).
+  class Context {
+   public:
+    Context() = default;
+    explicit Context(std::string session) : current_(std::move(session)) {}
+
+    std::string current() const {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return current_;
+    }
+    void set_current(std::string name) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      current_ = std::move(name);
+    }
+
+   private:
+    mutable std::mutex mutex_;
+    std::string current_;
+  };
+
+  /// Single-session service; `session` must outlive the service.
+  /// Catalog ops (open/close/list/use, "session" routing) are
+  /// rejected.
   JsonlService(AuditSession* session, ServeDefaults defaults)
       : session_(session), defaults_(std::move(defaults)) {}
 
-  /// Handles one request line; returns the response line (no trailing
-  /// newline). Never fails — protocol errors become error responses.
+  /// Catalog-backed service; `catalog` must outlive the service.
+  /// Requests without a "session" field (and fresh Contexts) start on
+  /// `default_session`.
+  JsonlService(SessionCatalog* catalog, std::string default_session)
+      : catalog_(catalog), default_session_(std::move(default_session)) {}
+
+  /// Handles one request line against `context`; returns the response
+  /// line (no trailing newline). Never fails — protocol errors become
+  /// error responses.
+  std::string HandleLine(const std::string& line, Context& context);
+
+  /// Single-shot convenience: a throwaway default Context per line
+  /// (every line starts on the service's default session).
   std::string HandleLine(const std::string& line);
 
   /// Reads request lines from `in` until EOF, writing one response
@@ -99,37 +149,70 @@ class JsonlService {
   /// every response so the tool can be driven interactively by a pipe.
   /// With options.workers > 1, lines are dispatched to a pool and
   /// responses stream back tagged by their echoed id (see the file
-  /// comment for the ordering contract).
+  /// comment for the ordering contract). One Context spans the loop.
   void Serve(std::istream& in, std::ostream& out,
              const ServeOptions& options = {});
 
-  const AuditSession& session() const { return *session_; }
-
  private:
+  /// One request's resolved destination: the session to run against,
+  /// its defaults, and (in catalog mode) the handle pinning the entry
+  /// across a concurrent close.
+  struct Target {
+    AuditSession* session = nullptr;
+    const ServeDefaults* defaults = nullptr;
+    std::shared_ptr<SessionCatalog::Entry> holder;
+  };
+
+  /// Resolves the request's "session" field / the context's current
+  /// session to a Target (single-session services resolve to their one
+  /// session and reject explicit routing).
+  Result<Target> ResolveTarget(const JsonValue& request,
+                               Context& context) const;
+
   /// Builds the api::AuditRequest described by `request` (shared by
   /// detect, detect_batch, verify, and rerank): detector resolution
   /// through the registry, config and bounds through the canonical
   /// codec.
-  Result<api::AuditRequest> DecodeRequest(const JsonValue& request) const;
+  Result<api::AuditRequest> DecodeRequest(const JsonValue& request,
+                                          const ServeDefaults& defaults) const;
 
   /// Serializes one detection response as {"cached": ..., "report": ...}.
-  std::string DetectionResponseJson(const api::AuditResponse& response) const;
+  std::string DetectionResponseJson(const Target& target,
+                                    const api::AuditResponse& response) const;
 
   /// Per-op payload builders; on success the returned string is the
   /// serialized "data" object.
-  Result<std::string> HandleDetect(const JsonValue& request);
-  Result<std::string> HandleDetectBatch(const JsonValue& request);
+  Result<std::string> HandleDetect(const Target& target,
+                                   const JsonValue& request);
+  Result<std::string> HandleDetectBatch(const Target& target,
+                                        const JsonValue& request);
   Result<std::string> HandleCapabilities(const JsonValue& request);
-  Result<std::string> HandleSuggest(const JsonValue& request);
-  Result<std::string> HandleVerify(const JsonValue& request);
-  Result<std::string> HandleRerank(const JsonValue& request);
-  Result<std::string> HandleUpdate(const JsonValue& request);
-  Result<std::string> HandleAppend(const JsonValue& request);
-  Result<std::string> HandleStats(const JsonValue& request);
-  Result<std::string> HandleInvalidate(const JsonValue& request);
+  Result<std::string> HandleSuggest(const Target& target,
+                                    const JsonValue& request);
+  Result<std::string> HandleVerify(const Target& target,
+                                   const JsonValue& request);
+  Result<std::string> HandleRerank(const Target& target,
+                                   const JsonValue& request);
+  Result<std::string> HandleUpdate(const Target& target,
+                                   const JsonValue& request);
+  Result<std::string> HandleAppend(const Target& target,
+                                   const JsonValue& request);
+  Result<std::string> HandleStats(const Target& target,
+                                  const JsonValue& request);
+  Result<std::string> HandleInvalidate(const Target& target,
+                                       const JsonValue& request);
 
-  AuditSession* session_;
+  /// Catalog ops; error on single-session services.
+  Result<std::string> HandleOpen(const JsonValue& request);
+  Result<std::string> HandleClose(const JsonValue& request);
+  Result<std::string> HandleList(const JsonValue& request, Context& context);
+  Result<std::string> HandleUse(const JsonValue& request, Context& context);
+
+  // Exactly one of the two is set, per constructor.
+  AuditSession* session_ = nullptr;
   ServeDefaults defaults_;
+  SessionCatalog* catalog_ = nullptr;
+  std::string default_session_;
 };
 
 }  // namespace fairtopk

@@ -1,0 +1,153 @@
+#include "service/net/socket_server.h"
+
+#include <utility>
+
+namespace fairtopk {
+
+namespace {
+
+bool IsBlank(const std::string& line) {
+  for (char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(JsonlService* service, TcpListener listener,
+                           SocketServerOptions options)
+    : service_(service),
+      listener_(std::move(listener)),
+      options_(options),
+      max_pending_(options.max_pending != 0
+                       ? options.max_pending
+                       : static_cast<size_t>(options.workers) * 4),
+      pool_(options.workers) {}
+
+SocketServer::~SocketServer() {
+  RequestShutdown();
+  Wait();
+}
+
+void SocketServer::Start() {
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+void SocketServer::RequestShutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) return;
+  shutdown_ = true;
+  // Wake the blocked Accept() and make future accepts fail fast.
+  listener_.Interrupt();
+  // Readers blocked in Receive() see EOF and fall into their drain
+  // path. Connections mid-request are untouched: the reader only
+  // exits after its reorder buffer empties.
+  for (Connection& connection : connections_) {
+    // Under the connection mutex: ShutdownRead must not race the
+    // reader's final Close() (which recycles the descriptor).
+    std::lock_guard<std::mutex> connection_lock(connection.mutex);
+    connection.socket.ShutdownRead();
+  }
+}
+
+void SocketServer::Wait() {
+  if (acceptor_.joinable()) acceptor_.join();
+  // After the acceptor exits no new connections_ nodes appear, and
+  // std::list nodes are stable, so walking without the lock while
+  // joining (readers still mutate their own entries) is safe.
+  for (Connection& connection : connections_) {
+    if (connection.reader.joinable()) connection.reader.join();
+  }
+}
+
+size_t SocketServer::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+void SocketServer::AcceptLoop() {
+  for (;;) {
+    Result<TcpConnection> accepted = listener_.Accept();
+    if (!accepted.ok()) continue;  // transient (e.g. ECONNABORTED)
+    if (!accepted->valid()) return;  // Interrupt(): clean exit
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;  // raced with RequestShutdown: drop it
+    connections_.emplace_back();
+    Connection& connection = connections_.back();
+    connection.socket = std::move(*accepted);
+    ++accepted_;
+    connection.reader = std::thread(
+        [this, &connection] { ReadLoop(connection); });
+  }
+}
+
+void SocketServer::ReadLoop(Connection& connection) {
+  std::string pending;  // bytes received, not yet newline-terminated
+  char buffer[4096];
+  for (;;) {
+    Result<size_t> received =
+        connection.socket.Receive(buffer, sizeof(buffer));
+    if (!received.ok() || *received == 0) break;  // error, EOF, shutdown
+    pending.append(buffer, *received);
+    size_t start = 0;
+    for (size_t newline = pending.find('\n', start);
+         newline != std::string::npos;
+         newline = pending.find('\n', start)) {
+      std::string line = pending.substr(start, newline - start);
+      start = newline + 1;
+      if (!IsBlank(line)) SubmitLine(connection, std::move(line));
+    }
+    pending.erase(0, start);
+  }
+  // A final unterminated line is still a request — matching the
+  // stdin loop, where getline yields it.
+  if (!IsBlank(pending)) SubmitLine(connection, std::move(pending));
+  // Drain: every admitted line must be answered before the FIN.
+  std::unique_lock<std::mutex> lock(connection.mutex);
+  connection.room.wait(lock, [&] {
+    return connection.next_to_emit == connection.sequence;
+  });
+  // Still under the mutex: Close() recycles the fd, so it must not
+  // overlap a shutdown thread's ShutdownRead on this connection.
+  connection.socket.ShutdownWrite();
+  connection.socket.Close();
+}
+
+void SocketServer::SubmitLine(Connection& connection, std::string line) {
+  {
+    std::unique_lock<std::mutex> lock(connection.mutex);
+    // Same predicate as the ordered stdin loop: the window counts the
+    // reorder buffer too, so one slow early request throttles this
+    // socket's admission instead of letting `held` absorb everything
+    // the client writes.
+    connection.room.wait(lock, [&] {
+      return connection.sequence - connection.next_to_emit < max_pending_;
+    });
+    ++connection.sequence;
+  }
+  const size_t seq = connection.sequence - 1;
+  pool_.Submit([this, &connection, seq, line = std::move(line)] {
+    std::string response = service_->HandleLine(line, connection.context);
+    std::lock_guard<std::mutex> lock(connection.mutex);
+    connection.held.emplace(seq, std::move(response));
+    while (!connection.held.empty() &&
+           connection.held.begin()->first == connection.next_to_emit) {
+      if (!connection.send_failed) {
+        std::string& out = connection.held.begin()->second;
+        out.push_back('\n');
+        // The peer may already be gone (client closed after a
+        // one-shot script); keep draining so the reader can exit, but
+        // stop writing.
+        if (!connection.socket.SendAll(out).ok()) {
+          connection.send_failed = true;
+        }
+      }
+      connection.held.erase(connection.held.begin());
+      ++connection.next_to_emit;
+    }
+    connection.room.notify_all();
+  });
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,88 @@
+#include "service/session_catalog.h"
+
+#include "service/table_loader.h"
+
+namespace fairtopk {
+
+Status SessionCatalog::Open(const std::string& name,
+                            const SessionSpec& spec) {
+  if (name.empty()) {
+    return Status::InvalidArgument("session name must be non-empty");
+  }
+  // Load outside the lock: CSV parse + bucketize + index build can be
+  // seconds, and concurrent requests to other sessions must not stall
+  // behind it. The name is only claimed on success; two concurrent
+  // opens of the same name race to the emplace and the loser errors.
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      Table table,
+      LoadAuditTable(spec.csv, spec.rank_by, spec.bins, spec.drop));
+  const size_t num_rows = table.num_rows();
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      AuditSession session,
+      AuditSession::Create(std::move(table), spec.rank_by, spec.ascending,
+                           spec.session));
+  ServeDefaults defaults;
+  defaults.dataset = spec.csv;
+  defaults.config = MakeToolConfig(spec.k_min, spec.k_max, spec.tau,
+                                   spec.threads, num_rows);
+  defaults.bounds.lower_fraction = spec.lower_fraction;
+  defaults.bounds.alpha = spec.alpha;
+  return Adopt(name, std::move(session), std::move(defaults));
+}
+
+Status SessionCatalog::Adopt(const std::string& name, AuditSession session,
+                             ServeDefaults defaults) {
+  if (name.empty()) {
+    return Status::InvalidArgument("session name must be non-empty");
+  }
+  auto entry =
+      std::make_shared<Entry>(std::move(session), std::move(defaults));
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (!entries_.emplace(name, std::move(entry)).second) {
+    return Status::InvalidArgument("session '" + name +
+                                   "' already exists (close it first)");
+  }
+  return Status::OK();
+}
+
+Status SessionCatalog::Close(const std::string& name) {
+  std::shared_ptr<Entry> doomed;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status::NotFound("no session named '" + name + "'");
+    }
+    // Move the handle out so the (potentially expensive) session
+    // destructor runs outside the catalog lock — and only if this was
+    // the last holder; in-flight requests keep the entry alive.
+    doomed = std::move(it->second);
+    entries_.erase(it);
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<SessionCatalog::Entry> SessionCatalog::Find(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::vector<SessionCatalog::Info> SessionCatalog::List() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<Info> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back({name, entry->defaults.dataset, entry->session.num_rows(),
+                   entry->session.space().num_attributes()});
+  }
+  return out;
+}
+
+size_t SessionCatalog::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace fairtopk

@@ -1,0 +1,57 @@
+#include "service/table_loader.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "relation/bucketize.h"
+#include "relation/csv.h"
+
+namespace fairtopk {
+
+Result<Table> LoadAuditTable(const std::string& csv_path,
+                             const std::string& rank_by, int bins,
+                             const std::vector<std::string>& drop) {
+  CsvOptions csv_options;
+  csv_options.drop = drop;
+  Result<Table> raw = ReadCsvFile(csv_path, csv_options);
+  if (!raw.ok()) {
+    return Status(raw.status().code(), "failed to read " + csv_path + ": " +
+                                           raw.status().message());
+  }
+  auto rank_idx = raw->schema().IndexOf(rank_by);
+  if (!rank_idx.has_value() ||
+      raw->schema().attribute(*rank_idx).type != AttributeType::kNumeric) {
+    return Status::InvalidArgument("rank-by column '" + rank_by +
+                                   "' missing or not numeric");
+  }
+  Table table = std::move(raw).value();
+  for (size_t c = 0; c < table.schema().size(); ++c) {
+    const AttributeSchema& attr = table.schema().attribute(c);
+    if (attr.type != AttributeType::kNumeric || attr.name == rank_by) {
+      continue;
+    }
+    Result<Table> bucketized = BucketizeAttribute(
+        table, attr.name, bins, BucketStrategy::kEqualWidth);
+    if (!bucketized.ok()) {
+      return Status(bucketized.status().code(),
+                    "bucketization of '" + attr.name + "' failed: " +
+                        bucketized.status().message());
+    }
+    table = std::move(bucketized).value();
+  }
+  return table;
+}
+
+DetectionConfig MakeToolConfig(int k_min, int k_max, int tau, int threads,
+                               size_t num_rows) {
+  DetectionConfig config;
+  const int n = static_cast<int>(num_rows);
+  config.k_min = k_min;
+  config.k_max = std::min(k_max, n);
+  if (config.k_min > config.k_max) config.k_min = 1;
+  config.size_threshold = tau > 0 ? tau : std::max(2, n / 20);
+  config.num_threads = threads;
+  return config;
+}
+
+}  // namespace fairtopk

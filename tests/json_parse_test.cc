@@ -88,6 +88,24 @@ TEST(JsonParseTest, Errors) {
   EXPECT_FALSE(ParseJson("1 2").ok());
 }
 
+TEST(JsonParseTest, DuplicateObjectKeysAreRejected) {
+  // A std::map-backed object would silently keep the LAST value —
+  // {"sex":"M","sex":"F"} reading as F with no error. A request
+  // protocol must reject the ambiguity instead (RFC 8259 leaves the
+  // semantics open; we don't).
+  auto v = ParseJson(R"({"a":1,"a":2})");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("duplicate object key"),
+            std::string::npos)
+      << v.status().ToString();
+  // Nested objects are checked too, and escaped spellings of the same
+  // key collide after unescaping.
+  EXPECT_FALSE(ParseJson(R"({"outer":{"k":true,"k":false}})").ok());
+  EXPECT_FALSE(ParseJson("{\"ab\":1,\"a\\u0062\":2}").ok());
+  // Same key at different depths is NOT a duplicate.
+  EXPECT_TRUE(ParseJson(R"({"a":{"a":1},"b":[{"a":2}]})").ok());
+}
+
 TEST(JsonParseTest, ErrorsCarryByteOffset) {
   auto v = ParseJson("{\"a\": nope}");
   ASSERT_FALSE(v.ok());

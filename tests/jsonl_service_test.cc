@@ -4,10 +4,15 @@
 // echoed id, and follow the {ok, data|error} envelope.
 #include "service/jsonl_service.h"
 
+#include <atomic>
+#include <chrono>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <streambuf>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -16,6 +21,7 @@
 #include "common/json.h"
 #include "common/rng.h"
 #include "relation/table.h"
+#include "service/session_catalog.h"
 
 namespace fairtopk {
 namespace {
@@ -355,6 +361,69 @@ TEST_F(JsonlServiceTest, LargeIntegerIdsEchoExactly) {
                    -42.0);
 }
 
+TEST_F(JsonlServiceTest, Uint64IdsEchoExactly) {
+  // Ids in [2^63, 2^64) — uint64 snowflake ids — previously fell
+  // through to the %.10g double path and came back corrupted.
+  Roundtrip(R"({"op":"stats","id":9223372036854775808})");
+  EXPECT_NE(last_response_.find("\"id\":9223372036854775808"),
+            std::string::npos)
+      << last_response_;
+  // The largest integral double below 2^64.
+  Roundtrip(R"({"op":"stats","id":18446744073709549568})");
+  EXPECT_NE(last_response_.find("\"id\":18446744073709549568"),
+            std::string::npos)
+      << last_response_;
+  // At 2^64 and beyond no integer type fits: scientific notation is
+  // the honest rendering (the value was never exact in the request's
+  // double either).
+  Roundtrip(R"({"op":"stats","id":18446744073709551616})");
+  EXPECT_NE(last_response_.find("\"id\":1.844674407e+19"),
+            std::string::npos)
+      << last_response_;
+}
+
+TEST_F(JsonlServiceTest, DuplicateObjectKeysAreRejected) {
+  // {"gender":"M","gender":"F"} must not silently audit F: the parser
+  // rejects the duplicate before any handler sees the request, so the
+  // line answers with the malformed-line envelope and the stream
+  // stays alive.
+  JsonValue v = ExpectError(
+      R"({"op":"verify","group":{"gender":"M","gender":"F"}})",
+      "INVALID_ARGUMENT");
+  EXPECT_TRUE(v.Find("id")->is_null());
+  const JsonValue* error = v.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(error->StringOr("message", "").find("duplicate object key"),
+            std::string::npos)
+      << last_response_;
+  // Top-level duplicates (a re-sent op/id smuggling past validation)
+  // are equally rejected.
+  ExpectError(R"({"op":"stats","id":1,"op":"detect"})",
+              "INVALID_ARGUMENT");
+  // The service keeps serving afterwards.
+  ExpectOk(R"({"op":"stats","id":2})");
+}
+
+TEST_F(JsonlServiceTest, UpdateDuplicateRowsAreLastWriteWins) {
+  // The wire contract: duplicate rows inside one batch collapse to
+  // the LAST entry, independent of the session's re-rank strategy.
+  JsonValue v = ExpectOk(
+      R"({"op":"update","scores":[[0,111.0],[1,222.0],[0,333.0]]})");
+  // rows_updated counts distinct rows, not wire entries.
+  EXPECT_DOUBLE_EQ(v.Find("data")->NumberOr("rows_updated", 0), 2.0);
+  EXPECT_DOUBLE_EQ(session_->scores()[0], 333.0);
+  EXPECT_DOUBLE_EQ(session_->scores()[1], 222.0);
+}
+
+TEST_F(JsonlServiceTest, SingleSessionServiceRejectsCatalogOps) {
+  ExpectError(R"({"op":"open","name":"x","csv":"a.csv","rank_by":"s"})",
+              "FAILED_PRECONDITION");
+  ExpectError(R"({"op":"close","name":"x"})", "FAILED_PRECONDITION");
+  ExpectError(R"({"op":"list"})", "FAILED_PRECONDITION");
+  ExpectError(R"({"op":"use","name":"x"})", "FAILED_PRECONDITION");
+  ExpectError(R"({"op":"stats","session":"x"})", "FAILED_PRECONDITION");
+}
+
 TEST_F(JsonlServiceTest, ServeProcessesLinesAndSkipsBlanks) {
   std::istringstream in(
       "{\"op\":\"stats\",\"id\":1}\n"
@@ -542,6 +611,264 @@ TEST_F(JsonlServiceTest, WorkersSurviveMalformedLinesMidStream) {
     EXPECT_EQ(responses[0].first, "\"a\"");
     EXPECT_EQ(responses[2].first, "\"b\"");
     EXPECT_EQ(responses[4].first, "\"c\"");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Catalog-backed services: open/close/list/use and per-request
+// "session" routing over a SessionCatalog.
+
+ServeDefaults TestDefaults(const std::string& dataset) {
+  ServeDefaults defaults;
+  defaults.dataset = dataset;
+  defaults.config = DetectionConfig{5, 30, 10};
+  return defaults;
+}
+
+class CatalogJsonlServiceTest : public ::testing::Test {
+ protected:
+  CatalogJsonlServiceTest() {
+    auto alpha = AuditSession::Create(ServiceTable(100, 99), "score");
+    auto beta = AuditSession::Create(ServiceTable(80, 7), "score");
+    EXPECT_TRUE(alpha.ok());
+    EXPECT_TRUE(beta.ok());
+    EXPECT_TRUE(catalog_
+                    .Adopt("alpha", std::move(alpha).value(),
+                           TestDefaults("alpha-data"))
+                    .ok());
+    EXPECT_TRUE(catalog_
+                    .Adopt("beta", std::move(beta).value(),
+                           TestDefaults("beta-data"))
+                    .ok());
+    service_.emplace(&catalog_, "alpha");
+  }
+
+  JsonValue Roundtrip(const std::string& line) {
+    last_response_ = service_->HandleLine(line, context_);
+    auto parsed = ParseJson(last_response_);
+    EXPECT_TRUE(parsed.ok()) << last_response_;
+    return std::move(parsed).value();
+  }
+
+  JsonValue ExpectOk(const std::string& line) {
+    JsonValue v = Roundtrip(line);
+    EXPECT_TRUE(v.BoolOr("ok", false)) << last_response_;
+    return v;
+  }
+
+  JsonValue ExpectError(const std::string& line, const std::string& code) {
+    JsonValue v = Roundtrip(line);
+    EXPECT_FALSE(v.BoolOr("ok", true)) << last_response_;
+    const JsonValue* error = v.Find("error");
+    EXPECT_NE(error, nullptr);
+    if (error != nullptr) {
+      EXPECT_EQ(error->StringOr("code", ""), code);
+    }
+    return v;
+  }
+
+  SessionCatalog catalog_;
+  std::optional<JsonlService> service_;
+  JsonlService::Context context_;
+  std::string last_response_;
+};
+
+TEST_F(CatalogJsonlServiceTest, RoutesBySessionFieldAndDefault) {
+  // No "session": the default session ("alpha", 100 rows).
+  JsonValue v = ExpectOk(R"({"op":"stats"})");
+  EXPECT_DOUBLE_EQ(v.Find("data")->NumberOr("num_rows", 0), 100.0);
+  // Explicit per-request routing.
+  v = ExpectOk(R"({"op":"stats","session":"beta"})");
+  EXPECT_DOUBLE_EQ(v.Find("data")->NumberOr("num_rows", 0), 80.0);
+  // The per-session defaults travel with the route.
+  v = ExpectOk(R"({"op":"detect","session":"beta"})");
+  EXPECT_EQ(v.Find("data")->Find("report")->StringOr("dataset", ""),
+            "beta-data");
+  ExpectError(R"({"op":"stats","session":"gamma"})", "NOT_FOUND");
+  ExpectError(R"({"op":"stats","session":7})", "INVALID_ARGUMENT");
+}
+
+TEST_F(CatalogJsonlServiceTest, UseSwitchesTheContextDefault) {
+  ExpectOk(R"({"op":"use","name":"beta"})");
+  JsonValue v = ExpectOk(R"({"op":"stats"})");
+  EXPECT_DOUBLE_EQ(v.Find("data")->NumberOr("num_rows", 0), 80.0);
+  // Explicit routing still wins over the context default.
+  v = ExpectOk(R"({"op":"stats","session":"alpha"})");
+  EXPECT_DOUBLE_EQ(v.Find("data")->NumberOr("num_rows", 0), 100.0);
+  // list reports the context's current session.
+  v = ExpectOk(R"({"op":"list"})");
+  EXPECT_EQ(v.Find("data")->StringOr("current", ""), "beta");
+  ExpectError(R"({"op":"use","name":"gamma"})", "NOT_FOUND");
+  // A fresh context (the single-shot HandleLine) starts back on the
+  // service default.
+  last_response_ = service_->HandleLine(R"({"op":"stats"})");
+  auto parsed = ParseJson(last_response_);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->Find("data")->NumberOr("num_rows", 0), 100.0);
+}
+
+TEST_F(CatalogJsonlServiceTest, ListEnumeratesSessions) {
+  JsonValue v = ExpectOk(R"({"op":"list"})");
+  const JsonValue* sessions = v.Find("data")->Find("sessions");
+  ASSERT_NE(sessions, nullptr);
+  ASSERT_EQ(sessions->array_items().size(), 2u);
+  EXPECT_EQ(sessions->array_items()[0].StringOr("name", ""), "alpha");
+  EXPECT_EQ(sessions->array_items()[1].StringOr("name", ""), "beta");
+  EXPECT_DOUBLE_EQ(sessions->array_items()[1].NumberOr("num_rows", 0),
+                   80.0);
+}
+
+TEST_F(CatalogJsonlServiceTest, OpenCloseLifecycle) {
+  // A real CSV on disk: `open` goes through the same loader as the
+  // tool startup (validation, bucketization, index build).
+  const std::string csv_path =
+      ::testing::TempDir() + "/jsonl_service_open_test.csv";
+  {
+    std::ofstream csv(csv_path);
+    csv << "gender,region,score\n";
+    for (int i = 0; i < 24; ++i) {
+      csv << (i % 2 == 0 ? "F" : "M") << ','
+          << (i % 3 == 0 ? "north" : "south") << ',' << (100 - i) << '\n';
+    }
+  }
+  JsonValue v = ExpectOk(R"({"op":"open","name":"disk","csv":")" +
+                         csv_path + R"(","rank_by":"score"})");
+  EXPECT_DOUBLE_EQ(v.Find("data")->NumberOr("num_rows", 0), 24.0);
+  v = ExpectOk(R"({"op":"stats","session":"disk"})");
+  EXPECT_DOUBLE_EQ(v.Find("data")->NumberOr("num_rows", 0), 24.0);
+  // Duplicate names are refused; the original session is untouched.
+  ExpectError(R"({"op":"open","name":"disk","csv":")" + csv_path +
+                  R"(","rank_by":"score"})",
+              "INVALID_ARGUMENT");
+  ExpectOk(R"({"op":"close","name":"disk"})");
+  ExpectError(R"({"op":"stats","session":"disk"})", "NOT_FOUND");
+  ExpectError(R"({"op":"close","name":"disk"})", "NOT_FOUND");
+  // Validation: missing fields, unreadable file, unknown rank column.
+  ExpectError(R"({"op":"open","name":"x"})", "INVALID_ARGUMENT");
+  ExpectError(R"({"op":"open","name":"x","csv":"/no/such/file.csv",)"
+              R"("rank_by":"score"})",
+              "IO_ERROR");
+  ExpectError(R"({"op":"open","name":"x","csv":")" + csv_path +
+                  R"(","rank_by":"nope"})",
+              "INVALID_ARGUMENT");
+  EXPECT_EQ(catalog_.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Ordered-mode backpressure: a registered detector that blocks until
+// released, so one slow first request deterministically stalls the
+// reorder buffer while cheap followers pile up behind it.
+
+std::atomic<bool> g_slow_release{false};
+
+Status SlowDetectorRun(const DetectionInput&, const api::BoundsSpec&,
+                       const DetectionConfig& config, ResultSink& sink) {
+  // Deadline-guarded: a backpressure regression fails the admission
+  // assertions instead of hanging the suite.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!g_slow_release.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  for (int k = config.k_min; k <= config.k_max; ++k) {
+    FAIRTOPK_RETURN_IF_ERROR(sink.OnResult(k, {}));
+  }
+  sink.OnStats(DetectionStats{});
+  return Status::OK();
+}
+
+void RegisterSlowDetector() {
+  static const bool registered = [] {
+    api::DetectorDescriptor d;
+    d.name = "TestSlowDetector";
+    d.measure = "test";
+    d.algo = "slow";
+    d.bounds_kind = api::BoundsKind::kGlobal;
+    d.summary = "test-only: blocks until the test releases it";
+    d.run = SlowDetectorRun;
+    EXPECT_TRUE(api::DetectorRegistry::Global().Register(d).ok());
+    return true;
+  }();
+  (void)registered;
+}
+
+/// An istream source that hands out one character per underflow and
+/// counts delivered newlines — i.e. how many input lines Serve's
+/// admission loop has consumed so far — observable from another
+/// thread while Serve blocks.
+class CountingLineBuf : public std::streambuf {
+ public:
+  explicit CountingLineBuf(std::string data) : data_(std::move(data)) {}
+  size_t lines_delivered() const {
+    return lines_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  int_type underflow() override {
+    if (pos_ >= data_.size()) return traits_type::eof();
+    ch_ = data_[pos_++];
+    if (ch_ == '\n') lines_.fetch_add(1, std::memory_order_acq_rel);
+    setg(&ch_, &ch_, &ch_ + 1);
+    return traits_type::to_int_type(ch_);
+  }
+
+ private:
+  std::string data_;
+  size_t pos_ = 0;
+  char ch_ = 0;
+  std::atomic<size_t> lines_{0};
+};
+
+TEST_F(JsonlServiceTest, OrderedModeBackpressureThrottlesAdmission) {
+  RegisterSlowDetector();
+  constexpr size_t kMaxPending = 3;
+  constexpr size_t kLines = 20;
+  std::string script =
+      "{\"op\":\"detect\",\"detector\":\"TestSlowDetector\",\"id\":0}\n";
+  for (size_t i = 1; i < kLines; ++i) {
+    script += "{\"op\":\"stats\",\"id\":" + std::to_string(i) + "}\n";
+  }
+
+  g_slow_release.store(false, std::memory_order_release);
+  CountingLineBuf buf(script);
+  std::istream in(&buf);
+  std::ostringstream out;
+  ServeOptions options;
+  options.workers = 2;
+  options.ordered = true;
+  options.max_pending = kMaxPending;
+  std::thread serve([&] { service_->Serve(in, out, options); });
+
+  // With request 0 stuck, the window `sequence - next_to_emit <
+  // max_pending` admits exactly kMaxPending lines; the loop reads one
+  // more line before blocking on admission, so consumption plateaus
+  // at kMaxPending + 1 — NOT the whole script. (This is the
+  // regression test for bounding `held`: an in_flight-only predicate
+  // would let the finished stats responses pile up in the reorder
+  // buffer and admission would race to EOF.)
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (buf.lines_delivered() < kMaxPending + 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(buf.lines_delivered(), kMaxPending + 1);
+  // The plateau must hold (one-sided check: if backpressure were
+  // broken, admission would blow past the window within the sleep).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(buf.lines_delivered(), kMaxPending + 1);
+
+  g_slow_release.store(true, std::memory_order_release);
+  serve.join();
+
+  // Every line answered, in input order.
+  auto responses = ParseResponses(out.str());
+  ASSERT_EQ(responses.size(), kLines);
+  for (size_t i = 0; i < kLines; ++i) {
+    EXPECT_EQ(responses[i].first, std::to_string(i)) << i;
+    EXPECT_NE(responses[i].second.find("\"ok\":true"), std::string::npos)
+        << responses[i].second;
   }
 }
 

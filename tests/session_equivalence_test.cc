@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "relation/table.h"
 #include "service/audit_session.h"
+#include "service/jsonl_service.h"
 
 namespace fairtopk {
 namespace {
@@ -236,6 +237,46 @@ TEST_P(SessionEquivalenceTest, MaintenanceStatsInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(RandomizedMaintenance, SessionEquivalenceTest,
                          ::testing::ValuesIn(Cases()));
+
+// Wire contract pin: an `update` batch with duplicate row ids is
+// last-write-wins — byte-for-byte equivalent to a batch holding only
+// each row's final entry — under BOTH re-rank strategies (0 forces
+// the region-merge path, 1000 per-row insertion repair), so the
+// JSONL layer's collapse, not strategy-dependent session internals,
+// defines the semantics.
+TEST(SessionUpdateLastWriteWinsTest, DuplicateRowsEqualFinalEntryBatch) {
+  for (size_t repair_max_batch : {size_t{0}, size_t{1000}}) {
+    SessionOptions options;
+    options.repair_rerank_max_batch = repair_max_batch;
+    auto duplicated = AuditSession::Create(PropertyTable(150, 41), "score",
+                                           false, options);
+    auto collapsed = AuditSession::Create(PropertyTable(150, 41), "score",
+                                          false, options);
+    ASSERT_TRUE(duplicated.ok());
+    ASSERT_TRUE(collapsed.ok());
+
+    ServeDefaults defaults;
+    defaults.config = DetectionConfig{5, 40, 8};
+    JsonlService service(&duplicated.value(), defaults);
+    // Rows 3 and 7 appear twice; their LAST scores (91 and 12) must
+    // be the ones applied.
+    const std::string response = service.HandleLine(
+        R"({"op":"update","scores":)"
+        R"([[3,55.0],[7,99.0],[3,91.0],[12,70.0],[7,12.0]]})");
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+    EXPECT_NE(response.find("\"rows_updated\":3"), std::string::npos)
+        << response;
+
+    ASSERT_TRUE(collapsed->ApplyScoreUpdates(
+                             {{3, 91.0}, {12, 70.0}, {7, 12.0}})
+                    .ok());
+
+    EXPECT_EQ(duplicated->scores(), collapsed->scores())
+        << "repair_max_batch=" << repair_max_batch;
+    EXPECT_EQ(duplicated->ranking(), collapsed->ranking())
+        << "repair_max_batch=" << repair_max_batch;
+  }
+}
 
 }  // namespace
 }  // namespace fairtopk

@@ -67,7 +67,7 @@
 #include "ranking/attribute_ranker.h"
 #include "relation/csv.h"
 #include "report/json_report.h"
-#include "tool_common.h"
+#include "service/table_loader.h"
 
 namespace fairtopk {
 namespace {

@@ -1,31 +1,44 @@
-// fairtopk_serve: long-lived audit session over a CSV file, driven by
-// a batched JSONL protocol on stdin/stdout.
+// fairtopk_serve: long-lived audit sessions over CSV files, driven by
+// a batched JSONL protocol on stdin/stdout or (with --listen) on TCP.
 //
 // Usage:
 //   fairtopk_serve --csv data.csv --rank-by score [options] < requests.jsonl
+//   fairtopk_serve --csv data.csv --rank-by score --listen 7070
 //
 // Startup mirrors fairtopk_audit: the CSV is loaded, every numeric
 // column except the ranking column is bucketized so it can join group
 // definitions, and one AuditSession is opened (table ranked by the
-// score column, rank-ordered BitmapIndex built once). The process then
-// reads one JSON request object per stdin line and writes one JSON
-// response object per stdout line until EOF — detection queries are
-// cached, and `update`/`append` requests maintain the ranking and
-// index incrementally instead of rebuilding (see
-// src/service/jsonl_service.h for the protocol and README.md for a
-// worked transcript).
+// score column, rank-ordered BitmapIndex built once) and registered in
+// a SessionCatalog as "default". The JSONL protocol's catalog ops
+// (`open`, `close`, `list`, `use`) manage further named sessions over
+// other CSVs at runtime; plain requests keep hitting "default" so
+// single-table scripts need no session plumbing.
+//
+// Without --listen, the process reads one JSON request object per
+// stdin line and writes one JSON response object per stdout line until
+// EOF. With --listen PORT it serves the same protocol to concurrent
+// TCP connections (per-connection input-order responses) until SIGINT
+// or SIGTERM, which drains in-flight requests and exits 0 — see
+// src/service/jsonl_service.h for the protocol and README.md for
+// worked transcripts.
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
+#include "common/signals.h"
+#include "common/socket.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "service/jsonl_service.h"
-#include "tool_common.h"
+#include "service/net/socket_server.h"
+#include "service/session_catalog.h"
+#include "service/table_loader.h"
 
 namespace fairtopk {
 namespace {
@@ -47,6 +60,9 @@ struct Args {
   int workers = 1;
   bool ordered = false;
   int batch_workers = 0;
+  int listen_port = -1;  // -1 = stdin/stdout mode
+  std::string host = "127.0.0.1";
+  int max_pending = 0;
 };
 
 void PrintUsage(std::FILE* out) {
@@ -54,12 +70,15 @@ void PrintUsage(std::FILE* out) {
       out,
       "usage: fairtopk_serve --csv data.csv --rank-by column [options]\n"
       "\n"
-      "Serves an audit session over the CSV: reads one JSON request per\n"
-      "stdin line, writes one JSON response per stdout line until EOF.\n"
-      "Ops: detect, detect_batch, capabilities, suggest, verify, rerank,\n"
-      "update, append, stats, invalidate (see README.md, \"Serving\n"
-      "audits\"; capabilities lists every registered detector with its\n"
-      "parameter schema).\n"
+      "Serves audit sessions over the CSV: reads one JSON request per\n"
+      "stdin line, writes one JSON response per stdout line until EOF —\n"
+      "or, with --listen, serves the same protocol to concurrent TCP\n"
+      "connections until SIGINT/SIGTERM. Ops: detect, detect_batch,\n"
+      "capabilities, suggest, verify, rerank, update, append, stats,\n"
+      "invalidate, plus the session catalog: open, close, list, use\n"
+      "(see README.md, \"Serving audits\" and \"Network serving\";\n"
+      "capabilities lists every registered detector with its parameter\n"
+      "schema). The startup CSV is session \"default\".\n"
       "\n"
       "Options:\n"
       "  --csv PATH             input CSV file (required)\n"
@@ -86,13 +105,25 @@ void PrintUsage(std::FILE* out) {
       "                         0 disables)\n"
       "  --workers N            request lines executed concurrently\n"
       "                         (default 1 = serial; 0 = hardware\n"
-      "                         concurrency). Responses stream in\n"
-      "                         completion order, tagged by request id\n"
-      "  --ordered              with --workers, reorder responses into\n"
-      "                         input order before flushing\n"
+      "                         concurrency). On stdin, responses\n"
+      "                         stream in completion order, tagged by\n"
+      "                         request id; on TCP the pool is shared\n"
+      "                         by all connections\n"
+      "  --ordered              with --workers on stdin, reorder\n"
+      "                         responses into input order (TCP\n"
+      "                         connections are always ordered)\n"
       "  --batch-workers N      pool running detect_batch members\n"
       "                         concurrently (default 0 = serial;\n"
       "                         multiplies with per-query --threads)\n"
+      "  --listen PORT          serve TCP on --host instead of stdin\n"
+      "                         (0 picks an ephemeral port, printed on\n"
+      "                         stderr); SIGINT/SIGTERM drains and\n"
+      "                         exits 0\n"
+      "  --host ADDR            numeric address to bind\n"
+      "                         (default 127.0.0.1)\n"
+      "  --max-pending N        per-connection / stdin-loop bound on\n"
+      "                         admitted-but-unanswered lines\n"
+      "                         (default 4 * workers)\n"
       "  --help                 print this message and exit\n");
 }
 
@@ -177,6 +208,16 @@ bool ParseArgs(int argc, char** argv, Args& args, bool& help) {
       const char* v = next("--drop");
       if (v == nullptr) return false;
       args.drop = Split(v, ',');
+    } else if (flag == "--listen") {
+      if (!next_int("--listen", 0, 65535, args.listen_port)) return false;
+    } else if (flag == "--host") {
+      const char* v = next("--host");
+      if (v == nullptr) return false;
+      args.host = v;
+    } else if (flag == "--max-pending") {
+      if (!next_int("--max-pending", 0, 1 << 20, args.max_pending)) {
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       PrintUsage(stderr);
@@ -188,6 +229,12 @@ bool ParseArgs(int argc, char** argv, Args& args, bool& help) {
     return false;
   }
   return true;
+}
+
+int ResolveWorkers(int workers) {
+  if (workers != 0) return workers;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
 int RunServe(const Args& args) {
@@ -224,21 +271,73 @@ int RunServe(const Args& args) {
   defaults.bounds.lower_fraction = args.lower_fraction;
   defaults.bounds.alpha = args.alpha;
 
-  ServeOptions serve_options;
-  serve_options.workers = args.workers;
-  if (serve_options.workers == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    serve_options.workers = hw == 0 ? 1 : static_cast<int>(hw);
+  // Both modes serve a catalog so `open`/`close`/`list`/`use` work; the
+  // startup CSV is "default", which plain requests route to.
+  SessionCatalog catalog;
+  const size_t attributes = session->space().num_attributes();
+  if (Status adopted = catalog.Adopt("default", std::move(session).value(),
+                                     std::move(defaults));
+      !adopted.ok()) {
+    std::fprintf(stderr, "%s\n", adopted.ToString().c_str());
+    return 1;
   }
-  serve_options.ordered = args.ordered;
+  JsonlService service(&catalog, "default");
+  const int workers = ResolveWorkers(args.workers);
 
+  if (args.listen_port < 0) {
+    ServeOptions serve_options;
+    serve_options.workers = workers;
+    serve_options.ordered = args.ordered;
+    serve_options.max_pending = static_cast<size_t>(args.max_pending);
+    std::fprintf(stderr,
+                 "session ready: %d rows, %zu pattern attributes, "
+                 "%d worker(s)%s\n",
+                 n, attributes, serve_options.workers,
+                 serve_options.ordered ? " (ordered)" : "");
+    service.Serve(std::cin, std::cout, serve_options);
+    return 0;
+  }
+
+  // TCP mode. The signal pipe is installed BEFORE the listener opens:
+  // a SIGTERM racing startup must still win a clean drain, not the
+  // default kill.
+  Result<int> signal_fd = InstallShutdownSignalPipe();
+  if (!signal_fd.ok()) {
+    std::fprintf(stderr, "%s\n", signal_fd.status().ToString().c_str());
+    return 1;
+  }
+  Result<TcpListener> listener = TcpListener::Listen(
+      args.host, static_cast<uint16_t>(args.listen_port));
+  if (!listener.ok()) {
+    std::fprintf(stderr, "%s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  SocketServerOptions server_options;
+  server_options.workers = workers;
+  server_options.max_pending = static_cast<size_t>(args.max_pending);
+  SocketServer server(&service, std::move(listener).value(), server_options);
+  server.Start();
   std::fprintf(stderr,
                "session ready: %d rows, %zu pattern attributes, "
-               "%d worker(s)%s\n",
-               n, session->space().num_attributes(), serve_options.workers,
-               serve_options.ordered ? " (ordered)" : "");
-  JsonlService service(&session.value(), defaults);
-  service.Serve(std::cin, std::cout, serve_options);
+               "%d worker(s)\n",
+               n, attributes, workers);
+  // The smoke driver parses this exact line for the ephemeral port.
+  std::fprintf(stderr, "listening on %s:%u\n", args.host.c_str(),
+               static_cast<unsigned>(server.port()));
+
+  // Block until SIGINT/SIGTERM; the handler writes one byte to the
+  // pipe (async-signal-safe), this read is the synchronous other end.
+  char byte;
+  ssize_t got;
+  do {
+    got = ::read(*signal_fd, &byte, 1);
+  } while (got < 0 && errno == EINTR);
+  std::fprintf(stderr,
+               "shutting down: draining in-flight requests "
+               "(%zu connection(s) served)\n",
+               server.connections_accepted());
+  server.RequestShutdown();
+  server.Wait();
   return 0;
 }
 
