@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "datagen/compas_like.h"
+#include "index/kernels/kernels.h"
 #include "datagen/synthetic.h"
 #include "detect/detection_result.h"
 #include "detect/global_bounds.h"
@@ -120,6 +121,75 @@ void BM_ScoreRanker(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScoreRanker);
+
+// Raw kernel sweeps, sized in 64-bit WORDS (arg): the fused
+// AND+dual-popcount (and_counts) and its materializing sibling
+// (assign_and_count), with the prefix cut at half the bits so both the
+// full-word and masked-word paths stay hot. BM_*Scalar twins force the
+// scalar reference table, so dispatched-vs-scalar is measurable in one
+// run; the dispatched variants follow FAIRTOPK_KERNEL, and the JSON
+// context's "fairtopk_kernel" field records which table they used.
+struct KernelBenchInput {
+  std::vector<uint64_t> a, b, dst;
+  size_t k_full = 0;
+  uint64_t k_mask = 0;
+
+  explicit KernelBenchInput(size_t words) : a(words), b(words), dst(words) {
+    Rng rng(words);
+    for (size_t i = 0; i < words; ++i) {
+      a[i] = rng.NextUint64();
+      b[i] = rng.NextUint64();
+    }
+    kernels::SplitPrefix(words * 32 + 7, &k_full, &k_mask);
+  }
+};
+
+void RunAndCounts(benchmark::State& state) {
+  KernelBenchInput in(static_cast<size_t>(state.range(0)));
+  const kernels::KernelOps& ops = kernels::Active();
+  size_t total = 0, prefix = 0;
+  for (auto _ : state) {
+    ops.and_counts(in.a.data(), in.b.data(), in.a.size(), in.k_full, in.k_mask,
+                   &total, &prefix);
+    benchmark::DoNotOptimize(total);
+    benchmark::DoNotOptimize(prefix);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(in.a.size()) * 16);
+}
+
+void RunAssignAndCount(benchmark::State& state) {
+  KernelBenchInput in(static_cast<size_t>(state.range(0)));
+  const kernels::KernelOps& ops = kernels::Active();
+  size_t total = 0, prefix = 0;
+  for (auto _ : state) {
+    ops.assign_and_count(in.dst.data(), in.a.data(), in.b.data(), in.a.size(),
+                         in.k_full, in.k_mask, &total, &prefix);
+    benchmark::DoNotOptimize(in.dst.data());
+    benchmark::DoNotOptimize(total);
+    benchmark::DoNotOptimize(prefix);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(in.a.size()) * 24);
+}
+
+void BM_AndCounts(benchmark::State& state) { RunAndCounts(state); }
+BENCHMARK(BM_AndCounts)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_AndCountsScalar(benchmark::State& state) {
+  kernels::ScopedKernel scalar("scalar");
+  RunAndCounts(state);
+}
+BENCHMARK(BM_AndCountsScalar)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_AssignAndCount(benchmark::State& state) { RunAssignAndCount(state); }
+BENCHMARK(BM_AssignAndCount)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_AssignAndCountScalar(benchmark::State& state) {
+  kernels::ScopedKernel scalar("scalar");
+  RunAssignAndCount(state);
+}
+BENCHMARK(BM_AssignAndCountScalar)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
 
 void BM_PatternCursorChildCounts(benchmark::State& state) {
   const DetectionInput& input = CompasInput();
@@ -364,3 +434,15 @@ BENCHMARK(BM_DetectGlobalIterTDThreads)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 }  // namespace fairtopk
+
+// Custom main (instead of benchmark_main) so every JSON report carries
+// the kernel table the dispatched benchmarks ran on — bench_compare's
+// kernel-conditional gates key off this context field.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("fairtopk_kernel", fairtopk::kernels::ActiveName());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "detect/itertd.h"
 #include "detect/prop_bounds.h"
 #include "detect/upper_bounds.h"
+#include "index/kernels/kernels.h"
 
 namespace fairtopk::api {
 
@@ -131,6 +132,13 @@ Result<const DetectorDescriptor*> DetectorRegistry::Resolve(
 std::string CapabilitiesJson(const DetectorRegistry& registry) {
   JsonWriter w;
   w.BeginObject();
+  // The bitset kernel this process dispatches through (startup-selected,
+  // FAIRTOPK_KERNEL overridable) and every variant this build/CPU could
+  // run — so a deployment can verify what the server picked.
+  w.Key("kernel").String(kernels::ActiveName());
+  w.Key("kernels_available").BeginArray();
+  for (const char* name : kernels::AvailableKernels()) w.String(name);
+  w.EndArray();
   w.Key("detectors").BeginArray();
   for (const DetectorDescriptor& d : registry.detectors()) {
     w.BeginObject();

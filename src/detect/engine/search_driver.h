@@ -133,7 +133,9 @@ void SequentialTopDown(const BitmapIndex& index, const SearchParams& params,
   internal::DescendFrom(index, params, node, 0, cursor, visitor, visited);
   if (stats != nullptr) {
     stats->nodes_visited += visited;
-    stats->cursor_reuse_hits += cursor.reuse_hits();
+    // Consume the delta, never the lifetime counter: a cursor reused
+    // across search phases must contribute each hit exactly once.
+    stats->cursor_reuse_hits += cursor.TakeReuseHits();
     stats->cpu_seconds += timer.ElapsedSeconds();
   }
 }
@@ -197,7 +199,7 @@ void ShardedTopDown(const BitmapIndex& index, const SearchParams& params,
       }
       node.SetValue(b.attr, Pattern::kUnspecified);
     }
-    ws.cursor_reuse_hits = cursor.reuse_hits();
+    ws.cursor_reuse_hits += cursor.TakeReuseHits();
     // Per-worker busy time; Merge() folds these into cpu_seconds (and
     // never into the wall-clock `seconds`, which the entry point owns).
     ws.cpu_seconds = timer.ElapsedSeconds();
@@ -345,7 +347,7 @@ void VisitBelowFrom(const BitmapIndex& index, const SearchParams& params,
                         cursor, visitor, visited);
   if (stats != nullptr) {
     stats->nodes_visited += visited;
-    stats->cursor_reuse_hits += cursor.reuse_hits();
+    stats->cursor_reuse_hits += cursor.TakeReuseHits();
   }
 }
 

@@ -1,27 +1,13 @@
 #include "index/bitset.h"
 
-#include <bit>
 #include <cassert>
+
+#include "index/kernels/kernels.h"
 
 namespace fairtopk {
 
 namespace {
 constexpr size_t kWordBits = 64;
-
-/// Per-word popcount. With hardware support compiled in (-mpopcnt /
-/// x86-64-v2, or any AArch64), std::popcount is a single instruction;
-/// otherwise GCC lowers it to a libgcc CALL per word, which dominated
-/// the counting loops — so fall back to an inline SWAR popcount there.
-inline size_t PopCount(uint64_t w) {
-#if defined(__POPCNT__) || defined(__aarch64__)
-  return static_cast<size_t>(std::popcount(w));
-#else
-  w = w - ((w >> 1) & 0x5555555555555555ULL);
-  w = (w & 0x3333333333333333ULL) + ((w >> 2) & 0x3333333333333333ULL);
-  w = (w + (w >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
-  return static_cast<size_t>((w * 0x0101010101010101ULL) >> 56);
-#endif
-}
 
 size_t WordsFor(size_t num_bits) {
   return (num_bits + kWordBits - 1) / kWordBits;
@@ -30,6 +16,11 @@ size_t WordsFor(size_t num_bits) {
 // Mask selecting the first `bits` bits of a word (bits in [0, 64]).
 uint64_t PrefixMask(size_t bits) {
   return bits >= kWordBits ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+}
+
+// Number of words a kernel must touch to cover a k-bit prefix.
+size_t PrefixSpan(size_t k_full, uint64_t k_mask) {
+  return k_full + (k_mask != 0 ? 1 : 0);
 }
 }  // namespace
 
@@ -53,50 +44,39 @@ bool Bitset::Test(size_t pos) const {
 
 size_t Bitset::Count() const {
   size_t total = 0;
-  for (uint64_t w : words_) total += PopCount(w);
+  size_t prefix = 0;
+  kernels::Active().counts(words_.data(), words_.size(), 0, 0, &total,
+                           &prefix);
   return total;
 }
 
 size_t Bitset::CountPrefix(size_t k) const {
   assert(k <= num_bits_);
+  size_t k_full = 0;
+  uint64_t k_mask = 0;
+  kernels::SplitPrefix(k, &k_full, &k_mask);
   size_t total = 0;
-  size_t full_words = k / kWordBits;
-  for (size_t i = 0; i < full_words; ++i) {
-    total += PopCount(words_[i]);
-  }
-  size_t rem = k % kWordBits;
-  if (rem != 0) {
-    total += PopCount(words_[full_words] & PrefixMask(rem));
-  }
-  return total;
+  size_t prefix = 0;
+  // Only the prefix span is scanned; the kernel's `total` over that
+  // span is discarded.
+  kernels::Active().counts(words_.data(), PrefixSpan(k_full, k_mask), k_full,
+                           k_mask, &total, &prefix);
+  return prefix;
 }
 
 void Bitset::Counts(size_t k, size_t* total, size_t* prefix) const {
   assert(k <= num_bits_);
-  const size_t full_words = k / kWordBits;
-  const size_t rem = k % kWordBits;
-  size_t in_prefix = 0;
-  size_t all = 0;
-  for (size_t i = 0; i < full_words; ++i) {
-    const size_t c = PopCount(words_[i]);
-    in_prefix += c;
-    all += c;
-  }
-  if (rem != 0) {
-    const uint64_t w = words_[full_words];
-    in_prefix += PopCount(w & PrefixMask(rem));
-    all += PopCount(w);
-  }
-  for (size_t i = full_words + (rem != 0 ? 1 : 0); i < words_.size(); ++i) {
-    all += PopCount(words_[i]);
-  }
-  *total = all;
-  *prefix = in_prefix;
+  size_t k_full = 0;
+  uint64_t k_mask = 0;
+  kernels::SplitPrefix(k, &k_full, &k_mask);
+  kernels::Active().counts(words_.data(), words_.size(), k_full, k_mask,
+                           total, prefix);
 }
 
 void Bitset::AndWith(const Bitset& other) {
   assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  kernels::Active().and_with(words_.data(), other.words_.data(),
+                             words_.size());
 }
 
 void Bitset::CopyFrom(const Bitset& other) {
@@ -118,60 +98,57 @@ void Bitset::Resize(size_t num_bits) {
 size_t Bitset::AndCount(const Bitset& other) const {
   assert(num_bits_ == other.num_bits_);
   size_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += PopCount(words_[i] & other.words_[i]);
-  }
+  size_t prefix = 0;
+  kernels::Active().and_counts(words_.data(), other.words_.data(),
+                               words_.size(), 0, 0, &total, &prefix);
   return total;
 }
 
 size_t Bitset::AndCountPrefix(const Bitset& other, size_t k) const {
   assert(num_bits_ == other.num_bits_);
   assert(k <= num_bits_);
+  size_t k_full = 0;
+  uint64_t k_mask = 0;
+  kernels::SplitPrefix(k, &k_full, &k_mask);
   size_t total = 0;
-  size_t full_words = k / kWordBits;
-  for (size_t i = 0; i < full_words; ++i) {
-    total += PopCount(words_[i] & other.words_[i]);
-  }
-  size_t rem = k % kWordBits;
-  if (rem != 0) {
-    total += PopCount(words_[full_words] & other.words_[full_words] &
-                      PrefixMask(rem));
-  }
-  return total;
+  size_t prefix = 0;
+  kernels::Active().and_counts(words_.data(), other.words_.data(),
+                               PrefixSpan(k_full, k_mask), k_full, k_mask,
+                               &total, &prefix);
+  return prefix;
 }
 
 void Bitset::AndCounts(const Bitset& other, size_t k, size_t* total,
                        size_t* prefix) const {
   assert(num_bits_ == other.num_bits_);
   assert(k <= num_bits_);
-  const size_t full_words = k / kWordBits;
-  const size_t rem = k % kWordBits;
-  size_t in_prefix = 0;
-  size_t all = 0;
-  for (size_t i = 0; i < full_words; ++i) {
-    const size_t c = PopCount(words_[i] & other.words_[i]);
-    in_prefix += c;
-    all += c;
-  }
-  if (rem != 0) {
-    const uint64_t w = words_[full_words] & other.words_[full_words];
-    in_prefix += PopCount(w & PrefixMask(rem));
-    all += PopCount(w);
-  }
-  for (size_t i = full_words + (rem != 0 ? 1 : 0); i < words_.size(); ++i) {
-    all += PopCount(words_[i] & other.words_[i]);
-  }
-  *total = all;
-  *prefix = in_prefix;
+  size_t k_full = 0;
+  uint64_t k_mask = 0;
+  kernels::SplitPrefix(k, &k_full, &k_mask);
+  kernels::Active().and_counts(words_.data(), other.words_.data(),
+                               words_.size(), k_full, k_mask, total, prefix);
 }
 
 void Bitset::AssignAnd(const Bitset& a, const Bitset& b) {
   assert(a.num_bits_ == b.num_bits_);
   num_bits_ = a.num_bits_;
   words_.resize(a.words_.size());
-  for (size_t i = 0; i < words_.size(); ++i) {
-    words_[i] = a.words_[i] & b.words_[i];
-  }
+  kernels::Active().assign_and(words_.data(), a.words_.data(),
+                               b.words_.data(), words_.size());
+}
+
+void Bitset::AssignAndCount(const Bitset& a, const Bitset& b, size_t k,
+                            size_t* total, size_t* prefix) {
+  assert(a.num_bits_ == b.num_bits_);
+  assert(k <= a.num_bits_);
+  num_bits_ = a.num_bits_;
+  words_.resize(a.words_.size());
+  size_t k_full = 0;
+  uint64_t k_mask = 0;
+  kernels::SplitPrefix(k, &k_full, &k_mask);
+  kernels::Active().assign_and_count(words_.data(), a.words_.data(),
+                                     b.words_.data(), words_.size(), k_full,
+                                     k_mask, total, prefix);
 }
 
 }  // namespace fairtopk

@@ -1,6 +1,8 @@
 // Fixed-size dynamic bitset with the popcount primitives the pattern
 // counting engine needs: full-AND cardinality and prefix-AND
-// cardinality (count of set bits among the first k positions).
+// cardinality (count of set bits among the first k positions). All
+// word-loop work dispatches through the runtime-selected SIMD kernel
+// table (index/kernels/kernels.h).
 #ifndef FAIRTOPK_INDEX_BITSET_H_
 #define FAIRTOPK_INDEX_BITSET_H_
 
@@ -41,8 +43,9 @@ class Bitset {
   /// In-place intersection with `other` (same size required).
   void AndWith(const Bitset& other);
 
-  /// Copies `other` into this bitset (sizes must match, or this is
-  /// re-sized to match).
+  /// Copies `other` into this bitset, adopting its size (this bitset
+  /// is always re-sized to match — the sizes need not agree
+  /// beforehand).
   void CopyFrom(const Bitset& other);
 
   /// Changes the size to `num_bits`, preserving the common prefix.
@@ -64,6 +67,14 @@ class Bitset {
 
   /// Overwrites this bitset with (a AND b); resizes to match.
   void AssignAnd(const Bitset& a, const Bitset& b);
+
+  /// AssignAnd(a, b) plus AndCounts(…, k) of the result in ONE pass
+  /// over the words: materializes the intersection and reports its
+  /// total/prefix cardinalities without re-reading it. The fused form
+  /// the cursor uses to make a child frame and its counts cost a
+  /// single sweep.
+  void AssignAndCount(const Bitset& a, const Bitset& b, size_t k,
+                      size_t* total, size_t* prefix);
 
   /// Raw 64-bit words (unused high bits are zero).
   const std::vector<uint64_t>& words() const { return words_; }

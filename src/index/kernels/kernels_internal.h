@@ -1,0 +1,45 @@
+// Internal seams between the kernel dispatcher (kernels.cc) and the
+// per-instruction-set translation units. Each variant TU implements its
+// accessor; when the TU is compiled without the matching target flags
+// (unsupported compiler, non-x86 target) the accessor returns nullptr
+// and the dispatcher never offers the variant.
+#ifndef FAIRTOPK_INDEX_KERNELS_KERNELS_INTERNAL_H_
+#define FAIRTOPK_INDEX_KERNELS_KERNELS_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "index/kernels/kernels.h"
+
+namespace fairtopk::kernels::internal {
+
+/// The portable reference kernels — always available, and the oracle
+/// the differential kernel tests compare every variant against.
+const KernelOps& ScalarKernels();
+
+/// Variant tables, or nullptr when not compiled in. Availability at
+/// runtime additionally requires the CPU feature probe in kernels.cc —
+/// these accessors only answer "was this TU built with the ISA?".
+const KernelOps* Avx2KernelsOrNull();
+const KernelOps* Avx512KernelsOrNull();
+const KernelOps* NeonKernelsOrNull();
+
+/// Per-word popcount shared by the scalar kernels and every variant's
+/// tail loop. With hardware support compiled in (-mpopcnt /
+/// x86-64-v2, or any AArch64), std::popcount is a single instruction;
+/// otherwise GCC lowers it to a libgcc CALL per word — so fall back to
+/// an inline SWAR popcount there.
+inline size_t PopCount64(uint64_t w) {
+#if defined(__POPCNT__) || defined(__aarch64__)
+  return static_cast<size_t>(__builtin_popcountll(w));
+#else
+  w = w - ((w >> 1) & 0x5555555555555555ULL);
+  w = (w & 0x3333333333333333ULL) + ((w >> 2) & 0x3333333333333333ULL);
+  w = (w + (w >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  return static_cast<size_t>((w * 0x0101010101010101ULL) >> 56);
+#endif
+}
+
+}  // namespace fairtopk::kernels::internal
+
+#endif  // FAIRTOPK_INDEX_KERNELS_KERNELS_INTERNAL_H_

@@ -1,15 +1,32 @@
 #include "index/pattern_cursor.h"
 
+#include <algorithm>
+
 namespace fairtopk {
 
 void PatternCursor::Push(size_t attr, int16_t value) {
-  if (frames_.size() <= depth_) frames_.emplace_back();
   const Bitset& bits = index_->ValueBitset(attr, value);
   if (depth_ == 0) {
-    frames_[0].CopyFrom(bits);
+    // (Re)configure the arena for this traversal's frame width. A
+    // pattern specifies each attribute at most once, so the stack
+    // never exceeds num_attributes frames — plus one scratch slot for
+    // the speculative child materialization.
+    const size_t words = bits.words().size();
+    if (frame_words_ != words || arena_.empty()) {
+      frame_words_ = words;
+      arena_.assign((index_->space().num_attributes() + 1) * words, 0);
+    }
+    std::copy(bits.words().begin(), bits.words().end(), Frame(0));
+  } else if (scratch_valid_ && scratch_attr_ == attr &&
+             scratch_value_ == value) {
+    // ChildCounts(attr, value) already materialized this child into
+    // the scratch slot — committing it is free.
   } else {
-    frames_[depth_].AssignAnd(frames_[depth_ - 1], bits);
+    assert(bits.words().size() == frame_words_);
+    kernels::Active().assign_and(Frame(depth_), Frame(depth_ - 1),
+                                 bits.words().data(), frame_words_);
   }
+  scratch_valid_ = false;
   ++depth_;
 }
 

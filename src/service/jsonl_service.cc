@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "index/kernels/kernels.h"
 #include "report/json_report.h"
 
 namespace fairtopk {
@@ -537,6 +538,9 @@ Result<std::string> JsonlService::HandleStats(const Target& target,
   w.BeginObject();
   w.Key("num_rows").Uint(target.session->num_rows());
   w.Key("pattern_attributes").Uint(target.session->space().num_attributes());
+  // Which bitset kernel variant this process dispatched to at startup
+  // (scalar/avx2/avx512/neon; see index/kernels/kernels.h).
+  w.Key("kernel").String(kernels::ActiveName());
   w.Key("cache_entries").Uint(target.session->cache_size());
   w.Key("detect_queries").Uint(stats.detect_queries);
   w.Key("cache_hits").Uint(stats.cache_hits);

@@ -163,6 +163,20 @@ TEST_F(JsonlServiceTest, CapabilitiesListsAllRegisteredDetectors) {
       "GlobalIterTD", "PropIterTD",        "GlobalBounds",
       "PropBounds",   "GlobalUpperBounds", "PropUpperBounds"};
   EXPECT_EQ(names, expected);
+
+  // The startup-selected bitset kernel is part of the capability
+  // surface: a named variant that appears in the available list.
+  const std::string kernel = v.Find("data")->StringOr("kernel", "");
+  EXPECT_FALSE(kernel.empty());
+  const JsonValue* available = v.Find("data")->Find("kernels_available");
+  ASSERT_NE(available, nullptr);
+  ASSERT_TRUE(available->is_array());
+  bool kernel_listed = false;
+  for (const JsonValue& name : available->array_items()) {
+    if (name.string_value() == kernel) kernel_listed = true;
+  }
+  EXPECT_TRUE(kernel_listed);
+  EXPECT_EQ(available->array_items().back().string_value(), "scalar");
 }
 
 TEST_F(JsonlServiceTest, DetectBatchDedupesAndAlignsResults) {
@@ -321,6 +335,9 @@ TEST_F(JsonlServiceTest, StatsAndInvalidate) {
   EXPECT_DOUBLE_EQ(data->NumberOr("detect_queries", 0), 2.0);
   EXPECT_DOUBLE_EQ(data->NumberOr("cache_hits", 0), 1.0);
   EXPECT_DOUBLE_EQ(data->NumberOr("cache_entries", 0), 1.0);
+  // The serving stats surface which bitset kernel this process
+  // dispatches through (matches the capabilities op).
+  EXPECT_FALSE(data->StringOr("kernel", "").empty());
 
   JsonValue inv = ExpectOk(R"({"op":"invalidate"})");
   EXPECT_DOUBLE_EQ(inv.Find("data")->NumberOr("cache_entries", -1), 0.0);

@@ -84,6 +84,89 @@ TEST(PatternCursorTest, DeepChildCountsMatchIndexAcrossPushPop) {
   EXPECT_EQ(top_k, index.TopKCount(sibling, k));
 }
 
+// Regression for the reuse-hit accounting contract: reuse_hits() is
+// cumulative over the cursor's lifetime (surviving Reset), while stats
+// plumbing must consume per-phase deltas via TakeReuseHits(). A cursor
+// reused across search phases must contribute each hit exactly once —
+// assigning or re-accumulating the lifetime counter double-counts.
+TEST(PatternCursorTest, TakeReuseHitsConsumesPerPhaseDeltas) {
+  DetectionInput input = RandomInput(13);
+  PatternCursor cursor(input.index());
+  const size_t k = 20;
+  size_t size_d = 0;
+  size_t top_k = 0;
+
+  // Phase 1: three depth>=1 evaluations.
+  cursor.Push(0, 0);
+  for (int16_t v = 0; v < 3; ++v) cursor.ChildCounts(1, v, k, &size_d, &top_k);
+  EXPECT_EQ(cursor.reuse_hits(), 3u);
+  EXPECT_EQ(cursor.TakeReuseHits(), 3u);
+  // Already consumed: an immediate second take yields nothing.
+  EXPECT_EQ(cursor.TakeReuseHits(), 0u);
+  EXPECT_EQ(cursor.reuse_hits(), 3u);
+
+  // Phase 2 on the SAME cursor: Reset keeps the lifetime counter, and
+  // the next take reports only this phase's hits.
+  cursor.Reset();
+  cursor.Push(2, 1);
+  for (int16_t v = 0; v < 2; ++v) cursor.ChildCounts(3, v, k, &size_d, &top_k);
+  EXPECT_EQ(cursor.reuse_hits(), 5u);
+  EXPECT_EQ(cursor.TakeReuseHits(), 2u);
+  EXPECT_EQ(cursor.TakeReuseHits(), 0u);
+}
+
+// The fused ChildCounts materializes the counted child into the scratch
+// frame; a Push of that same child commits it without a second AND
+// pass. Descending further must still produce exact counts — and a Push
+// of a DIFFERENT child than the last ChildCounts must not commit the
+// memoized frame.
+TEST(PatternCursorTest, FusedChildCountsThenPushDescendsCorrectly) {
+  DetectionInput input = RandomInput(17);
+  const BitmapIndex& index = input.index();
+  const size_t attrs = input.space().num_attributes();
+  PatternCursor cursor(input.index());
+  const size_t k = 35;
+  size_t size_d = 0;
+  size_t top_k = 0;
+
+  // Count-then-descend (the search driver's hot sequence): the Push
+  // commits the scratch frame from the preceding ChildCounts.
+  cursor.Push(0, 1);
+  cursor.ChildCounts(1, 2, k, &size_d, &top_k);
+  cursor.Push(1, 2);
+  ASSERT_EQ(cursor.depth(), 2u);
+  cursor.ChildCounts(2, 0, k, &size_d, &top_k);
+  Pattern grandchild = testing::PatternOf(attrs, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(size_d, index.PatternCount(grandchild));
+  EXPECT_EQ(top_k, index.TopKCount(grandchild, k));
+
+  // Mismatch path: count X, count Y, then push X — the scratch frame
+  // holds Y and must NOT be committed for X.
+  cursor.Reset();
+  cursor.Push(0, 1);
+  cursor.ChildCounts(1, 0, k, &size_d, &top_k);
+  cursor.ChildCounts(1, 2, k, &size_d, &top_k);
+  cursor.Push(1, 0);
+  cursor.ChildCounts(2, 1, k, &size_d, &top_k);
+  Pattern mismatch = testing::PatternOf(attrs, {{0, 1}, {1, 0}, {2, 1}});
+  EXPECT_EQ(size_d, index.PatternCount(mismatch));
+  EXPECT_EQ(top_k, index.TopKCount(mismatch, k));
+
+  // Pop invalidates the memo: counting a child, popping, re-pushing to
+  // the same depth, then pushing that child's coordinates must re-AND
+  // against the NEW parent, not commit the stale frame.
+  cursor.Reset();
+  cursor.Push(0, 1);
+  cursor.ChildCounts(1, 2, k, &size_d, &top_k);
+  cursor.Pop();
+  cursor.Push(0, 0);
+  cursor.Push(1, 2);
+  cursor.ChildCounts(3, 1, k, &size_d, &top_k);
+  Pattern refreshed = testing::PatternOf(attrs, {{0, 0}, {1, 2}, {3, 1}});
+  EXPECT_EQ(size_d, index.PatternCount(refreshed));
+  EXPECT_EQ(top_k, index.TopKCount(refreshed, k));
+}
+
 TEST(PatternCursorTest, SeedFromMatchesManualPushes) {
   DetectionInput input = RandomInput(11);
   const BitmapIndex& index = input.index();

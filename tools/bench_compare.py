@@ -5,6 +5,7 @@ Usage:
   bench_compare.py BASELINE.json CURRENT.json [--max-ratio X]
                    [--benchmarks name1,name2,...]
                    [--min-speedup SLOW_NAME,FAST_NAME,X]...
+                   [--min-speedup-when-kernel KERNELS,SLOW,FAST,X]...
 
 Checks, in order:
   * Regression gate: for every benchmark present in BOTH files (or only
@@ -19,6 +20,13 @@ Checks, in order:
     is machine-independent (both numbers come from the same run), so it
     can gate properties like "4 serving workers are at least 2x the
     throughput of 1" on any CI hardware.
+  * Kernel-conditional speedups: --min-speedup-when-kernel KERNELS,SLOW,
+    FAST,X is the same intra-run assertion, but applied only when
+    CURRENT's context reports a "fairtopk_kernel" in the |-separated
+    KERNELS list (bench_micro's custom main stamps the selected bitset
+    kernel there). This lets the SIMD-vs-scalar gate run hard on AVX2/
+    AVX-512 machines while a scalar-only CI runner skips it instead of
+    failing.
 
 Exit code 0 when every gate passes, 1 otherwise.
 """
@@ -28,8 +36,8 @@ import json
 import sys
 
 
-def load_times(path):
-    """Returns {benchmark name: real_time in ns} for a benchmark JSON file."""
+def load_report(path):
+    """Returns ({benchmark name: real_time in ns}, context dict)."""
     with open(path) as f:
         doc = json.load(f)
     times = {}
@@ -37,7 +45,22 @@ def load_times(path):
         if bench.get("run_type") == "aggregate":
             continue
         times[bench["name"]] = float(bench["real_time"])
-    return times
+    return times, doc.get("context", {})
+
+
+def check_min_speedup(current, slow, fast, minimum, failures):
+    if slow not in current or fast not in current:
+        failures.append(
+            f"--min-speedup names missing from current run: {slow},{fast}")
+        return
+    speedup = current[slow] / current[fast]
+    ok = speedup >= minimum
+    print(f"speedup {slow} / {fast} = {speedup:.2f}x "
+          f"(minimum {minimum:.2f}x){'' if ok else '  << TOO SLOW'}")
+    if not ok:
+        failures.append(
+            f"{fast} is only {speedup:.2f}x faster than {slow} "
+            f"(minimum {minimum:.2f}x)")
 
 
 def main():
@@ -53,10 +76,15 @@ def main():
                         metavar="SLOW,FAST,X",
                         help="assert real_time(SLOW)/real_time(FAST) >= X "
                              "within CURRENT (repeatable)")
+    parser.add_argument("--min-speedup-when-kernel", action="append",
+                        default=[], metavar="KERNELS,SLOW,FAST,X",
+                        help="like --min-speedup, but only enforced when "
+                             "CURRENT's context fairtopk_kernel is in the "
+                             "|-separated KERNELS list (repeatable)")
     args = parser.parse_args()
 
-    baseline = load_times(args.baseline)
-    current = load_times(args.current)
+    baseline, _ = load_report(args.baseline)
+    current, context = load_report(args.current)
     names = ([n for n in args.benchmarks.split(",") if n]
              if args.benchmarks else sorted(current))
 
@@ -84,19 +112,22 @@ def main():
         if len(parts) != 3:
             failures.append(f"bad --min-speedup spec: {spec}")
             continue
-        slow, fast, minimum = parts[0], parts[1], float(parts[2])
-        if slow not in current or fast not in current:
-            failures.append(
-                f"--min-speedup names missing from current run: {spec}")
+        check_min_speedup(current, parts[0], parts[1], float(parts[2]),
+                          failures)
+
+    kernel = context.get("fairtopk_kernel", "")
+    for spec in args.min_speedup_when_kernel:
+        parts = spec.split(",")
+        if len(parts) != 4:
+            failures.append(f"bad --min-speedup-when-kernel spec: {spec}")
             continue
-        speedup = current[slow] / current[fast]
-        ok = speedup >= minimum
-        print(f"speedup {slow} / {fast} = {speedup:.2f}x "
-              f"(minimum {minimum:.2f}x){'' if ok else '  << TOO SLOW'}")
-        if not ok:
-            failures.append(
-                f"{fast} is only {speedup:.2f}x faster than {slow} "
-                f"(minimum {minimum:.2f}x)")
+        kernels = parts[0].split("|")
+        if kernel not in kernels:
+            print(f"skipping kernel-gated speedup {parts[1]} / {parts[2]} "
+                  f"(kernel '{kernel}' not in {parts[0]})")
+            continue
+        check_min_speedup(current, parts[1], parts[2], float(parts[3]),
+                          failures)
 
     if failures:
         print("\nFAIL:", file=sys.stderr)
