@@ -8,6 +8,8 @@
 #include <atomic>
 #include <thread>
 
+#include "common/metrics/metrics.h"
+#include "common/metrics/trace.h"
 #include "common/rng.h"
 #include "datagen/compas_like.h"
 #include "index/kernels/kernels.h"
@@ -281,6 +283,9 @@ void BM_SessionReuseDetect(benchmark::State& state) {
   query.config = DetectionConfig{10, 49, 1000};
   query.bounds = GlobalBoundSpec::PaperDefault(49);
   const bool warm = state.range(0) == 1;
+  // The session is shared across args and repetitions; zero the
+  // service counters so each run's stats reflect itself only.
+  session->ResetStats();
   for (auto _ : state) {
     if (!warm) session->InvalidateCache();
     auto result = session->Detect(query);
@@ -288,6 +293,35 @@ void BM_SessionReuseDetect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SessionReuseDetect)->Arg(0)->Arg(1);
+
+// Instrumentation overhead on the BM_SessionReuseDetect/0 workload
+// (cold-cache detect, the instrumented hot path): arg 0 runs with the
+// metrics kill switch OFF — the per-site cost is one relaxed load and
+// branch, gated in CI to stay within noise of the uninstrumented
+// baseline — and arg 1 runs fully instrumented with a RequestTrace
+// attached (metrics on + span/counter reporting), the everything-on
+// worst case.
+void BM_MetricsOverhead(benchmark::State& state) {
+  static AuditSession* session =
+      new AuditSession(MediumSession(/*rebuild_threshold=*/0.5));
+  api::AuditRequest query;
+  query.detector = "GlobalBounds";
+  query.config = DetectionConfig{10, 49, 1000};
+  query.bounds = GlobalBoundSpec::PaperDefault(49);
+  const bool instrumented = state.range(0) == 1;
+  metrics::SetEnabled(instrumented);
+  session->ResetStats();
+  for (auto _ : state) {
+    // One trace per request, as the serving layer allocates them.
+    metrics::RequestTrace trace;
+    query.trace = instrumented ? &trace : nullptr;
+    session->InvalidateCache();
+    auto result = session->Detect(query);
+    benchmark::DoNotOptimize(result);
+  }
+  metrics::SetEnabled(true);
+}
+BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1);
 
 // Batched serving vs N sequential Detect() calls on the 20k-row
 // synthetic, with the result cache DISABLED (the streaming/serving

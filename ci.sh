@@ -36,7 +36,7 @@ if command -v ccache >/dev/null 2>&1; then
 fi
 
 PERF_BASELINE="${PERF_BASELINE:-BENCH_pr7.json}"
-PERF_BENCHMARKS="BM_DetectGlobalIterTDSmall,BM_SessionReuseDetect/0,BM_SessionReuseDetect/1,BM_ConcurrentDetectThroughput/1/real_time,BM_ConcurrentDetectThroughput/4/real_time,BM_AndCounts/1024,BM_AssignAndCount/1024"
+PERF_BENCHMARKS="BM_DetectGlobalIterTDSmall,BM_SessionReuseDetect/0,BM_SessionReuseDetect/1,BM_ConcurrentDetectThroughput/1/real_time,BM_ConcurrentDetectThroughput/4/real_time,BM_AndCounts/1024,BM_AssignAndCount/1024,BM_MetricsOverhead/0,BM_MetricsOverhead/1"
 
 # Bitset kernel variants the differential test is forced through (an
 # unavailable variant falls back to the automatic choice with a stderr
@@ -130,7 +130,7 @@ stage_perf() {
   fi
   cmake --build build-ci -j "${JOBS}" --target bench_micro
   ./build-ci/bench/bench_micro \
-    --benchmark_filter='BM_DetectGlobalIterTDSmall|BM_SessionReuseDetect|BM_ConcurrentDetectThroughput|BM_AndCounts|BM_AssignAndCount' \
+    --benchmark_filter='BM_DetectGlobalIterTDSmall|BM_SessionReuseDetect|BM_ConcurrentDetectThroughput|BM_AndCounts|BM_AssignAndCount|BM_MetricsOverhead' \
     --benchmark_out=build-ci/bench_current.json \
     --benchmark_out_format=json
   # The SIMD-vs-scalar gate only binds when the run actually dispatched
@@ -146,7 +146,15 @@ stage_perf() {
     --benchmarks "${PERF_BENCHMARKS}" \
     --min-speedup 'BM_ConcurrentDetectThroughput/1/real_time,BM_ConcurrentDetectThroughput/4/real_time,1.5' \
     --min-speedup-when-kernel 'avx2|avx512|neon,BM_AndCountsScalar/1024,BM_AndCounts/1024,2.0' \
-    --min-speedup-when-kernel 'avx2|avx512|neon,BM_AssignAndCountScalar/1024,BM_AssignAndCount/1024,1.5'
+    --min-speedup-when-kernel 'avx2|avx512|neon,BM_AssignAndCountScalar/1024,BM_AssignAndCount/1024,1.5' \
+    --max-ratio-pair 'BM_SessionReuseDetect/0,BM_MetricsOverhead/0,1.02' \
+    --max-ratio-vs 'BM_SessionReuseDetect/0,BM_MetricsOverhead/0,1.10'
+  # Metrics-overhead gates, two forms: the --max-ratio-pair is
+  # machine-independent (BM_MetricsOverhead/0 is BM_SessionReuseDetect/0
+  # plus the disabled instrumentation sites, measured in the same run,
+  # so the ratio IS the overhead and the 2% cap is tight); the
+  # --max-ratio-vs compares against the pre-instrumentation baseline
+  # recording and must absorb machine drift, hence the looser 10%.
   echo "perf smoke green (json: build-ci/bench_current.json)"
 }
 

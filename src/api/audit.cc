@@ -37,6 +37,7 @@ Status RunAuditStream(const DetectionInput& input,
                       const DetectorRegistry& registry) {
   FAIRTOPK_ASSIGN_OR_RETURN(const DetectorDescriptor* descriptor,
                             ResolveRequest(request, registry));
+  metrics::SpanTimer span(request.trace, "search");
   return descriptor->run(input, request.bounds, request.config, sink);
 }
 

@@ -23,6 +23,7 @@
 
 #include "api/bounds_spec.h"
 #include "api/detector_registry.h"
+#include "common/metrics/trace.h"
 #include "common/status.h"
 #include "detect/detection_result.h"
 #include "detect/engine/result_sink.h"
@@ -38,11 +39,20 @@ struct AuditRequest {
   DetectionConfig config;
   BoundsSpec bounds = PropBoundSpec{};
 
+  /// Optional per-request trace hook (not owned; may be null — the
+  /// zero-cost default). When set, RunAuditStream reports a "search"
+  /// span covering the detector run, and the session layer adds
+  /// lock-acquire spans plus the result's DetectionStats counters.
+  /// Excluded from CacheKey: tracing never changes results, so traced
+  /// and untraced queries share cache entries.
+  metrics::TraceSink* trace = nullptr;
+
   /// Canonical cache key: detector name plus the canonical config and
   /// bounds encodings (api/canonical.h). Excludes num_threads —
   /// results are thread-count invariant by the engine's determinism
   /// rule, so a 4-thread query may be served from a sequential run's
-  /// cache entry. Distinct parameterizations yield distinct keys
+  /// cache entry. Excludes `trace` (observability, not
+  /// parameterization). Distinct parameterizations yield distinct keys
   /// (property-tested collision guard).
   std::string CacheKey() const;
 };

@@ -1,0 +1,45 @@
+#include "common/metrics/trace.h"
+
+#include <string_view>
+
+#include "common/json.h"
+
+namespace fairtopk {
+namespace metrics {
+
+namespace {
+
+/// A batch request reports the same phase once per item; the log line
+/// aggregates repeats by summing (total time in that phase), keeping
+/// first-appearance order so the keys stay unique for strict parsers.
+void WriteAggregated(
+    JsonWriter& w, const char* key,
+    const std::vector<std::pair<const char*, uint64_t>>& entries) {
+  std::vector<std::pair<const char*, uint64_t>> totals;
+  for (const auto& [name, value] : entries) {
+    bool merged = false;
+    for (auto& [seen, total] : totals) {
+      if (std::string_view(seen) == name) {
+        total += value;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) totals.emplace_back(name, value);
+  }
+  w.Key(key).BeginObject();
+  for (const auto& [name, total] : totals) {
+    w.Key(name).Uint(total);
+  }
+  w.EndObject();
+}
+
+}  // namespace
+
+void RequestTrace::WriteJsonMembers(JsonWriter& w) const {
+  WriteAggregated(w, "spans", spans_);
+  WriteAggregated(w, "counters", counters_);
+}
+
+}  // namespace metrics
+}  // namespace fairtopk

@@ -1,0 +1,87 @@
+// Opt-in per-request tracing for the serving stack. A request that
+// wants a trace carries a TraceSink* through the layers (wire parse →
+// session acquire → search → serialize); each phase reports one span,
+// and the session layer adds the engine's DetectionStats work
+// counters. A null sink is the zero-cost default — every
+// instrumentation site is one null check.
+#ifndef FAIRTOPK_COMMON_METRICS_TRACE_H_
+#define FAIRTOPK_COMMON_METRICS_TRACE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace fairtopk {
+
+class JsonWriter;
+
+namespace metrics {
+
+/// Receives completed spans and work counters for one request. Span
+/// and counter names must be string literals (the sink keeps the
+/// pointers, not copies). Implementations are called from whichever
+/// thread runs the phase; the built-in RequestTrace is single-request
+/// and not thread-safe, matching the one-request-per-worker serving
+/// model.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// One completed span, reported in completion order.
+  virtual void OnSpan(const char* name, uint64_t micros) = 0;
+  /// One work counter (e.g. the engine's nodes_visited).
+  virtual void OnCounter(const char* name, uint64_t value) = 0;
+};
+
+/// Collects one request's spans and counters for the slow-query log.
+class RequestTrace final : public TraceSink {
+ public:
+  void OnSpan(const char* name, uint64_t micros) override {
+    spans_.emplace_back(name, micros);
+  }
+  void OnCounter(const char* name, uint64_t value) override {
+    counters_.emplace_back(name, value);
+  }
+
+  const std::vector<std::pair<const char*, uint64_t>>& spans() const {
+    return spans_;
+  }
+  const std::vector<std::pair<const char*, uint64_t>>& counters() const {
+    return counters_;
+  }
+
+  /// Writes `"spans":{...},"counters":{...}` members into the object
+  /// currently open on `w`, in completion order.
+  void WriteJsonMembers(JsonWriter& w) const;
+
+ private:
+  std::vector<std::pair<const char*, uint64_t>> spans_;
+  std::vector<std::pair<const char*, uint64_t>> counters_;
+};
+
+/// RAII span: times from construction to Stop() (or destruction) and
+/// reports to the sink. No-op when the sink is null.
+class SpanTimer {
+ public:
+  SpanTimer(TraceSink* sink, const char* name) : sink_(sink), name_(name) {}
+  ~SpanTimer() { Stop(); }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  void Stop() {
+    if (sink_ == nullptr) return;
+    sink_->OnSpan(name_, timer_.ElapsedMicros());
+    sink_ = nullptr;
+  }
+
+ private:
+  TraceSink* sink_;
+  const char* name_;
+  WallTimer timer_;
+};
+
+}  // namespace metrics
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_COMMON_METRICS_TRACE_H_

@@ -22,6 +22,15 @@ class WallTimer {
   /// Milliseconds elapsed since construction or the last Restart().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Whole microseconds elapsed since construction or the last
+  /// Restart(), for the metrics histograms (which bucket integers).
+  unsigned long long ElapsedMicros() const {
+    return static_cast<unsigned long long>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

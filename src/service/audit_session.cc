@@ -4,9 +4,75 @@
 #include <optional>
 #include <utility>
 
+#include "common/metrics/metrics.h"
+#include "common/timer.h"
+
 namespace fairtopk {
 
 namespace {
+
+/// Process-global session metrics, resolved once. Per-session counters
+/// live in SessionServiceStats; these aggregate across every session
+/// for the exposition surfaces.
+struct SessionMetrics {
+  metrics::Histogram& shared_wait;
+  metrics::Histogram& exclusive_wait;
+  metrics::Counter& cache_hit;
+  metrics::Counter& cache_coalesced;
+  metrics::Counter& cache_miss;
+  metrics::Counter& maintenance_noop;
+  metrics::Counter& maintenance_patched;
+  metrics::Counter& maintenance_rebuilt;
+  metrics::Counter& nodes_visited;
+
+  static SessionMetrics& Get() {
+    static SessionMetrics* m = [] {
+      auto& registry = metrics::MetricsRegistry::Global();
+      auto& wait = registry.HistogramFamily(
+          "fairtopk_session_lock_wait_micros",
+          "Time spent acquiring the session state lock", {"mode"});
+      auto& cache = registry.CounterFamily(
+          "fairtopk_session_cache_total",
+          "Session detect outcomes by cache disposition", {"outcome"});
+      auto& maintenance = registry.CounterFamily(
+          "fairtopk_session_maintenance_total",
+          "Maintenance calls by how the index was serviced", {"kind"});
+      return new SessionMetrics{
+          wait.With({"shared"}),
+          wait.With({"exclusive"}),
+          cache.With({"hit"}),
+          cache.With({"coalesced"}),
+          cache.With({"miss"}),
+          maintenance.With({"noop"}),
+          maintenance.With({"patched"}),
+          maintenance.With({"rebuilt"}),
+          registry
+              .CounterFamily("fairtopk_search_nodes_visited_total",
+                             "Engine search nodes visited by completed "
+                             "session detect runs")
+              .With({})};
+    }();
+    return *m;
+  }
+};
+
+/// Acquires `lock` (deferred by the caller), timing the wait into
+/// `wait_histogram` when metrics are enabled and reporting a trace
+/// span when `trace` is set. With metrics disabled and no trace this
+/// is a plain lock() — no clock reads.
+template <typename Lock>
+void AcquireTimed(Lock& lock, metrics::Histogram& wait_histogram,
+                  metrics::TraceSink* trace, const char* span_name) {
+  if (!metrics::Enabled() && trace == nullptr) {
+    lock.lock();
+    return;
+  }
+  WallTimer timer;
+  lock.lock();
+  const uint64_t micros = timer.ElapsedMicros();
+  if (metrics::Enabled()) wait_histogram.Observe(micros);
+  if (trace != nullptr) trace->OnSpan(span_name, micros);
+}
 
 bool ScoreRanksBefore(const std::vector<double>& scores, bool ascending,
                       uint32_t a, uint32_t b) {
@@ -143,9 +209,20 @@ void AuditSession::Bump(uint64_t SessionServiceStats::* field,
   service_stats_.*field += delta;
 }
 
+void AuditSession::BumpAll(
+    std::initializer_list<uint64_t SessionServiceStats::*> fields) const {
+  std::lock_guard<std::mutex> lock(sync_->stats);
+  for (auto field : fields) service_stats_.*field += 1;
+}
+
 SessionServiceStats AuditSession::service_stats() const {
   std::lock_guard<std::mutex> lock(sync_->stats);
   return service_stats_;
+}
+
+void AuditSession::ResetStats() {
+  std::lock_guard<std::mutex> lock(sync_->stats);
+  service_stats_ = SessionServiceStats{};
 }
 
 size_t AuditSession::num_rows() const {
@@ -165,9 +242,21 @@ Result<api::AuditResponse> AuditSession::Detect(
   // Admission: the shared lock pins the ranking for the whole call, so
   // a validated config stays valid and a coalesced response is always
   // computed against the ranking this request saw.
-  std::shared_lock<std::shared_mutex> state_lock(sync_->state);
+  std::shared_lock<std::shared_mutex> state_lock(sync_->state,
+                                                 std::defer_lock);
+  AcquireTimed(state_lock, SessionMetrics::Get().shared_wait, request.trace,
+               "session_acquire");
   FAIRTOPK_RETURN_IF_ERROR(input_.ValidateConfig(request.config));
   Bump(&SessionServiceStats::detect_queries);
+  // Reports the served result's engine work counters into the request
+  // trace — also on cache/coalesced paths, where they describe the run
+  // that produced the shared result.
+  const auto trace_work = [&request](const DetectionResult& result) {
+    if (request.trace == nullptr) return;
+    request.trace->OnCounter("nodes_visited", result.stats().nodes_visited);
+    request.trace->OnCounter("cursor_reuse_hits",
+                             result.stats().cursor_reuse_hits);
+  };
   const bool caching = options_.cache_capacity > 0;
   std::string key = request.CacheKey();
   std::shared_ptr<InFlight> flight;
@@ -178,6 +267,8 @@ Result<api::AuditResponse> AuditSession::Detect(
       auto it = cache_.find(key);
       if (it != cache_.end()) {
         Bump(&SessionServiceStats::cache_hits);
+        if (metrics::Enabled()) SessionMetrics::Get().cache_hit.Inc();
+        trace_work(*it->second);
         return api::AuditResponse{descriptor, it->second, /*cached=*/true};
       }
     }
@@ -192,15 +283,22 @@ Result<api::AuditResponse> AuditSession::Detect(
     // Coalesce: wait for the owner's run. Both hold the shared state
     // lock, so waiting cannot block the owner — only writers, for no
     // longer than the run itself.
-    Bump(&SessionServiceStats::cache_hits);
-    Bump(&SessionServiceStats::coalesced_hits);
+    BumpAll({&SessionServiceStats::cache_hits,
+             &SessionServiceStats::coalesced_hits});
+    if (metrics::Enabled()) SessionMetrics::Get().cache_coalesced.Inc();
     Result<std::shared_ptr<const DetectionResult>> run = flight->future.get();
     if (!run.ok()) return run.status();
+    trace_work(**run);
     return api::AuditResponse{descriptor, *run, /*cached=*/true,
                               /*coalesced=*/true};
   }
+  if (metrics::Enabled()) SessionMetrics::Get().cache_miss.Inc();
   FAIRTOPK_ASSIGN_OR_RETURN(std::shared_ptr<const DetectionResult> shared,
                             RunAndPublish(request, key, flight));
+  if (metrics::Enabled()) {
+    SessionMetrics::Get().nodes_visited.Inc(shared->stats().nodes_visited);
+  }
+  trace_work(*shared);
   return api::AuditResponse{descriptor, std::move(shared), /*cached=*/false};
 }
 
@@ -235,12 +333,16 @@ Status AuditSession::DetectStream(const api::AuditRequest& request,
   // is safe — and must not free the result mid-iteration.
   std::shared_ptr<const DetectionResult> pinned;
   {
-    std::shared_lock<std::shared_mutex> state_lock(sync_->state);
+    std::shared_lock<std::shared_mutex> state_lock(sync_->state,
+                                                   std::defer_lock);
+    AcquireTimed(state_lock, SessionMetrics::Get().shared_wait, request.trace,
+                 "session_acquire");
     FAIRTOPK_RETURN_IF_ERROR(input_.ValidateConfig(request.config));
     Bump(&SessionServiceStats::detect_queries);
     if (options_.cache_capacity == 0) {
       // Pure streaming: the per-k sets flow straight through `sink`,
       // nothing is materialized.
+      if (metrics::Enabled()) SessionMetrics::Get().cache_miss.Inc();
       return api::RunAuditStream(input_, request, sink);
     }
     std::string key = request.CacheKey();
@@ -252,6 +354,7 @@ Status AuditSession::DetectStream(const api::AuditRequest& request,
     if (pinned == nullptr) {
       // Tee the live run: materialize a cache entry while streaming
       // the same batches to the caller.
+      if (metrics::Enabled()) SessionMetrics::Get().cache_miss.Inc();
       MaterializingSink materialize(request.config.k_min,
                                     request.config.k_max);
       TeeSink tee(materialize, sink);
@@ -263,6 +366,7 @@ Status AuditSession::DetectStream(const api::AuditRequest& request,
       return Status::OK();
     }
     Bump(&SessionServiceStats::cache_hits);
+    if (metrics::Enabled()) SessionMetrics::Get().cache_hit.Inc();
   }
   return ReplayResult(*pinned, sink);
 }
@@ -316,8 +420,9 @@ Result<std::vector<api::AuditResponse>> AuditSession::DetectMany(
       responses.push_back(std::move(*runs[i]).value());
       continue;
     }
-    Bump(&SessionServiceStats::detect_queries);
-    Bump(&SessionServiceStats::cache_hits);
+    BumpAll({&SessionServiceStats::detect_queries,
+             &SessionServiceStats::cache_hits});
+    if (metrics::Enabled()) SessionMetrics::Get().cache_hit.Inc();
     api::AuditResponse duplicate = responses[dup_of[i]];
     duplicate.cached = true;
     responses.push_back(std::move(duplicate));
@@ -375,7 +480,10 @@ Status AuditSession::ApplyScoreUpdates(const std::vector<ScoreUpdate>& updates,
                                        MaintenanceReport* report) {
   if (report != nullptr) *report = MaintenanceReport{};
   if (updates.empty()) return Status::OK();
-  std::unique_lock<std::shared_mutex> state_lock(sync_->state);
+  std::unique_lock<std::shared_mutex> state_lock(sync_->state,
+                                                 std::defer_lock);
+  AcquireTimed(state_lock, SessionMetrics::Get().exclusive_wait,
+               /*trace=*/nullptr, "session_acquire");
   const size_t n = scores_.size();
   for (const ScoreUpdate& u : updates) {
     if (u.row >= n) {
@@ -522,7 +630,10 @@ Status AuditSession::AppendInternal(const std::vector<std::vector<Cell>>& rows,
                                     MaintenanceReport* report) {
   if (report != nullptr) *report = MaintenanceReport{};
   if (rows.empty()) return Status::OK();
-  std::unique_lock<std::shared_mutex> state_lock(sync_->state);
+  std::unique_lock<std::shared_mutex> state_lock(sync_->state,
+                                                 std::defer_lock);
+  AcquireTimed(state_lock, SessionMetrics::Get().exclusive_wait,
+               /*trace=*/nullptr, "session_acquire");
   // Validate every row before mutating anything, so a bad batch leaves
   // the session untouched (Table::AppendRow performs the same checks,
   // but only row by row).
@@ -617,17 +728,21 @@ Status AuditSession::AdoptRanking(std::vector<uint32_t> new_ranking,
             ? outcome.patched_positions
             : 0;
   }
+  const bool count = metrics::Enabled();
   switch (outcome.kind) {
     case DetectionInput::Maintenance::kNoop:
       // Same permutation — every cached result is still exact.
+      if (count) SessionMetrics::Get().maintenance_noop.Inc();
       break;
     case DetectionInput::Maintenance::kPatched:
       Bump(&SessionServiceStats::index_patches);
       Bump(&SessionServiceStats::positions_patched, outcome.patched_positions);
+      if (count) SessionMetrics::Get().maintenance_patched.Inc();
       InvalidateCache();
       break;
     case DetectionInput::Maintenance::kRebuilt:
       Bump(&SessionServiceStats::index_rebuilds);
+      if (count) SessionMetrics::Get().maintenance_rebuilt.Inc();
       InvalidateCache();
       break;
   }

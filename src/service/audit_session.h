@@ -75,6 +75,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -274,7 +275,15 @@ class AuditSession {
   /// The authoritative per-row scores (post-updates).
   const std::vector<double>& scores() const { return scores_; }
   size_t cache_size() const;
+  /// A consistent snapshot of the service counters: one struct copy
+  /// taken under the stats mutex, so no field is torn and counters
+  /// bumped under a single lock hold (e.g. a coalesced hit's
+  /// cache_hits + coalesced_hits) never appear half-applied.
   SessionServiceStats service_stats() const;
+  /// Zeroes every service counter (bench/test isolation — bench_micro
+  /// reuses one session across iterations and would otherwise
+  /// accumulate). Takes only the stats mutex.
+  void ResetStats();
   const SessionOptions& options() const { return options_; }
 
  private:
@@ -341,6 +350,12 @@ class AuditSession {
 
   /// Adds `delta` to one service counter under the stats lock.
   void Bump(uint64_t SessionServiceStats::* field, uint64_t delta = 1) const;
+
+  /// Adds 1 to several counters under ONE stats lock hold, so a
+  /// service_stats() snapshot never observes them half-applied (a
+  /// coalesced hit is always cache_hits + coalesced_hits together).
+  void BumpAll(
+      std::initializer_list<uint64_t SessionServiceStats::*> fields) const;
 
   Table table_;
   std::vector<double> scores_;

@@ -2,22 +2,70 @@
 
 #include <cmath>
 #include <condition_variable>
+#include <iostream>
 #include <istream>
 #include <limits>
 #include <map>
 #include <mutex>
 #include <ostream>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/metrics/metrics.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "index/kernels/kernels.h"
 #include "report/json_report.h"
 
 namespace fairtopk {
 
 namespace {
+
+/// Wire-layer metric families (series resolved per request — the op
+/// label is only known then). One instance per process.
+struct ServiceMetrics {
+  metrics::Family<metrics::Counter>& requests;
+  metrics::Family<metrics::Counter>& errors;
+  metrics::Family<metrics::Histogram>& latency;
+  metrics::Family<metrics::Counter>& slow;
+
+  static ServiceMetrics& Get() {
+    static ServiceMetrics* m = [] {
+      auto& registry = metrics::MetricsRegistry::Global();
+      return new ServiceMetrics{
+          registry.CounterFamily("fairtopk_requests_total",
+                                 "JSONL requests handled, by op", {"op"}),
+          registry.CounterFamily("fairtopk_request_errors_total",
+                                 "JSONL error responses, by op and status "
+                                 "code",
+                                 {"op", "code"}),
+          registry.HistogramFamily("fairtopk_request_latency_micros",
+                                   "End-to-end request latency (parse to "
+                                   "serialized response)",
+                                   {"op"}),
+          registry.CounterFamily("fairtopk_slow_queries_total",
+                                 "Requests that crossed the slow-query-log "
+                                 "threshold, by op",
+                                 {"op"})};
+    }();
+    return *m;
+  }
+};
+
+/// Canonicalizes the wire op into a bounded label set so a client
+/// sending arbitrary op strings cannot grow unbounded metric series.
+const char* OpLabel(const std::string& op) {
+  static constexpr const char* kKnown[] = {
+      "detect", "detect_batch", "capabilities", "suggest",   "verify",
+      "rerank", "update",       "append",       "stats",     "metrics",
+      "open",   "close",        "list",         "use",       "invalidate"};
+  for (const char* known : kKnown) {
+    if (op == known) return known;
+  }
+  return "other";
+}
 
 /// Echoes the request id (string, number, or bool) into the response;
 /// anything else — including a missing id — becomes null. Integral
@@ -227,7 +275,9 @@ Result<api::AuditRequest> JsonlService::DecodeRequest(
 }
 
 std::string JsonlService::DetectionResponseJson(
-    const Target& target, const api::AuditResponse& response) const {
+    const Target& target, const api::AuditResponse& response,
+    metrics::TraceSink* trace) const {
+  metrics::SpanTimer span(trace, "serialize");
   ReportContext context{target.defaults->dataset,
                         MeasureLabel(*response.detector),
                         response.detector->name};
@@ -246,16 +296,19 @@ std::string JsonlService::DetectionResponseJson(
 }
 
 Result<std::string> JsonlService::HandleDetect(const Target& target,
-                                               const JsonValue& request) {
+                                               const JsonValue& request,
+                                               metrics::TraceSink* trace) {
   FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query,
                             DecodeRequest(request, *target.defaults));
+  query.trace = trace;
   FAIRTOPK_ASSIGN_OR_RETURN(api::AuditResponse response,
                             target.session->Detect(query));
-  return DetectionResponseJson(target, response);
+  return DetectionResponseJson(target, response, trace);
 }
 
 Result<std::string> JsonlService::HandleDetectBatch(const Target& target,
-                                                    const JsonValue& request) {
+                                                    const JsonValue& request,
+                                                    metrics::TraceSink* trace) {
   const JsonValue* queries = request.Find("queries");
   if (queries == nullptr || !queries->is_array() ||
       queries->array_items().empty()) {
@@ -272,13 +325,17 @@ Result<std::string> JsonlService::HandleDetectBatch(const Target& target,
                               DecodeRequest(q, *target.defaults));
     batch.push_back(std::move(query));
   }
+  // Batch members run concurrently on the session's batch executor, so
+  // the (single-threaded) request trace is NOT attached to them — the
+  // batch still reports parse/serialize spans and per-op latency.
   FAIRTOPK_ASSIGN_OR_RETURN(std::vector<api::AuditResponse> responses,
                             target.session->DetectMany(batch));
+  metrics::SpanTimer span(trace, "serialize");
   JsonWriter w;
   w.BeginObject();
   w.Key("results").BeginArray();
   for (const api::AuditResponse& response : responses) {
-    w.Raw(DetectionResponseJson(target, response));
+    w.Raw(DetectionResponseJson(target, response, /*trace=*/nullptr));
   }
   w.EndArray();
   w.EndObject();
@@ -364,9 +421,11 @@ Result<std::string> JsonlService::HandleVerify(const Target& target,
 }
 
 Result<std::string> JsonlService::HandleRerank(const Target& target,
-                                               const JsonValue& request) {
+                                               const JsonValue& request,
+                                               metrics::TraceSink* trace) {
   FAIRTOPK_ASSIGN_OR_RETURN(api::AuditRequest query,
                             DecodeRequest(request, *target.defaults));
+  query.trace = trace;
   FAIRTOPK_ASSIGN_OR_RETURN(const api::DetectorDescriptor* descriptor,
                             api::ResolveRequest(query));
   if (!descriptor->lower_violations) {
@@ -551,8 +610,20 @@ Result<std::string> JsonlService::HandleStats(const Target& target,
   w.Key("index_patches").Uint(stats.index_patches);
   w.Key("index_rebuilds").Uint(stats.index_rebuilds);
   w.Key("positions_patched").Uint(stats.positions_patched);
+  // Server-level info, so a client no longer cross-references
+  // capabilities + list to reconstruct the process view.
+  w.Key("server").BeginObject();
+  w.Key("uptime_seconds").Double(metrics::UptimeSeconds());
+  w.Key("kernel").String(kernels::ActiveName());
+  w.Key("workers").Int(server_workers_);
+  w.Key("sessions").Uint(catalog_ != nullptr ? catalog_->size() : 1);
+  w.EndObject();
   w.EndObject();
   return w.str();
+}
+
+Result<std::string> JsonlService::HandleMetrics(const JsonValue&) {
+  return metrics::MetricsRegistry::Global().RenderJson();
 }
 
 Result<std::string> JsonlService::HandleInvalidate(const Target& target,
@@ -689,42 +760,110 @@ Result<std::string> JsonlService::HandleUse(const JsonValue& request,
   return w.str();
 }
 
+Result<std::string> JsonlService::Dispatch(const std::string& op,
+                                           const JsonValue& request,
+                                           Context& context,
+                                           metrics::TraceSink* trace) {
+  // Catalog lifecycle ops (and the process-level ops) do not run
+  // against a session.
+  if (op == "open") return HandleOpen(request);
+  if (op == "close") return HandleClose(request);
+  if (op == "list") return HandleList(request, context);
+  if (op == "use") return HandleUse(request, context);
+  if (op == "capabilities") return HandleCapabilities(request);
+  if (op == "metrics") return HandleMetrics(request);
+  FAIRTOPK_ASSIGN_OR_RETURN(Target target, ResolveTarget(request, context));
+  if (op == "detect") return HandleDetect(target, request, trace);
+  if (op == "detect_batch") return HandleDetectBatch(target, request, trace);
+  if (op == "suggest") return HandleSuggest(target, request);
+  if (op == "verify") return HandleVerify(target, request);
+  if (op == "rerank") return HandleRerank(target, request, trace);
+  if (op == "update") return HandleUpdate(target, request);
+  if (op == "append") return HandleAppend(target, request);
+  if (op == "stats") return HandleStats(target, request);
+  if (op == "invalidate") return HandleInvalidate(target, request);
+  return Status::InvalidArgument(
+      op.empty() ? "request misses 'op'" : "unknown op '" + op + "'");
+}
+
+void JsonlService::WriteSlowQueryLine(const JsonValue* request,
+                                      const char* op_label, uint64_t micros,
+                                      const metrics::RequestTrace& trace) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("slow_query").Bool(true);
+  if (request != nullptr) {
+    WriteId(w, *request);
+  } else {
+    w.Key("id").Null();
+  }
+  w.Key("op").String(op_label);
+  w.Key("micros").Uint(micros);
+  w.Key("threshold_micros").Uint(observability_.slow_query_log_micros);
+  trace.WriteJsonMembers(w);
+  w.EndObject();
+  // One process-wide lock: slow lines from concurrent workers (and
+  // from several services sharing stderr) must never interleave.
+  static std::mutex* log_mutex = new std::mutex();
+  std::ostream& out = observability_.slow_query_stream != nullptr
+                          ? *observability_.slow_query_stream
+                          : std::cerr;
+  std::lock_guard<std::mutex> lock(*log_mutex);
+  out << w.str() << '\n';
+  out.flush();
+}
+
 std::string JsonlService::HandleLine(const std::string& line,
                                      Context& context) {
-  Result<JsonValue> request = ParseJson(line);
-  if (!request.ok()) {
-    return ErrorResponse(JsonValue::Null(), request.status());
-  }
-  if (!request->is_object()) {
-    return ErrorResponse(*request, Status::InvalidArgument(
-                                       "request must be a JSON object"));
-  }
-  const std::string op = request->StringOr("op", "");
-  Result<std::string> data = [&]() -> Result<std::string> {
-    // Catalog lifecycle ops do not run against a session.
-    if (op == "open") return HandleOpen(*request);
-    if (op == "close") return HandleClose(*request);
-    if (op == "list") return HandleList(*request, context);
-    if (op == "use") return HandleUse(*request, context);
-    if (op == "capabilities") return HandleCapabilities(*request);
-    FAIRTOPK_ASSIGN_OR_RETURN(Target target,
-                              ResolveTarget(*request, context));
-    if (op == "detect") return HandleDetect(target, *request);
-    if (op == "detect_batch") return HandleDetectBatch(target, *request);
-    if (op == "suggest") return HandleSuggest(target, *request);
-    if (op == "verify") return HandleVerify(target, *request);
-    if (op == "rerank") return HandleRerank(target, *request);
-    if (op == "update") return HandleUpdate(target, *request);
-    if (op == "append") return HandleAppend(target, *request);
-    if (op == "stats") return HandleStats(target, *request);
-    if (op == "invalidate") return HandleInvalidate(target, *request);
-    return Status::InvalidArgument(
-        op.empty() ? "request misses 'op'" : "unknown op '" + op + "'");
+  const uint64_t slow_threshold = observability_.slow_query_log_micros;
+  metrics::RequestTrace trace_storage;
+  metrics::TraceSink* trace =
+      slow_threshold > 0 ? &trace_storage : nullptr;
+  WallTimer total;
+
+  Result<JsonValue> request = [&] {
+    metrics::SpanTimer span(trace, "parse");
+    return ParseJson(line);
   }();
-  if (!data.ok()) {
-    return ErrorResponse(*request, data.status());
+
+  std::string op;
+  std::string response;
+  const char* error_code = nullptr;
+  bool valid_object = false;
+  if (!request.ok()) {
+    error_code = StatusCodeName(request.status().code());
+    response = ErrorResponse(JsonValue::Null(), request.status());
+  } else if (!request->is_object()) {
+    const Status status =
+        Status::InvalidArgument("request must be a JSON object");
+    error_code = StatusCodeName(status.code());
+    response = ErrorResponse(*request, status);
+  } else {
+    valid_object = true;
+    op = request->StringOr("op", "");
+    Result<std::string> data = Dispatch(op, *request, context, trace);
+    if (!data.ok()) {
+      error_code = StatusCodeName(data.status().code());
+      response = ErrorResponse(*request, data.status());
+    } else {
+      response = OkResponse(*request, *data);
+    }
   }
-  return OkResponse(*request, *data);
+
+  const uint64_t micros = total.ElapsedMicros();
+  const char* op_label = OpLabel(op);
+  if (metrics::Enabled()) {
+    ServiceMetrics& m = ServiceMetrics::Get();
+    m.requests.With({op_label}).Inc();
+    m.latency.With({op_label}).Observe(micros);
+    if (error_code != nullptr) m.errors.With({op_label, error_code}).Inc();
+  }
+  if (trace != nullptr && micros >= slow_threshold) {
+    if (metrics::Enabled()) ServiceMetrics::Get().slow.With({op_label}).Inc();
+    WriteSlowQueryLine(valid_object ? &*request : nullptr, op_label, micros,
+                       trace_storage);
+  }
+  return response;
 }
 
 std::string JsonlService::HandleLine(const std::string& line) {

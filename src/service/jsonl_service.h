@@ -25,7 +25,11 @@
 //               (collapsed at this layer before the session runs)
 //   op=append   {"rows": [{"Col": value, ...}, ...]} — appends rows
 //               (categorical cells by label, numeric cells by number)
-//   op=stats    session/service counters
+//   op=stats    session/service counters plus a "server" block
+//               (uptime, kernel, worker-pool size, session count)
+//   op=metrics  full process metrics registry dumped as JSON (the
+//               same counters/histograms the Prometheus endpoint
+//               serves; see common/metrics/metrics.h)
 //   op=invalidate  explicit result-cache invalidation
 //
 // Catalog ops (services bound to a SessionCatalog; single-session
@@ -65,6 +69,7 @@
 #define FAIRTOPK_SERVICE_JSONL_SERVICE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -74,6 +79,7 @@
 #include "api/audit.h"
 #include "api/canonical.h"
 #include "common/json.h"
+#include "common/metrics/trace.h"
 #include "service/audit_session.h"
 #include "service/jsonl_defaults.h"
 #include "service/session_catalog.h"
@@ -90,6 +96,19 @@ struct ServeOptions {
   /// Upper bound on request lines admitted but not yet answered
   /// (read-ahead backpressure); 0 picks 4 * workers.
   size_t max_pending = 0;
+};
+
+/// Observability knobs of a JsonlService (fairtopk_serve flags).
+struct ObservabilityOptions {
+  /// When > 0, every request is traced and any request whose
+  /// end-to-end latency reaches this many microseconds writes one
+  /// JSONL line to the slow-query stream. 0 disables tracing entirely
+  /// (requests run with a null TraceSink — the zero-cost path).
+  uint64_t slow_query_log_micros = 0;
+  /// Slow-query destination; nullptr logs to stderr. Lines are written
+  /// whole under an internal lock, so concurrent workers never
+  /// interleave mid-line.
+  std::ostream* slow_query_stream = nullptr;
 };
 
 /// Stateless-per-line request processor bound to one session or to a
@@ -135,6 +154,17 @@ class JsonlService {
   JsonlService(SessionCatalog* catalog, std::string default_session)
       : catalog_(catalog), default_session_(std::move(default_session)) {}
 
+  /// Installs the slow-query-log configuration. Call before serving —
+  /// not synchronized against in-flight HandleLine calls.
+  void set_observability(ObservabilityOptions options) {
+    observability_ = std::move(options);
+  }
+
+  /// Worker-pool size reported by the stats op's server block (the
+  /// front-end that owns the pool tells the service, which otherwise
+  /// cannot see it). Call before serving.
+  void set_server_workers(int workers) { server_workers_ = workers; }
+
   /// Handles one request line against `context`; returns the response
   /// line (no trailing newline). Never fails — protocol errors become
   /// error responses.
@@ -176,23 +206,34 @@ class JsonlService {
   Result<api::AuditRequest> DecodeRequest(const JsonValue& request,
                                           const ServeDefaults& defaults) const;
 
-  /// Serializes one detection response as {"cached": ..., "report": ...}.
+  /// Serializes one detection response as {"cached": ..., "report": ...},
+  /// reporting a "serialize" span to `trace` when set.
   std::string DetectionResponseJson(const Target& target,
-                                    const api::AuditResponse& response) const;
+                                    const api::AuditResponse& response,
+                                    metrics::TraceSink* trace) const;
+
+  /// Dispatches one parsed request object to its op handler; `trace`
+  /// (null when tracing is off) flows into the detect paths.
+  Result<std::string> Dispatch(const std::string& op, const JsonValue& request,
+                               Context& context, metrics::TraceSink* trace);
 
   /// Per-op payload builders; on success the returned string is the
   /// serialized "data" object.
   Result<std::string> HandleDetect(const Target& target,
-                                   const JsonValue& request);
+                                   const JsonValue& request,
+                                   metrics::TraceSink* trace);
   Result<std::string> HandleDetectBatch(const Target& target,
-                                        const JsonValue& request);
+                                        const JsonValue& request,
+                                        metrics::TraceSink* trace);
   Result<std::string> HandleCapabilities(const JsonValue& request);
+  Result<std::string> HandleMetrics(const JsonValue& request);
   Result<std::string> HandleSuggest(const Target& target,
                                     const JsonValue& request);
   Result<std::string> HandleVerify(const Target& target,
                                    const JsonValue& request);
   Result<std::string> HandleRerank(const Target& target,
-                                   const JsonValue& request);
+                                   const JsonValue& request,
+                                   metrics::TraceSink* trace);
   Result<std::string> HandleUpdate(const Target& target,
                                    const JsonValue& request);
   Result<std::string> HandleAppend(const Target& target,
@@ -208,11 +249,19 @@ class JsonlService {
   Result<std::string> HandleList(const JsonValue& request, Context& context);
   Result<std::string> HandleUse(const JsonValue& request, Context& context);
 
+  /// Writes one slow-query JSONL line (whole, under a process-wide
+  /// lock) describing a request that crossed the threshold.
+  void WriteSlowQueryLine(const JsonValue* request, const char* op_label,
+                          uint64_t micros,
+                          const metrics::RequestTrace& trace) const;
+
   // Exactly one of the two is set, per constructor.
   AuditSession* session_ = nullptr;
   ServeDefaults defaults_;
   SessionCatalog* catalog_ = nullptr;
   std::string default_session_;
+  ObservabilityOptions observability_;
+  int server_workers_ = 1;
 };
 
 }  // namespace fairtopk

@@ -1,0 +1,150 @@
+#include "service/net/metrics_http.h"
+
+#include <utility>
+
+#include "common/metrics/metrics.h"
+
+namespace fairtopk {
+
+namespace {
+
+/// Upper bound on one request's header block; a client that sends more
+/// without finishing its headers is answered 400 and dropped.
+constexpr size_t kMaxRequestBytes = 8192;
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.0 200 OK\r\n";
+    case 400:
+      return "HTTP/1.0 400 Bad Request\r\n";
+    case 404:
+      return "HTTP/1.0 404 Not Found\r\n";
+    case 405:
+      return "HTTP/1.0 405 Method Not Allowed\r\n";
+    default:
+      return "HTTP/1.0 500 Internal Server Error\r\n";
+  }
+}
+
+void SendResponse(TcpConnection& connection, int code,
+                  const std::string& content_type, const std::string& body) {
+  std::string response = StatusLine(code);
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  // Best effort — the scraper may already be gone.
+  (void)connection.SendAll(response);
+}
+
+/// Extracts (method, path) from the request line; false on garbage.
+bool ParseRequestLine(const std::string& request, std::string& method,
+                      std::string& path) {
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      request.substr(0, line_end == std::string::npos
+                            ? request.find('\n')
+                            : line_end);
+  const size_t first_space = line.find(' ');
+  if (first_space == std::string::npos) return false;
+  const size_t second_space = line.find(' ', first_space + 1);
+  if (second_space == std::string::npos) return false;
+  method = line.substr(0, first_space);
+  path = line.substr(first_space + 1, second_space - first_space - 1);
+  return !method.empty() && !path.empty();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MetricsHttpServer>> MetricsHttpServer::Create(
+    const std::string& host, uint16_t port) {
+  FAIRTOPK_ASSIGN_OR_RETURN(TcpListener listener,
+                            TcpListener::Listen(host, port, /*backlog=*/16));
+  return std::unique_ptr<MetricsHttpServer>(
+      new MetricsHttpServer(std::move(listener)));
+}
+
+MetricsHttpServer::~MetricsHttpServer() { Shutdown(); }
+
+void MetricsHttpServer::Start() {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsHttpServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      listener_.Interrupt();
+      // Unblock a read stuck on a client that connected but never
+      // finished its request. Safe under the mutex: Loop() only
+      // destroys the connection after clearing current_.
+      if (current_ != nullptr) current_->ShutdownRead();
+    }
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsHttpServer::Loop() {
+  for (;;) {
+    Result<TcpConnection> accepted = listener_.Accept();
+    if (!accepted.ok()) continue;     // transient accept error
+    if (!accepted->valid()) return;   // Interrupt(): clean exit
+    TcpConnection connection = std::move(*accepted);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) return;
+      current_ = &connection;
+    }
+    ServeConnection(connection);
+    {
+      // Clear before `connection` is destroyed (its destructor closes
+      // the fd, which must not race Shutdown()'s ShutdownRead).
+      std::lock_guard<std::mutex> lock(mutex_);
+      current_ = nullptr;
+      if (shutdown_) return;
+    }
+  }
+}
+
+void MetricsHttpServer::ServeConnection(TcpConnection& connection) {
+  std::string request;
+  char buffer[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    if (request.size() > kMaxRequestBytes) {
+      SendResponse(connection, 400, "text/plain", "request too large\n");
+      connection.ShutdownWrite();
+      return;
+    }
+    Result<size_t> received = connection.Receive(buffer, sizeof buffer);
+    if (!received.ok() || *received == 0) return;  // gone or shut down
+    request.append(buffer, *received);
+  }
+
+  std::string method;
+  std::string path;
+  if (!ParseRequestLine(request, method, path)) {
+    SendResponse(connection, 400, "text/plain", "bad request\n");
+  } else if (method != "GET") {
+    SendResponse(connection, 405, "text/plain", "GET only\n");
+  } else if (path == "/metrics" || path == "/") {
+    // The uptime line is appended here rather than stored in the
+    // registry: it is derived from the process clock at render time,
+    // not an instrument any layer writes.
+    std::string body = metrics::MetricsRegistry::Global().RenderPrometheus();
+    body +=
+        "# HELP fairtopk_process_uptime_seconds Seconds since the metrics "
+        "clock started\n# TYPE fairtopk_process_uptime_seconds gauge\n"
+        "fairtopk_process_uptime_seconds " +
+        std::to_string(metrics::UptimeSeconds()) + '\n';
+    SendResponse(connection, 200, "text/plain; version=0.0.4", body);
+  } else {
+    SendResponse(connection, 404, "text/plain",
+                 "try /metrics\n");
+  }
+  connection.ShutdownWrite();
+}
+
+}  // namespace fairtopk

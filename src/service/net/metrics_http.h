@@ -1,0 +1,64 @@
+// Prometheus exposition endpoint: a deliberately tiny single-threaded
+// HTTP/1.0 responder over common/socket.h that answers GET /metrics
+// (and GET /) with MetricsRegistry::Global().RenderPrometheus() and
+// 404s everything else. One connection at a time, Connection: close
+// after every response — a scrape target, not a web server. Started by
+// fairtopk_serve --metrics-port P alongside either serving mode.
+#ifndef FAIRTOPK_SERVICE_NET_METRICS_HTTP_H_
+#define FAIRTOPK_SERVICE_NET_METRICS_HTTP_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/socket.h"
+#include "common/status.h"
+
+namespace fairtopk {
+
+/// Serves the global metrics registry in Prometheus text format.
+/// Create() binds, Start() spawns the serving thread, Shutdown() (or
+/// the destructor) interrupts the listener, unblocks any in-flight
+/// read, and joins.
+class MetricsHttpServer {
+ public:
+  /// Binds host:port (port 0 picks an ephemeral port — read it back
+  /// via port()).
+  static Result<std::unique_ptr<MetricsHttpServer>> Create(
+      const std::string& host, uint16_t port);
+
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  void Start();
+
+  /// Stops serving and joins the thread; idempotent, any thread.
+  void Shutdown();
+
+  uint16_t port() const { return listener_.port(); }
+
+ private:
+  explicit MetricsHttpServer(TcpListener listener)
+      : listener_(std::move(listener)) {}
+
+  void Loop();
+
+  /// Reads one request's header block and writes the response.
+  void ServeConnection(TcpConnection& connection);
+
+  TcpListener listener_;
+  std::thread thread_;
+  std::mutex mutex_;
+  /// The connection currently being read, so Shutdown() can unblock a
+  /// Receive() stuck on a silent client. Guarded by mutex_; cleared
+  /// (under the mutex) before the connection object is destroyed.
+  TcpConnection* current_ = nullptr;
+  bool shutdown_ = false;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_SERVICE_NET_METRICS_HTTP_H_

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/metrics/metrics.h"
+
 namespace fairtopk {
 
 namespace {
@@ -12,6 +14,40 @@ bool IsBlank(const std::string& line) {
   }
   return true;
 }
+
+/// Process-global socket front-end metrics, resolved once.
+struct NetMetrics {
+  metrics::Counter& accepted;
+  metrics::Gauge& active;
+  metrics::Gauge& reorder_depth;
+  metrics::Counter& backpressure_stalls;
+
+  static NetMetrics& Get() {
+    static NetMetrics* m = [] {
+      auto& registry = metrics::MetricsRegistry::Global();
+      return new NetMetrics{
+          registry
+              .CounterFamily("fairtopk_connections_accepted_total",
+                             "TCP connections accepted since start")
+              .With({}),
+          registry
+              .GaugeFamily("fairtopk_connections_active",
+                           "TCP connections currently being served")
+              .With({}),
+          registry
+              .GaugeFamily("fairtopk_reorder_buffer_depth",
+                           "Completed responses held for in-order emission "
+                           "across all connections")
+              .With({}),
+          registry
+              .CounterFamily("fairtopk_backpressure_stalls_total",
+                             "Times a connection reader blocked on the "
+                             "admission window (max_pending)")
+              .With({})};
+    }();
+    return *m;
+  }
+};
 
 }  // namespace
 
@@ -77,6 +113,10 @@ void SocketServer::AcceptLoop() {
     Connection& connection = connections_.back();
     connection.socket = std::move(*accepted);
     ++accepted_;
+    if (metrics::Enabled()) {
+      NetMetrics::Get().accepted.Inc();
+      NetMetrics::Get().active.Inc();
+    }
     connection.reader = std::thread(
         [this, &connection] { ReadLoop(connection); });
   }
@@ -112,6 +152,10 @@ void SocketServer::ReadLoop(Connection& connection) {
   // overlap a shutdown thread's ShutdownRead on this connection.
   connection.socket.ShutdownWrite();
   connection.socket.Close();
+  // The gauge counts served connections, so the decrement pairs with
+  // the accept-side increment even though the Connection node itself
+  // lives until Wait().
+  if (metrics::Enabled()) NetMetrics::Get().active.Dec();
 }
 
 void SocketServer::SubmitLine(Connection& connection, std::string line) {
@@ -121,9 +165,13 @@ void SocketServer::SubmitLine(Connection& connection, std::string line) {
     // reorder buffer too, so one slow early request throttles this
     // socket's admission instead of letting `held` absorb everything
     // the client writes.
-    connection.room.wait(lock, [&] {
+    const auto admissible = [&] {
       return connection.sequence - connection.next_to_emit < max_pending_;
-    });
+    };
+    if (!admissible() && metrics::Enabled()) {
+      NetMetrics::Get().backpressure_stalls.Inc();
+    }
+    connection.room.wait(lock, admissible);
     ++connection.sequence;
   }
   const size_t seq = connection.sequence - 1;
@@ -131,6 +179,7 @@ void SocketServer::SubmitLine(Connection& connection, std::string line) {
     std::string response = service_->HandleLine(line, connection.context);
     std::lock_guard<std::mutex> lock(connection.mutex);
     connection.held.emplace(seq, std::move(response));
+    if (metrics::Enabled()) NetMetrics::Get().reorder_depth.Inc();
     while (!connection.held.empty() &&
            connection.held.begin()->first == connection.next_to_emit) {
       if (!connection.send_failed) {
@@ -145,6 +194,7 @@ void SocketServer::SubmitLine(Connection& connection, std::string line) {
       }
       connection.held.erase(connection.held.begin());
       ++connection.next_to_emit;
+      if (metrics::Enabled()) NetMetrics::Get().reorder_depth.Dec();
     }
     connection.room.notify_all();
   });

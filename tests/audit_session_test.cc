@@ -98,6 +98,31 @@ TEST(AuditSessionTest, RepeatedQueryServesCachedSharedResult) {
   EXPECT_EQ(session.cache_size(), 1u);
 }
 
+TEST(AuditSessionTest, ResetStatsZeroesCountersButKeepsCache) {
+  AuditSession session = MakeSession(80, 3);
+  api::AuditRequest query = PropQuery(5, 30, 6);
+  ASSERT_TRUE(session.Detect(query).ok());
+  ASSERT_TRUE(session.Detect(query).ok());
+  ASSERT_EQ(session.service_stats().detect_queries, 2u);
+
+  session.ResetStats();
+  const SessionServiceStats zeroed = session.service_stats();
+  EXPECT_EQ(zeroed.detect_queries, 0u);
+  EXPECT_EQ(zeroed.cache_hits, 0u);
+  EXPECT_EQ(zeroed.coalesced_hits, 0u);
+  EXPECT_EQ(zeroed.score_updates, 0u);
+  // The reset covers the counters only — cached results survive, so a
+  // bench iterating detect after ResetStats() still measures the
+  // configuration it set up.
+  EXPECT_EQ(session.cache_size(), 1u);
+
+  // Counting resumes exactly from zero: one hit on the still-cached
+  // entry.
+  ASSERT_TRUE(session.Detect(query).ok());
+  EXPECT_EQ(session.service_stats().detect_queries, 1u);
+  EXPECT_EQ(session.service_stats().cache_hits, 1u);
+}
+
 TEST(AuditSessionTest, ThreadCountDoesNotSplitCacheEntries) {
   // The engine's determinism rule makes results thread-count
   // invariant, so the cache key excludes num_threads.

@@ -345,6 +345,75 @@ TEST_F(JsonlServiceTest, StatsAndInvalidate) {
   EXPECT_FALSE(after.Find("data")->BoolOr("cached", true));
 }
 
+TEST_F(JsonlServiceTest, StatsReportsServerBlock) {
+  JsonlService configured(&session_.value(), ServeDefaults{});
+  configured.set_server_workers(4);
+  auto parsed = ParseJson(configured.HandleLine(R"({"op":"stats"})"));
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* server = parsed->Find("data")->Find("server");
+  ASSERT_NE(server, nullptr);
+  EXPECT_GE(server->NumberOr("uptime_seconds", -1), 0.0);
+  EXPECT_FALSE(server->StringOr("kernel", "").empty());
+  EXPECT_DOUBLE_EQ(server->NumberOr("workers", 0), 4.0);
+  // Single-session services report their one session.
+  EXPECT_DOUBLE_EQ(server->NumberOr("sessions", 0), 1.0);
+}
+
+TEST_F(JsonlServiceTest, MetricsOpDumpsRegistry) {
+  ExpectOk(R"({"op":"detect"})");
+  JsonValue v = ExpectOk(R"({"op":"metrics"})");
+  const JsonValue* families = v.Find("data")->Find("families");
+  ASSERT_NE(families, nullptr);
+  ASSERT_TRUE(families->is_array());
+  // The detect above must be visible in the wire-layer request
+  // counters (other suites may have added more — assert at-least).
+  double detect_requests = -1;
+  for (const JsonValue& family : families->array_items()) {
+    if (family.StringOr("name", "") != "fairtopk_requests_total") continue;
+    for (const JsonValue& series : family.Find("series")->array_items()) {
+      if (series.Find("labels")->StringOr("op", "") == "detect") {
+        detect_requests = series.NumberOr("value", -1);
+      }
+    }
+  }
+  EXPECT_GE(detect_requests, 1.0);
+  EXPECT_GE(v.Find("data")->NumberOr("uptime_seconds", -1), 0.0);
+}
+
+TEST_F(JsonlServiceTest, SlowQueryLogWritesTraceLines) {
+  std::ostringstream log;
+  ObservabilityOptions observability;
+  observability.slow_query_log_micros = 1;  // everything is "slow"
+  observability.slow_query_stream = &log;
+  service_->set_observability(observability);
+  ExpectOk(R"({"op":"detect","id":"slow-1"})");
+
+  std::istringstream lines(log.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line)) << "no slow-query line written";
+  auto parsed = ParseJson(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_TRUE(parsed->BoolOr("slow_query", false));
+  EXPECT_EQ(parsed->StringOr("op", ""), "detect");
+  EXPECT_EQ(parsed->Find("id")->string_value(), "slow-1");
+  EXPECT_GE(parsed->NumberOr("micros", -1), 1.0);
+  EXPECT_DOUBLE_EQ(parsed->NumberOr("threshold_micros", 0), 1.0);
+  // A traced detect reports the full span chain and the engine's work
+  // counters.
+  const JsonValue* spans = parsed->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  for (const char* span : {"parse", "session_acquire", "search", "serialize"}) {
+    EXPECT_NE(spans->Find(span), nullptr) << span << " missing: " << line;
+  }
+  EXPECT_GE(parsed->Find("counters")->NumberOr("nodes_visited", -1), 0.0);
+
+  // Turning the log off again must stop tracing entirely.
+  const std::string before = log.str();
+  service_->set_observability(ObservabilityOptions{});
+  ExpectOk(R"({"op":"detect","id":"fast"})");
+  EXPECT_EQ(log.str(), before);
+}
+
 TEST_F(JsonlServiceTest, ProtocolErrors) {
   ExpectError("not json", "INVALID_ARGUMENT");
   ExpectError("[1,2,3]", "INVALID_ARGUMENT");

@@ -6,6 +6,8 @@ Usage:
                    [--benchmarks name1,name2,...]
                    [--min-speedup SLOW_NAME,FAST_NAME,X]...
                    [--min-speedup-when-kernel KERNELS,SLOW,FAST,X]...
+                   [--max-ratio-pair A,B,X]...
+                   [--max-ratio-vs BASELINE_NAME,CURRENT_NAME,X]...
 
 Checks, in order:
   * Regression gate: for every benchmark present in BOTH files (or only
@@ -27,6 +29,18 @@ Checks, in order:
     kernel there). This lets the SIMD-vs-scalar gate run hard on AVX2/
     AVX-512 machines while a scalar-only CI runner skips it instead of
     failing.
+  * Intra-run ratio caps: --max-ratio-pair A,B,X asserts
+    real_time(B) <= X * real_time(A) inside CURRENT alone — the
+    machine-independent form of a tight overhead bound (e.g. "the
+    metrics-enabled path costs at most 2% over the disabled path").
+  * Cross-name baseline caps: --max-ratio-vs BASELINE_NAME,
+    CURRENT_NAME,X asserts real_time(CURRENT_NAME in CURRENT) <=
+    X * real_time(BASELINE_NAME in BASELINE) — for gating a NEW
+    benchmark against a DIFFERENT benchmark recorded in an old
+    baseline (e.g. the instrumentation-disabled detect path against
+    the pre-instrumentation detect bench). Skipped with a notice when
+    BASELINE_NAME is absent from the baseline file. Machine-sensitive
+    like --max-ratio; pick X accordingly.
 
 Exit code 0 when every gate passes, 1 otherwise.
 """
@@ -81,6 +95,16 @@ def main():
                         help="like --min-speedup, but only enforced when "
                              "CURRENT's context fairtopk_kernel is in the "
                              "|-separated KERNELS list (repeatable)")
+    parser.add_argument("--max-ratio-pair", action="append", default=[],
+                        metavar="A,B,X",
+                        help="assert real_time(B) <= X * real_time(A) "
+                             "within CURRENT (repeatable)")
+    parser.add_argument("--max-ratio-vs", action="append", default=[],
+                        metavar="BASE_NAME,CURR_NAME,X",
+                        help="assert real_time(CURR_NAME in CURRENT) <= "
+                             "X * real_time(BASE_NAME in BASELINE); skipped "
+                             "when BASE_NAME is missing from the baseline "
+                             "(repeatable)")
     args = parser.parse_args()
 
     baseline, _ = load_report(args.baseline)
@@ -114,6 +138,48 @@ def main():
             continue
         check_min_speedup(current, parts[0], parts[1], float(parts[2]),
                           failures)
+
+    for spec in args.max_ratio_pair:
+        parts = spec.split(",")
+        if len(parts) != 3:
+            failures.append(f"bad --max-ratio-pair spec: {spec}")
+            continue
+        a, b, limit = parts[0], parts[1], float(parts[2])
+        if a not in current or b not in current:
+            failures.append(
+                f"--max-ratio-pair names missing from current run: {a},{b}")
+            continue
+        ratio = current[b] / current[a]
+        ok = ratio <= limit
+        print(f"ratio {b} / {a} = {ratio:.3f}x "
+              f"(limit {limit:.3f}x){'' if ok else '  << TOO SLOW'}")
+        if not ok:
+            failures.append(
+                f"{b} is {ratio:.3f}x of {a} (limit {limit:.3f}x)")
+
+    for spec in args.max_ratio_vs:
+        parts = spec.split(",")
+        if len(parts) != 3:
+            failures.append(f"bad --max-ratio-vs spec: {spec}")
+            continue
+        base_name, curr_name, limit = parts[0], parts[1], float(parts[2])
+        if curr_name not in current:
+            failures.append(
+                f"--max-ratio-vs benchmark '{curr_name}' missing from "
+                f"{args.current}")
+            continue
+        if base_name not in baseline:
+            print(f"skipping cross-name cap {curr_name} vs {base_name} "
+                  f"(not in baseline)")
+            continue
+        ratio = current[curr_name] / baseline[base_name]
+        ok = ratio <= limit
+        print(f"ratio {curr_name} / baseline {base_name} = {ratio:.3f}x "
+              f"(limit {limit:.3f}x){'' if ok else '  << REGRESSION'}")
+        if not ok:
+            failures.append(
+                f"{curr_name} is {ratio:.3f}x of baseline {base_name} "
+                f"(limit {limit:.3f}x)")
 
     kernel = context.get("fairtopk_kernel", "")
     for spec in args.min_speedup_when_kernel:

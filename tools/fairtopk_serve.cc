@@ -31,11 +31,13 @@
 #include <unistd.h>
 #include <vector>
 
+#include "common/metrics/metrics.h"
 #include "common/signals.h"
 #include "common/socket.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "service/jsonl_service.h"
+#include "service/net/metrics_http.h"
 #include "service/net/socket_server.h"
 #include "service/session_catalog.h"
 #include "service/table_loader.h"
@@ -63,6 +65,8 @@ struct Args {
   int listen_port = -1;  // -1 = stdin/stdout mode
   std::string host = "127.0.0.1";
   int max_pending = 0;
+  int metrics_port = -1;  // -1 = no Prometheus endpoint
+  int slow_query_micros = 0;  // 0 = slow-query log off
 };
 
 void PrintUsage(std::FILE* out) {
@@ -124,6 +128,13 @@ void PrintUsage(std::FILE* out) {
       "  --max-pending N        per-connection / stdin-loop bound on\n"
       "                         admitted-but-unanswered lines\n"
       "                         (default 4 * workers)\n"
+      "  --metrics-port P       serve Prometheus text metrics via\n"
+      "                         HTTP GET /metrics on --host:P (0 picks\n"
+      "                         an ephemeral port, printed on stderr);\n"
+      "                         works in both stdin and TCP modes\n"
+      "  --slow-query-log N     trace every request and log a JSONL\n"
+      "                         line to stderr for any request taking\n"
+      "                         >= N microseconds end to end\n"
       "  --help                 print this message and exit\n");
 }
 
@@ -218,6 +229,14 @@ bool ParseArgs(int argc, char** argv, Args& args, bool& help) {
       if (!next_int("--max-pending", 0, 1 << 20, args.max_pending)) {
         return false;
       }
+    } else if (flag == "--metrics-port") {
+      if (!next_int("--metrics-port", 0, 65535, args.metrics_port)) {
+        return false;
+      }
+    } else if (flag == "--slow-query-log") {
+      if (!next_int("--slow-query-log", 1, 1 << 30, args.slow_query_micros)) {
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       PrintUsage(stderr);
@@ -238,6 +257,9 @@ int ResolveWorkers(int workers) {
 }
 
 int RunServe(const Args& args) {
+  // Start the uptime clock before loading anything so the reported
+  // uptime covers (almost) the whole process life.
+  (void)metrics::UptimeSeconds();
   Result<Table> loaded =
       LoadAuditTable(args.csv, args.rank_by, args.bins, args.drop);
   if (!loaded.ok()) {
@@ -283,6 +305,33 @@ int RunServe(const Args& args) {
   }
   JsonlService service(&catalog, "default");
   const int workers = ResolveWorkers(args.workers);
+  service.set_server_workers(workers);
+  if (args.slow_query_micros > 0) {
+    ObservabilityOptions observability;
+    observability.slow_query_log_micros =
+        static_cast<uint64_t>(args.slow_query_micros);
+    service.set_observability(observability);
+  }
+
+  // The Prometheus endpoint rides along in either serving mode; its
+  // Shutdown() runs from this scope's unwinding after the main loop
+  // ends, so a final scrape can still see the complete counters until
+  // the process is actually about to exit.
+  std::unique_ptr<MetricsHttpServer> metrics_http;
+  if (args.metrics_port >= 0) {
+    Result<std::unique_ptr<MetricsHttpServer>> created =
+        MetricsHttpServer::Create(args.host,
+                                  static_cast<uint16_t>(args.metrics_port));
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    metrics_http = std::move(created).value();
+    metrics_http->Start();
+    // The metrics smoke driver parses this exact line for the port.
+    std::fprintf(stderr, "metrics on %s:%u\n", args.host.c_str(),
+                 static_cast<unsigned>(metrics_http->port()));
+  }
 
   if (args.listen_port < 0) {
     ServeOptions serve_options;
