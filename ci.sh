@@ -155,6 +155,22 @@ stage_perf() {
   # so the ratio IS the overhead and the 2% cap is tight); the
   # --max-ratio-vs compares against the pre-instrumentation baseline
   # recording and must absorb machine drift, hence the looser 10%.
+
+  # Restart-path gate: opening a 100k-row session from its snapshot
+  # must cost at most 0.2x of rebuilding it from CSV (the paper-facing
+  # "instant restart" claim; in practice the ratio is far smaller, the
+  # 0.2x cap just keeps headroom for slow CI disks). Intra-run pair on
+  # the same machine and dataset, so no baseline recording is needed.
+  cmake --build build-ci -j "${JOBS}" --target bench_storage
+  ./build-ci/bench/bench_storage \
+    --benchmark_filter='BM_ColdStartCsv|BM_SnapshotOpen' \
+    --benchmark_out=build-ci/bench_storage.json \
+    --benchmark_out_format=json
+  python3 tools/bench_compare.py "${PERF_BASELINE}" \
+    build-ci/bench_storage.json \
+    --benchmarks 'BM_ColdStartCsv,BM_SnapshotOpen/0,BM_SnapshotOpen/1' \
+    --max-ratio-pair 'BM_ColdStartCsv,BM_SnapshotOpen/0,0.2' \
+    --max-ratio-pair 'BM_ColdStartCsv,BM_SnapshotOpen/1,0.2'
   echo "perf smoke green (json: build-ci/bench_current.json)"
 }
 

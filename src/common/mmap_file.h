@@ -1,0 +1,43 @@
+// Read-only memory-mapped file, RAII-owned. Used by the snapshot
+// reader's mmap open path: the bitmap-index section of a snapshot is
+// 64-byte-aligned on disk precisely so a mapping of the whole file
+// exposes it at cache-line alignment without copying.
+#ifndef FAIRTOPK_COMMON_MMAP_FILE_H_
+#define FAIRTOPK_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace fairtopk {
+
+/// A whole file mapped read-only into the address space. Movable,
+/// non-copyable; the mapping is released on destruction. An empty file
+/// maps to a null pointer with size 0 (mmap of length 0 is undefined).
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. Fails with kIoError when the file cannot be
+  /// opened, stat'ed, or mapped.
+  static Result<MmapFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_COMMON_MMAP_FILE_H_

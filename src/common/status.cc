@@ -20,6 +20,14 @@ const char* StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kChecksumMismatch:
+      return "CHECKSUM_MISMATCH";
+    case StatusCode::kVersionMismatch:
+      return "VERSION_MISMATCH";
+    case StatusCode::kTruncated:
+      return "TRUNCATED";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,10 @@ enum class StatusCode {
   kInternal = 5,
   kUnimplemented = 6,
   kIoError = 7,
+  kCorruption = 8,
+  kChecksumMismatch = 9,
+  kVersionMismatch = 10,
+  kTruncated = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -64,6 +68,18 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ChecksumMismatch(std::string msg) {
+    return Status(StatusCode::kChecksumMismatch, std::move(msg));
+  }
+  static Status VersionMismatch(std::string msg) {
+    return Status(StatusCode::kVersionMismatch, std::move(msg));
+  }
+  static Status Truncated(std::string msg) {
+    return Status(StatusCode::kTruncated, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -112,6 +112,14 @@ class DetectionInput {
       const Table& table, std::vector<uint32_t> ranking,
       const std::vector<std::string>& pattern_attributes = {});
 
+  /// Adopts an already-validated index (e.g. reassembled from a
+  /// snapshot via BitmapIndex::FromParts) instead of building one. The
+  /// input's ranking is taken from the index itself.
+  static DetectionInput FromIndex(BitmapIndex index) {
+    std::vector<uint32_t> ranking = index.ranking();
+    return DetectionInput(std::move(index), std::move(ranking));
+  }
+
   const BitmapIndex& index() const { return index_; }
   const PatternSpace& space() const { return index_.space(); }
   size_t num_rows() const { return index_.num_rows(); }

@@ -57,6 +57,82 @@ Result<BitmapIndex> BitmapIndex::Build(const Table& table,
   return index;
 }
 
+Result<BitmapIndex> BitmapIndex::FromParts(
+    PatternSpace space, std::vector<uint32_t> ranking,
+    std::vector<std::vector<Bitset>> value_bits,
+    std::vector<std::vector<int16_t>> rank_codes) {
+  const size_t n = ranking.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot reassemble an empty index");
+  }
+  {
+    std::vector<bool> seen(n, false);
+    for (uint32_t row : ranking) {
+      if (row >= n || seen[row]) {
+        return Status::InvalidArgument(
+            "ranking is not a permutation of row ids");
+      }
+      seen[row] = true;
+    }
+  }
+  const size_t num_attrs = space.num_attributes();
+  if (value_bits.size() != num_attrs || rank_codes.size() != num_attrs) {
+    return Status::InvalidArgument(
+        "index parts do not match the pattern space's attribute count");
+  }
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const size_t domain = static_cast<size_t>(space.domain_size(a));
+    if (value_bits[a].size() != domain) {
+      return Status::InvalidArgument(
+          "attribute " + std::to_string(a) + " has " +
+          std::to_string(value_bits[a].size()) + " value bitsets, expected " +
+          std::to_string(domain));
+    }
+    if (rank_codes[a].size() != n) {
+      return Status::InvalidArgument(
+          "attribute " + std::to_string(a) + " has " +
+          std::to_string(rank_codes[a].size()) + " rank codes for " +
+          std::to_string(n) + " rows");
+    }
+    size_t set_bits = 0;
+    for (const Bitset& bits : value_bits[a]) {
+      if (bits.num_bits() != n) {
+        return Status::InvalidArgument(
+            "value bitset spans " + std::to_string(bits.num_bits()) +
+            " positions for " + std::to_string(n) + " rows");
+      }
+      set_bits += bits.Count();
+    }
+    // Each rank position must be set in the bitset its code names;
+    // combined with a total population of exactly n set bits across the
+    // attribute, that pins "set in exactly one bitset per position".
+    if (set_bits != n) {
+      return Status::InvalidArgument(
+          "value bitsets of attribute " + std::to_string(a) + " cover " +
+          std::to_string(set_bits) + " positions, expected " +
+          std::to_string(n));
+    }
+    for (size_t pos = 0; pos < n; ++pos) {
+      const int16_t code = rank_codes[a][pos];
+      if (code < 0 || static_cast<size_t>(code) >= domain) {
+        return Status::OutOfRange("rank code outside pattern-space domain");
+      }
+      if (!value_bits[a][static_cast<size_t>(code)].Test(pos)) {
+        return Status::InvalidArgument(
+            "value bitsets disagree with rank codes at position " +
+            std::to_string(pos));
+      }
+    }
+  }
+  BitmapIndex index;
+  index.space_ = std::move(space);
+  index.num_rows_ = n;
+  index.ranking_ = std::move(ranking);
+  index.value_bits_ = std::move(value_bits);
+  index.rank_codes_ = std::move(rank_codes);
+  return index;
+}
+
 Status BitmapIndex::ApplyRanking(const Table& table,
                                  const std::vector<uint32_t>& new_ranking,
                                  size_t* patched_positions) {

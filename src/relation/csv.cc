@@ -48,12 +48,28 @@ bool Contains(const std::vector<std::string>& names,
 
 }  // namespace
 
-Result<Table> ReadCsv(std::istream& in, const CsvOptions& options) {
+const CsvParseInfo::NonNumericField* CsvParseInfo::FindNonNumeric(
+    const std::string& column) const {
+  for (const NonNumericField& f : non_numeric) {
+    if (f.column == column) return &f;
+  }
+  return nullptr;
+}
+
+Result<Table> ReadCsv(std::istream& in, const CsvOptions& options,
+                      CsvParseInfo* info) {
   std::vector<std::vector<std::string>> records;
+  // 1-based source line of each record: blank lines are skipped as
+  // records but still advance this counter, so error messages point at
+  // the line an editor shows.
+  std::vector<size_t> record_lines;
   std::string line;
+  size_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (Trim(line).empty()) continue;
     records.push_back(ParseCsvRecord(line, options.delimiter));
+    record_lines.push_back(line_number);
   }
   if (records.empty()) {
     return Status::InvalidArgument("CSV input contains no records");
@@ -76,9 +92,12 @@ Result<Table> ReadCsv(std::istream& in, const CsvOptions& options) {
   for (size_t r = first_data; r < records.size(); ++r) {
     if (records[r].size() != num_cols) {
       return Status::InvalidArgument(
-          "CSV record " + std::to_string(r + 1) + " has " +
+          "CSV line " + std::to_string(record_lines[r]) + " has " +
           std::to_string(records[r].size()) + " fields, expected " +
-          std::to_string(num_cols));
+          std::to_string(num_cols) +
+          (options.has_header
+               ? " (header at line " + std::to_string(record_lines[0]) + ")"
+               : ""));
     }
   }
 
@@ -100,6 +119,10 @@ Result<Table> ReadCsv(std::istream& in, const CsvOptions& options) {
       if (field.empty()) continue;
       if (!ParseDouble(field).has_value()) {
         numeric[c] = false;
+        if (info != nullptr) {
+          info->non_numeric.push_back(
+              {header[c], std::string(field), record_lines[r]});
+        }
         break;
       }
     }
@@ -149,13 +172,13 @@ Result<Table> ReadCsv(std::istream& in, const CsvOptions& options) {
   return table;
 }
 
-Result<Table> ReadCsvFile(const std::string& path,
-                          const CsvOptions& options) {
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options,
+                          CsvParseInfo* info) {
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open CSV file: " + path);
   }
-  return ReadCsv(in, options);
+  return ReadCsv(in, options, info);
 }
 
 namespace {

@@ -33,13 +33,35 @@ struct CsvOptions {
 std::vector<std::string> ParseCsvRecord(const std::string& line,
                                         char delimiter);
 
+/// Diagnostics from one CSV parse, for callers that need to explain
+/// the inferred schema — e.g. "why is this column categorical?". Line
+/// numbers are 1-based positions in the source stream (blank lines
+/// count, so they match what an editor shows).
+struct CsvParseInfo {
+  /// One per inferred-categorical column: the first field that failed
+  /// numeric parsing, with its location.
+  struct NonNumericField {
+    std::string column;
+    std::string value;
+    size_t line = 0;
+  };
+  std::vector<NonNumericField> non_numeric;
+
+  /// The entry for `column`, or nullptr if it stayed numeric (or was
+  /// forced categorical without a failing field).
+  const NonNumericField* FindNonNumeric(const std::string& column) const;
+};
+
 /// Reads a table from a CSV stream. Columns are typed by inference
 /// (see file comment) and categorical domains are built from the data
-/// in order of first appearance.
-Result<Table> ReadCsv(std::istream& in, const CsvOptions& options);
+/// in order of first appearance. Parse errors cite the 1-based source
+/// line. `info`, when non-null, receives the parse diagnostics.
+Result<Table> ReadCsv(std::istream& in, const CsvOptions& options,
+                      CsvParseInfo* info = nullptr);
 
 /// Reads a table from a CSV file on disk.
-Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options);
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options,
+                          CsvParseInfo* info = nullptr);
 
 /// Writes `table` as CSV (header row + one record per tuple).
 /// Categorical cells are written as their labels.

@@ -6,10 +6,48 @@
 
 #include "common/metrics/metrics.h"
 #include "common/timer.h"
+#include "storage/snapshot_writer.h"
 
 namespace fairtopk {
 
 namespace {
+
+/// Process-global persistence metrics, resolved once (the
+/// SessionMetrics idiom).
+struct StorageMetrics {
+  metrics::Gauge& snapshot_bytes;
+  metrics::Counter& oplog_records;
+  metrics::Histogram& open_read;
+  metrics::Histogram& open_mmap;
+  metrics::Histogram& save;
+
+  static StorageMetrics& Get() {
+    static StorageMetrics* m = [] {
+      auto& registry = metrics::MetricsRegistry::Global();
+      auto& open = registry.HistogramFamily(
+          "fairtopk_snapshot_open_micros",
+          "Snapshot open latency by open mode", {"mode"});
+      return new StorageMetrics{
+          registry
+              .GaugeFamily("fairtopk_snapshot_bytes",
+                           "On-disk size of the last snapshot written or "
+                           "opened")
+              .With({}),
+          registry
+              .CounterFamily("fairtopk_oplog_records_total",
+                             "Maintenance records appended to session op "
+                             "logs")
+              .With({}),
+          open.With({"read"}),
+          open.With({"mmap"}),
+          registry
+              .HistogramFamily("fairtopk_snapshot_save_micros",
+                               "Snapshot save (write + rename) latency")
+              .With({})};
+    }();
+    return *m;
+  }
+};
 
 /// Process-global session metrics, resolved once. Per-session counters
 /// live in SessionServiceStats; these aggregate across every session
@@ -197,6 +235,133 @@ Result<AuditSession> AuditSession::CreateWithScores(Table table,
   return AuditSession(std::move(table), std::move(scores),
                       /*ascending=*/false, /*score_column=*/-1,
                       std::move(options), std::move(input).value());
+}
+
+Result<AuditSession> AuditSession::OpenFromSnapshot(const std::string& path,
+                                                    SessionOptions options,
+                                                    storage::OpenMode mode) {
+  if (options.rebuild_threshold < 0.0 || options.rebuild_threshold > 1.0) {
+    return Status::InvalidArgument("rebuild_threshold must be in [0, 1]");
+  }
+  WallTimer timer;
+  FAIRTOPK_ASSIGN_OR_RETURN(storage::OpenedSnapshot snap,
+                            storage::ReadSnapshot(path, mode));
+  // The serving invariant every incremental re-rank leans on: the
+  // ranking is sorted under (scores, ascending) with ties by row id.
+  // The snapshot reader checks structure, not order, so pin it here.
+  const std::vector<uint32_t>& ranking = snap.index->ranking();
+  for (size_t pos = 1; pos < ranking.size(); ++pos) {
+    if (!ScoreRanksBefore(snap.scores, snap.ascending, ranking[pos - 1],
+                          ranking[pos])) {
+      return Status::Corruption(
+          "snapshot ranking is not sorted by its scores");
+    }
+  }
+  options.pattern_attributes = snap.pattern_attributes;
+  DetectionInput input = DetectionInput::FromIndex(std::move(*snap.index));
+  AuditSession session(std::move(*snap.table), std::move(snap.scores),
+                       snap.ascending, snap.score_column, std::move(options),
+                       std::move(input));
+  session.snapshot_path_ = path;
+  session.storage_generation_ = snap.info.generation;
+  session.snapshot_bytes_ = snap.info.file_bytes;
+  if (metrics::Enabled()) {
+    StorageMetrics& m = StorageMetrics::Get();
+    m.snapshot_bytes.Set(static_cast<int64_t>(snap.info.file_bytes));
+    (mode == storage::OpenMode::kRead ? m.open_read : m.open_mmap)
+        .Observe(timer.ElapsedMicros());
+  }
+  return session;
+}
+
+Status AuditSession::SaveSnapshot(const std::string& path) {
+  std::unique_lock<std::shared_mutex> state_lock(sync_->state,
+                                                 std::defer_lock);
+  AcquireTimed(state_lock, SessionMetrics::Get().exclusive_wait,
+               /*trace=*/nullptr, "session_acquire");
+  WallTimer timer;
+  const uint64_t next_generation = storage_generation_ + 1;
+  storage::SnapshotContents contents;
+  contents.generation = next_generation;
+  contents.ascending = ascending_;
+  contents.score_column = score_column_;
+  contents.table = &table_;
+  contents.scores = &scores_;
+  contents.index = &input_.index();
+  FAIRTOPK_ASSIGN_OR_RETURN(uint64_t bytes,
+                            storage::WriteSnapshot(path, contents));
+  snapshot_path_ = path;
+  storage_generation_ = next_generation;
+  snapshot_bytes_ = bytes;
+  if (op_log_.has_value()) {
+    // Compaction step two: the logged ops are baked into the snapshot
+    // that just landed, so the log restarts empty at the snapshot's
+    // generation. A crash between the rename and this Create leaves a
+    // stale-generation log the next open detects and discards.
+    FAIRTOPK_ASSIGN_OR_RETURN(
+        storage::OpLog fresh,
+        storage::OpLog::Create(op_log_->path(), next_generation,
+                               op_log_->fsync_policy()));
+    op_log_ = std::move(fresh);
+  }
+  if (metrics::Enabled()) {
+    StorageMetrics& m = StorageMetrics::Get();
+    m.snapshot_bytes.Set(static_cast<int64_t>(bytes));
+    m.save.Observe(timer.ElapsedMicros());
+  }
+  return Status::OK();
+}
+
+Status AuditSession::SaveSnapshot() {
+  std::string path;
+  {
+    std::shared_lock<std::shared_mutex> lock(sync_->state);
+    path = snapshot_path_;
+  }
+  if (path.empty()) {
+    return Status::FailedPrecondition(
+        "session has no snapshot path; pass one to SaveSnapshot");
+  }
+  return SaveSnapshot(path);
+}
+
+Status AuditSession::AttachOpLog(storage::OpLog log) {
+  if (!log.is_open()) {
+    return Status::InvalidArgument("op log is not open");
+  }
+  std::unique_lock<std::shared_mutex> state_lock(sync_->state,
+                                                 std::defer_lock);
+  AcquireTimed(state_lock, SessionMetrics::Get().exclusive_wait,
+               /*trace=*/nullptr, "session_acquire");
+  if (log.generation() != storage_generation_) {
+    return Status::FailedPrecondition(
+        "op log generation " + std::to_string(log.generation()) +
+        " does not pair with snapshot generation " +
+        std::to_string(storage_generation_));
+  }
+  op_log_ = std::move(log);
+  return Status::OK();
+}
+
+SessionStorageInfo AuditSession::storage_info() const {
+  std::shared_lock<std::shared_mutex> lock(sync_->state);
+  SessionStorageInfo info;
+  info.log_attached = op_log_.has_value();
+  info.generation = storage_generation_;
+  info.snapshot_bytes = snapshot_bytes_;
+  info.snapshot_path = snapshot_path_;
+  if (op_log_.has_value()) {
+    info.log_records = op_log_->record_count();
+    info.log_bytes = op_log_->bytes();
+  }
+  return info;
+}
+
+Status AuditSession::LogMaintenance(const storage::LogRecord& record) {
+  if (!op_log_.has_value()) return Status::OK();
+  FAIRTOPK_RETURN_IF_ERROR(op_log_->Append(record));
+  if (metrics::Enabled()) StorageMetrics::Get().oplog_records.Inc();
+  return Status::OK();
 }
 
 std::shared_lock<std::shared_mutex> AuditSession::ReadLock() const {
@@ -493,9 +658,20 @@ Status AuditSession::ApplyScoreUpdates(const std::vector<ScoreUpdate>& updates,
     }
   }
   Bump(&SessionServiceStats::score_updates);
-  return updates.size() <= options_.repair_rerank_max_batch
-             ? RepairRerankUpdates(updates, report)
-             : MergeRerankUpdates(updates, report);
+  FAIRTOPK_RETURN_IF_ERROR(
+      updates.size() <= options_.repair_rerank_max_batch
+          ? RepairRerankUpdates(updates, report)
+          : MergeRerankUpdates(updates, report));
+  if (op_log_.has_value()) {
+    storage::LogRecord record;
+    record.kind = storage::LogRecord::Kind::kUpdate;
+    record.edits.reserve(updates.size());
+    for (const ScoreUpdate& u : updates) {
+      record.edits.push_back(storage::ScoreEdit{u.row, u.score});
+    }
+    FAIRTOPK_RETURN_IF_ERROR(LogMaintenance(record));
+  }
+  return Status::OK();
 }
 
 Status AuditSession::RepairRerankUpdates(
@@ -712,6 +888,15 @@ Status AuditSession::AppendInternal(const std::vector<std::vector<Cell>>& rows,
   inverse_.resize(n);
   for (size_t pos = lo; pos < n; ++pos) {
     inverse_[input_.ranking()[pos]] = static_cast<uint32_t>(pos);
+  }
+  if (op_log_.has_value()) {
+    storage::LogRecord record;
+    record.kind = storage::LogRecord::Kind::kAppend;
+    record.rows = rows;
+    // Sessions ranked by a score column re-derive scores from the row
+    // cells on replay; explicit-score sessions need them logged.
+    if (score_column_ < 0) record.scores = scores;
+    FAIRTOPK_RETURN_IF_ERROR(LogMaintenance(record));
   }
   return Status::OK();
 }

@@ -78,6 +78,7 @@
 #include <initializer_list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -93,6 +94,8 @@
 #include "detect/verify.h"
 #include "mitigate/rerank.h"
 #include "relation/table.h"
+#include "storage/op_log.h"
+#include "storage/snapshot_reader.h"
 
 namespace fairtopk {
 
@@ -156,6 +159,21 @@ struct SessionServiceStats {
   uint64_t positions_patched = 0;///< rank positions rewritten in place
 };
 
+/// A session's durability state, as reported by `stats`/`snapshot_info`.
+struct SessionStorageInfo {
+  /// True when an op log is attached (maintenance ops are persisted).
+  bool log_attached = false;
+  /// Generation of the snapshot this session's log extends (0 until a
+  /// snapshot exists).
+  uint64_t generation = 0;
+  /// On-disk size of the last snapshot written or opened.
+  uint64_t snapshot_bytes = 0;
+  std::string snapshot_path;
+  /// Records (and bytes) in the attached log awaiting compaction.
+  uint64_t log_records = 0;
+  uint64_t log_bytes = 0;
+};
+
 /// A long-lived audit session over one dataset. See the file comment.
 class AuditSession {
  public:
@@ -175,6 +193,38 @@ class AuditSession {
   static Result<AuditSession> CreateWithScores(Table table,
                                                std::vector<double> scores,
                                                SessionOptions options = {});
+
+  /// Restores a session from a snapshot written by SaveSnapshot() —
+  /// the quadruple is deserialized and validated, not recomputed, so
+  /// opening skips CSV parsing, ranking, and the index build entirely.
+  /// `options.pattern_attributes` is ignored: the snapshot's pattern
+  /// space is authoritative. Snapshot errors are typed (kTruncated /
+  /// kChecksumMismatch / kVersionMismatch / kCorruption).
+  static Result<AuditSession> OpenFromSnapshot(
+      const std::string& path, SessionOptions options = {},
+      storage::OpenMode mode = storage::OpenMode::kRead);
+
+  /// Writes a snapshot of the current state to `path` via the atomic
+  /// tmp+fsync+rename sequence, bumping the storage generation. With an
+  /// op log attached this is compaction: after the snapshot lands, the
+  /// log restarts empty at the new generation (a crash between the two
+  /// steps leaves a stale-generation log that the next open discards).
+  /// Takes the exclusive state lock.
+  Status SaveSnapshot(const std::string& path);
+  /// As above, re-using the path of the last SaveSnapshot/OpenFromSnapshot.
+  Status SaveSnapshot();
+
+  /// Attaches `log`: every subsequent successful ApplyScoreUpdates /
+  /// AppendRows* call appends one canonical-codec record before the
+  /// exclusive lock is released. The log's generation must match the
+  /// session's storage generation (pairing it with the snapshot the
+  /// session came from). Replay the log's recovered records BEFORE
+  /// attaching — un-attached maintenance calls do not log, which is
+  /// what makes replay idempotent.
+  Status AttachOpLog(storage::OpLog log);
+
+  /// A consistent snapshot of the durability state.
+  SessionStorageInfo storage_info() const;
 
   AuditSession(AuditSession&&) = default;
   AuditSession& operator=(AuditSession&&) = default;
@@ -334,6 +384,12 @@ class AuditSession {
                         const std::vector<double>& scores,
                         MaintenanceReport* report);
 
+  /// Appends one maintenance record to the attached log, if any. The
+  /// caller holds the exclusive state lock and has already applied the
+  /// op; a log write failure surfaces as the call's status (the state
+  /// is ahead of the log until the next successful snapshot).
+  Status LogMaintenance(const storage::LogRecord& record);
+
   /// Runs the detector for `request` under the caller's shared state
   /// lock and publishes the outcome: fulfills `flight`'s promise,
   /// removes it from the in-flight map, and (when caching) inserts the
@@ -385,6 +441,14 @@ class AuditSession {
   std::deque<std::string> cache_order_;
   /// Guarded by Sync::stats (mutable: const queries still count).
   mutable SessionServiceStats service_stats_;
+
+  /// Durability state, guarded by Sync::state (maintenance and
+  /// SaveSnapshot mutate it under the exclusive lock; storage_info()
+  /// reads it under the shared lock).
+  std::string snapshot_path_;
+  uint64_t storage_generation_ = 0;
+  uint64_t snapshot_bytes_ = 0;
+  std::optional<storage::OpLog> op_log_;
 };
 
 }  // namespace fairtopk

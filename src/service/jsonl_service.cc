@@ -18,6 +18,7 @@
 #include "common/timer.h"
 #include "index/kernels/kernels.h"
 #include "report/json_report.h"
+#include "storage/snapshot_format.h"
 
 namespace fairtopk {
 
@@ -60,7 +61,8 @@ const char* OpLabel(const std::string& op) {
   static constexpr const char* kKnown[] = {
       "detect", "detect_batch", "capabilities", "suggest",   "verify",
       "rerank", "update",       "append",       "stats",     "metrics",
-      "open",   "close",        "list",         "use",       "invalidate"};
+      "open",   "close",        "list",         "use",       "invalidate",
+      "save",   "snapshot_info"};
   for (const char* known : kKnown) {
     if (op == known) return known;
   }
@@ -175,6 +177,20 @@ Result<Pattern> PatternField(const JsonValue& group,
     return Status::InvalidArgument("group assigns no attributes");
   }
   return pattern;
+}
+
+/// Serializes a session's storage state — shared by op=snapshot_info,
+/// op=save's response, and op=stats' "storage" block.
+void WriteStorageInfo(JsonWriter& w, const SessionStorageInfo& info) {
+  w.BeginObject();
+  w.Key("persistent").Bool(info.log_attached);
+  w.Key("snapshot_version").Uint(storage::kSnapshotVersion);
+  w.Key("generation").Uint(info.generation);
+  w.Key("snapshot_bytes").Uint(info.snapshot_bytes);
+  w.Key("snapshot_path").String(info.snapshot_path);
+  w.Key("log_records").Uint(info.log_records);
+  w.Key("log_bytes").Uint(info.log_bytes);
+  w.EndObject();
 }
 
 void WriteMaintenance(JsonWriter& w, const MaintenanceReport& report) {
@@ -618,6 +634,8 @@ Result<std::string> JsonlService::HandleStats(const Target& target,
   w.Key("workers").Int(server_workers_);
   w.Key("sessions").Uint(catalog_ != nullptr ? catalog_->size() : 1);
   w.EndObject();
+  w.Key("storage");
+  WriteStorageInfo(w, target.session->storage_info());
   w.EndObject();
   return w.str();
 }
@@ -636,6 +654,36 @@ Result<std::string> JsonlService::HandleInvalidate(const Target& target,
   return w.str();
 }
 
+Result<std::string> JsonlService::HandleSave(const Target& target,
+                                             const JsonValue& request) {
+  const JsonValue* path = request.Find("path");
+  if (path != nullptr) {
+    if (!path->is_string() || path->string_value().empty()) {
+      return Status::InvalidArgument("'path' must be a non-empty string");
+    }
+    FAIRTOPK_RETURN_IF_ERROR(
+        target.session->SaveSnapshot(path->string_value()));
+  } else {
+    FAIRTOPK_RETURN_IF_ERROR(target.session->SaveSnapshot());
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("storage");
+  WriteStorageInfo(w, target.session->storage_info());
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> JsonlService::HandleSnapshotInfo(const Target& target,
+                                                     const JsonValue&) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("storage");
+  WriteStorageInfo(w, target.session->storage_info());
+  w.EndObject();
+  return w.str();
+}
+
 Result<std::string> JsonlService::HandleOpen(const JsonValue& request) {
   if (catalog_ == nullptr) {
     return Status::FailedPrecondition(
@@ -644,9 +692,21 @@ Result<std::string> JsonlService::HandleOpen(const JsonValue& request) {
   FAIRTOPK_ASSIGN_OR_RETURN(std::string name,
                             RequiredString(request, "name", "open"));
   SessionSpec spec;
-  FAIRTOPK_ASSIGN_OR_RETURN(spec.csv, RequiredString(request, "csv", "open"));
-  FAIRTOPK_ASSIGN_OR_RETURN(spec.rank_by,
-                            RequiredString(request, "rank_by", "open"));
+  spec.snapshot = request.StringOr("snapshot", "");
+  spec.data_dir = request.StringOr("data_dir", "");
+  spec.mmap = request.BoolOr("mmap", spec.mmap);
+  spec.fsync_always = request.BoolOr("fsync_always", spec.fsync_always);
+  spec.csv = request.StringOr("csv", "");
+  spec.rank_by = request.StringOr("rank_by", "");
+  // A pure snapshot restore needs neither csv nor rank_by; a data_dir
+  // needs them only on the cold-start path (the catalog reports that
+  // precisely); a plain open needs both.
+  if (spec.snapshot.empty() && spec.data_dir.empty()) {
+    FAIRTOPK_ASSIGN_OR_RETURN(spec.csv,
+                              RequiredString(request, "csv", "open"));
+    FAIRTOPK_ASSIGN_OR_RETURN(spec.rank_by,
+                              RequiredString(request, "rank_by", "open"));
+  }
   spec.ascending = request.BoolOr("ascending", spec.ascending);
   FAIRTOPK_ASSIGN_OR_RETURN(spec.bins,
                             api::ReadIntField(request, "bins", spec.bins));
@@ -782,6 +842,8 @@ Result<std::string> JsonlService::Dispatch(const std::string& op,
   if (op == "append") return HandleAppend(target, request);
   if (op == "stats") return HandleStats(target, request);
   if (op == "invalidate") return HandleInvalidate(target, request);
+  if (op == "save") return HandleSave(target, request);
+  if (op == "snapshot_info") return HandleSnapshotInfo(target, request);
   return Status::InvalidArgument(
       op.empty() ? "request misses 'op'" : "unknown op '" + op + "'");
 }

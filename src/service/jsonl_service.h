@@ -31,6 +31,15 @@
 //               same counters/histograms the Prometheus endpoint
 //               serves; see common/metrics/metrics.h)
 //   op=invalidate  explicit result-cache invalidation
+//   op=save     compact the session to its snapshot: write a new
+//               snapshot generation and truncate the op log. An
+//               optional "path" saves a copy elsewhere instead (the
+//               bound data directory, if any, is untouched); without a
+//               bound path and without "path" the op fails with
+//               FAILED_PRECONDITION
+//   op=snapshot_info  the session's storage state (generation,
+//               snapshot bytes/path, op-log records pending
+//               compaction)
 //
 // Catalog ops (services bound to a SessionCatalog; single-session
 // services answer them with FAILED_PRECONDITION):
@@ -38,7 +47,11 @@
 //               loads a CSV into a new named session (knob vocabulary
 //               mirrors the fairtopk_serve flags: ascending, bins,
 //               drop, k_min/k_max/tau/threads, lower, alpha,
-//               cache_capacity, rebuild_threshold)
+//               cache_capacity, rebuild_threshold). "snapshot" opens a
+//               snapshot file read-only instead of a CSV; "data_dir"
+//               opens a durable directory (open-or-replay, cold start
+//               from "csv" when empty); "mmap" and "fsync_always"
+//               select the snapshot open mode and op-log durability
 //   op=close    {"name": ...} — drops a session; requests already
 //               running against it finish unharmed
 //   op=list     the registered sessions and this client's current one
@@ -242,6 +255,10 @@ class JsonlService {
                                   const JsonValue& request);
   Result<std::string> HandleInvalidate(const Target& target,
                                        const JsonValue& request);
+  Result<std::string> HandleSave(const Target& target,
+                                 const JsonValue& request);
+  Result<std::string> HandleSnapshotInfo(const Target& target,
+                                         const JsonValue& request);
 
   /// Catalog ops; error on single-session services.
   Result<std::string> HandleOpen(const JsonValue& request);

@@ -1,8 +1,30 @@
 #include "service/session_catalog.h"
 
+#include <optional>
+
+#include "service/persistence.h"
 #include "service/table_loader.h"
 
 namespace fairtopk {
+
+namespace {
+
+/// The CSV cold-start path shared by plain and data-dir opens.
+Result<AuditSession> SessionFromCsv(const SessionSpec& spec) {
+  if (spec.csv.empty()) {
+    return Status::InvalidArgument("session spec names no csv");
+  }
+  if (spec.rank_by.empty()) {
+    return Status::InvalidArgument("session spec names no rank_by column");
+  }
+  FAIRTOPK_ASSIGN_OR_RETURN(
+      Table table,
+      LoadAuditTable(spec.csv, spec.rank_by, spec.bins, spec.drop));
+  return AuditSession::Create(std::move(table), spec.rank_by, spec.ascending,
+                              spec.session);
+}
+
+}  // namespace
 
 Status SessionCatalog::Open(const std::string& name,
                             const SessionSpec& spec) {
@@ -13,21 +35,41 @@ Status SessionCatalog::Open(const std::string& name,
   // seconds, and concurrent requests to other sessions must not stall
   // behind it. The name is only claimed on success; two concurrent
   // opens of the same name race to the emplace and the loser errors.
-  FAIRTOPK_ASSIGN_OR_RETURN(
-      Table table,
-      LoadAuditTable(spec.csv, spec.rank_by, spec.bins, spec.drop));
-  const size_t num_rows = table.num_rows();
-  FAIRTOPK_ASSIGN_OR_RETURN(
-      AuditSession session,
-      AuditSession::Create(std::move(table), spec.rank_by, spec.ascending,
-                           spec.session));
+  const storage::OpenMode mode =
+      spec.mmap ? storage::OpenMode::kMmap : storage::OpenMode::kRead;
+  std::optional<AuditSession> session;
+  std::string dataset;
+  if (!spec.data_dir.empty()) {
+    PersistentOpenOptions persist;
+    persist.mode = mode;
+    persist.fsync = spec.fsync_always ? storage::FsyncPolicy::kAlways
+                                      : storage::FsyncPolicy::kNever;
+    Result<AuditSession> opened = OpenPersistentSession(
+        spec.data_dir, [&spec] { return SessionFromCsv(spec); }, spec.session,
+        persist, /*report=*/nullptr);
+    if (!opened.ok()) return opened.status();
+    session.emplace(std::move(opened).value());
+    dataset = spec.data_dir;
+  } else if (!spec.snapshot.empty()) {
+    Result<AuditSession> opened =
+        AuditSession::OpenFromSnapshot(spec.snapshot, spec.session, mode);
+    if (!opened.ok()) return opened.status();
+    session.emplace(std::move(opened).value());
+    dataset = spec.snapshot;
+  } else {
+    Result<AuditSession> built = SessionFromCsv(spec);
+    if (!built.ok()) return built.status();
+    session.emplace(std::move(built).value());
+    dataset = spec.csv;
+  }
+  const size_t num_rows = session->num_rows();
   ServeDefaults defaults;
-  defaults.dataset = spec.csv;
+  defaults.dataset = dataset;
   defaults.config = MakeToolConfig(spec.k_min, spec.k_max, spec.tau,
                                    spec.threads, num_rows);
   defaults.bounds.lower_fraction = spec.lower_fraction;
   defaults.bounds.alpha = spec.alpha;
-  return Adopt(name, std::move(session), std::move(defaults));
+  return Adopt(name, std::move(*session), std::move(defaults));
 }
 
 Status SessionCatalog::Adopt(const std::string& name, AuditSession session,

@@ -33,8 +33,21 @@ namespace fairtopk {
 /// session: dataset preparation knobs plus the per-session request
 /// defaults. Field defaults mirror the fairtopk_serve flag defaults.
 struct SessionSpec {
-  std::string csv;      ///< CSV path (required)
-  std::string rank_by;  ///< numeric ranking column (required)
+  std::string csv;      ///< CSV path (required unless snapshot/data_dir)
+  std::string rank_by;  ///< numeric ranking column (required with csv)
+  /// Snapshot file to restore instead of loading `csv` — a read-only
+  /// restore: no op log is attached and maintenance ops are not
+  /// persisted. Mutually exclusive with `data_dir`.
+  std::string snapshot;
+  /// Data directory for a durable session: open-or-replay its
+  /// snapshot + op log when present, cold-start from `csv` (and save
+  /// the initial snapshot) otherwise. Maintenance ops are logged and
+  /// `save` compacts. Takes precedence over `snapshot`.
+  std::string data_dir;
+  /// Open snapshots via mmap instead of read().
+  bool mmap = false;
+  /// fsync the op log after every maintenance op (data_dir only).
+  bool fsync_always = false;
   bool ascending = false;
   int bins = 4;  ///< buckets per non-ranking numeric attribute
   std::vector<std::string> drop;  ///< columns to ignore

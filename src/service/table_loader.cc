@@ -13,16 +13,28 @@ Result<Table> LoadAuditTable(const std::string& csv_path,
                              const std::vector<std::string>& drop) {
   CsvOptions csv_options;
   csv_options.drop = drop;
-  Result<Table> raw = ReadCsvFile(csv_path, csv_options);
+  CsvParseInfo parse_info;
+  Result<Table> raw = ReadCsvFile(csv_path, csv_options, &parse_info);
   if (!raw.ok()) {
     return Status(raw.status().code(), "failed to read " + csv_path + ": " +
                                            raw.status().message());
   }
   auto rank_idx = raw->schema().IndexOf(rank_by);
-  if (!rank_idx.has_value() ||
-      raw->schema().attribute(*rank_idx).type != AttributeType::kNumeric) {
+  if (!rank_idx.has_value()) {
     return Status::InvalidArgument("rank-by column '" + rank_by +
-                                   "' missing or not numeric");
+                                   "' not in " + csv_path);
+  }
+  if (raw->schema().attribute(*rank_idx).type != AttributeType::kNumeric) {
+    // Point at the exact field that flipped the column to categorical —
+    // usually a stray header repeat or a placeholder like "N/A".
+    std::string detail;
+    if (const auto* f = parse_info.FindNonNumeric(rank_by)) {
+      detail = ": value '" + f->value + "' at line " +
+               std::to_string(f->line) + " is not a number";
+    }
+    return Status::InvalidArgument("rank-by column '" + rank_by +
+                                   "' of " + csv_path + " is not numeric" +
+                                   detail);
   }
   Table table = std::move(raw).value();
   for (size_t c = 0; c < table.schema().size(); ++c) {

@@ -1,0 +1,119 @@
+// Append-only log of the maintenance ops (`update` score edits,
+// `append` row batches) applied to a session since its last snapshot.
+//
+// File layout: a 28-byte header (magic "FTKOPLG1", version, the
+// generation of the snapshot this log extends, CRC32), then zero or
+// more length+CRC-framed records:
+//
+//   [payload_bytes u32][payload_crc32 u32][payload]
+//
+// Payloads use the same little-endian codec as snapshots (bit-exact
+// doubles). Replay-on-open validates every frame; an incomplete frame
+// at the tail — the signature of a crash mid-append — is tolerated and
+// truncated away, while a checksum failure on a complete frame is a
+// typed error (that is corruption, not a torn write). Generations pair
+// a log with its snapshot: compaction writes snapshot generation g+1
+// and then starts a fresh log at g+1, so after a crash between the two
+// steps the stale log is detected by its generation and discarded
+// rather than replayed onto the wrong base.
+#ifndef FAIRTOPK_STORAGE_OP_LOG_H_
+#define FAIRTOPK_STORAGE_OP_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace fairtopk {
+namespace storage {
+
+/// When appended records reach the disk.
+enum class FsyncPolicy {
+  kNever,   ///< leave flushing to the OS (fast, loses recent ops on crash)
+  kAlways,  ///< fsync after every append (durable, one disk round trip/op)
+};
+
+/// One score edit of an `update` op.
+struct ScoreEdit {
+  uint32_t row = 0;
+  double score = 0.0;
+};
+
+/// One maintenance op as logged and replayed.
+struct LogRecord {
+  enum class Kind : uint8_t { kUpdate = 1, kAppend = 2 };
+
+  Kind kind = Kind::kUpdate;
+  /// kUpdate payload.
+  std::vector<ScoreEdit> edits;
+  /// kAppend payload: the appended rows…
+  std::vector<std::vector<Cell>> rows;
+  /// …and their explicit scores, or empty when scores come from the
+  /// session's score column.
+  std::vector<double> scores;
+};
+
+/// An open, appendable op log.
+class OpLog {
+ public:
+  /// What Open() recovered from an existing file.
+  struct Recovered {
+    std::vector<LogRecord> records;
+    /// True when a torn final frame was dropped (and the file truncated
+    /// back to its last complete record).
+    bool dropped_torn_tail = false;
+    /// True when an existing log carried a different generation and was
+    /// replaced by a fresh empty one instead of replayed.
+    bool discarded_stale = false;
+  };
+
+  OpLog() = default;
+  ~OpLog();
+  OpLog(OpLog&& other) noexcept;
+  OpLog& operator=(OpLog&& other) noexcept;
+  OpLog(const OpLog&) = delete;
+  OpLog& operator=(const OpLog&) = delete;
+
+  /// Opens `path` for a snapshot at `generation`. A missing file, or an
+  /// existing one whose generation differs (a stale pre-compaction
+  /// log), becomes a fresh empty log; otherwise every record is
+  /// validated and returned for replay via `recovered`. Corrupt
+  /// non-tail bytes surface as typed errors.
+  static Result<OpLog> Open(const std::string& path, uint64_t generation,
+                            FsyncPolicy fsync, Recovered* recovered);
+
+  /// Creates (truncates to) a fresh empty log at `generation`.
+  static Result<OpLog> Create(const std::string& path, uint64_t generation,
+                              FsyncPolicy fsync);
+
+  /// Appends one record (and fsyncs, under FsyncPolicy::kAlways).
+  Status Append(const LogRecord& record);
+
+  uint64_t generation() const { return generation_; }
+  FsyncPolicy fsync_policy() const { return fsync_; }
+  size_t record_count() const { return record_count_; }
+  uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Encodes `record` with the canonical codec (exposed for tests and
+  /// crash-consistency harnesses that build log images by hand).
+  static std::string EncodePayload(const LogRecord& record);
+  /// Decodes one payload, validating counts and kinds.
+  static Result<LogRecord> DecodePayload(const uint8_t* data, size_t size);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t generation_ = 0;
+  FsyncPolicy fsync_ = FsyncPolicy::kNever;
+  size_t record_count_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace fairtopk
+
+#endif  // FAIRTOPK_STORAGE_OP_LOG_H_

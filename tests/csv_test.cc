@@ -90,6 +90,46 @@ TEST(ReadCsvTest, RejectsRaggedRecords) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(ReadCsvTest, RaggedRecordErrorCitesSourceLine) {
+  // Blank lines before the bad record still count: the message must
+  // point at line 5, the position an editor shows, not record 3.
+  std::istringstream in("a,b\n1,2\n\n\n3\n9,9\n");
+  Status status = ReadCsv(in, CsvOptions{}).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("CSV line 5"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("has 1 fields, expected 2"),
+            std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("header at line 1"), std::string::npos)
+      << status.message();
+}
+
+TEST(ReadCsvTest, ParseInfoLocatesFirstNonNumericField) {
+  // "age" would be numeric but for the "N/A" on source line 4 (line 3
+  // is blank); "city" fails immediately at line 2.
+  std::istringstream in("age,city\n31,paris\n\n N/A ,rome\n40,oslo\n");
+  CsvParseInfo info;
+  Result<Table> table = ReadCsv(in, CsvOptions{}, &info);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+
+  const auto* age = info.FindNonNumeric("age");
+  ASSERT_NE(age, nullptr);
+  EXPECT_EQ(age->value, "N/A");  // trimmed
+  EXPECT_EQ(age->line, 4u);
+
+  const auto* city = info.FindNonNumeric("city");
+  ASSERT_NE(city, nullptr);
+  EXPECT_EQ(city->value, "paris");
+  EXPECT_EQ(city->line, 2u);
+
+  // A column that stayed numeric has no entry.
+  std::istringstream clean("x\n1\n2\n");
+  CsvParseInfo clean_info;
+  ASSERT_TRUE(ReadCsv(clean, CsvOptions{}, &clean_info).ok());
+  EXPECT_EQ(clean_info.FindNonNumeric("x"), nullptr);
+}
+
 TEST(ReadCsvTest, RejectsEmptyInput) {
   std::istringstream in("");
   EXPECT_EQ(ReadCsv(in, CsvOptions{}).status().code(),

@@ -52,6 +52,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -68,6 +69,8 @@
 #include "relation/csv.h"
 #include "report/json_report.h"
 #include "service/table_loader.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
 
 namespace fairtopk {
 namespace {
@@ -96,6 +99,8 @@ struct Args {
   bool json = false;
   std::string verify_group;
   std::string rerank_path;
+  std::string snapshot;       ///< open this snapshot instead of a CSV
+  std::string save_snapshot;  ///< write the prepared input here
 };
 
 /// The full flag table (kept in sync with the file comment); printed
@@ -146,6 +151,13 @@ void PrintUsage(std::FILE* out) {
       "                         so the detected groups meet the\n"
       "                         bounds and write the re-ranked table\n"
       "                         to PATH as CSV\n"
+      "  --snapshot PATH        open a saved snapshot instead of\n"
+      "                         loading a CSV (skips parse, bucketize\n"
+      "                         and index build; --csv/--rank-by are\n"
+      "                         not needed)\n"
+      "  --save-snapshot PATH   after preparing the input, write it to\n"
+      "                         PATH as a snapshot for later --snapshot\n"
+      "                         opens and fairtopk_serve --data-dir\n"
       "  --help                 print this message and exit\n");
 }
 
@@ -239,6 +251,14 @@ bool ParseArgs(int argc, char** argv, Args& args, bool& help) {
       const char* v = next("--rerank");
       if (v == nullptr) return false;
       args.rerank_path = v;
+    } else if (flag == "--snapshot") {
+      const char* v = next("--snapshot");
+      if (v == nullptr) return false;
+      args.snapshot = v;
+    } else if (flag == "--save-snapshot") {
+      const char* v = next("--save-snapshot");
+      if (v == nullptr) return false;
+      args.save_snapshot = v;
     } else if (flag == "--suggest") {
       args.suggest = true;
     } else if (flag == "--explain") {
@@ -251,7 +271,8 @@ bool ParseArgs(int argc, char** argv, Args& args, bool& help) {
       return false;
     }
   }
-  if (args.csv.empty() || args.rank_by.empty()) {
+  // A snapshot open carries its own ranking column and direction.
+  if ((args.csv.empty() || args.rank_by.empty()) && args.snapshot.empty()) {
     PrintUsage(stderr);
     return false;
   }
@@ -328,21 +349,83 @@ Result<Pattern> ParseGroupSpec(const std::string& spec,
 }
 
 int RunAudit(const Args& args) {
-  // Rank on the raw numeric column, then bucketize every OTHER numeric
-  // column so it can join group definitions.
-  Result<Table> loaded =
-      LoadAuditTable(args.csv, args.rank_by, args.bins, args.drop);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 1;
+  std::optional<Table> table;
+  std::optional<DetectionInput> input;
+  std::string rank_by = args.rank_by;
+  bool ascending = args.ascending;
+  if (!args.snapshot.empty()) {
+    // Snapshot open: the table, ranking and index come back exactly as
+    // saved — no parse, no bucketize, no index build.
+    Result<storage::OpenedSnapshot> snap =
+        storage::ReadSnapshot(args.snapshot, storage::OpenMode::kRead);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "%s\n", snap.status().ToString().c_str());
+      return 1;
+    }
+    ascending = snap->ascending;
+    if (snap->score_column >= 0) {
+      rank_by = snap->table->schema()
+                    .attribute(static_cast<size_t>(snap->score_column))
+                    .name;
+    } else {
+      rank_by.clear();  // explicit-scores snapshot: no ranking column
+    }
+    table.emplace(std::move(*snap->table));
+    input.emplace(DetectionInput::FromIndex(std::move(*snap->index)));
+  } else {
+    // Rank on the raw numeric column, then bucketize every OTHER
+    // numeric column so it can join group definitions.
+    Result<Table> loaded =
+        LoadAuditTable(args.csv, args.rank_by, args.bins, args.drop);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    table.emplace(std::move(loaded).value());
+    AttributeRanker ranker({{args.rank_by, args.ascending}});
+    Result<DetectionInput> prepared = DetectionInput::Prepare(*table, ranker);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+      return 1;
+    }
+    input.emplace(std::move(prepared).value());
   }
-  Table table = std::move(loaded).value();
 
-  AttributeRanker ranker({{args.rank_by, args.ascending}});
-  Result<DetectionInput> input = DetectionInput::Prepare(table, ranker);
-  if (!input.ok()) {
-    std::fprintf(stderr, "%s\n", input.status().ToString().c_str());
-    return 1;
+  if (!args.save_snapshot.empty()) {
+    int32_t score_column = -1;
+    for (size_t c = 0; c < table->schema().size(); ++c) {
+      if (table->schema().attribute(c).name == rank_by) {
+        score_column = static_cast<int32_t>(c);
+        break;
+      }
+    }
+    if (score_column < 0) {
+      std::fprintf(stderr,
+                   "cannot save a snapshot: no ranking column to derive "
+                   "scores from\n");
+      return 1;
+    }
+    std::vector<double> scores(table->num_rows());
+    for (size_t r = 0; r < scores.size(); ++r) {
+      scores[r] = table->ValueAt(static_cast<uint32_t>(r),
+                                 static_cast<size_t>(score_column));
+    }
+    storage::SnapshotContents contents;
+    contents.generation = 1;
+    contents.ascending = ascending;
+    contents.score_column = score_column;
+    contents.table = &*table;
+    contents.scores = &scores;
+    contents.index = &input->index();
+    Result<uint64_t> written =
+        storage::WriteSnapshot(args.save_snapshot, contents);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "snapshot written to %s (%llu bytes)\n",
+                 args.save_snapshot.c_str(),
+                 static_cast<unsigned long long>(*written));
   }
 
   // The typed request: detector by registry name, config and bounds
@@ -350,7 +433,7 @@ int RunAudit(const Args& args) {
   api::AuditRequest request;
   request.detector = args.detector->name;
   request.config = MakeToolConfig(args.k_min, args.k_max, args.tau,
-                                  args.threads, table.num_rows());
+                                  args.threads, table->num_rows());
   Result<api::BoundsSpec> bounds = api::BoundsFromDefaults(
       args.detector->bounds_kind,
       api::BoundsDefaults{args.lower_fraction, args.alpha}, request.config);
@@ -445,7 +528,9 @@ int RunAudit(const Args& args) {
   };
 
   if (args.json) {
-    ReportContext context{args.csv, args.measure, args.detector->name};
+    ReportContext context{
+        args.snapshot.empty() ? args.csv : args.snapshot, args.measure,
+        args.detector->name};
     std::printf("%s\n",
                 DetectionResultToJson(*detected, *input, context).c_str());
   } else {
@@ -469,7 +554,7 @@ int RunAudit(const Args& args) {
         const auto& prop = std::get<PropBoundSpec>(request.bounds);
         const double floor_at_kmax = prop.LowerAt(
             static_cast<int>(input->index().PatternCount(p)),
-            request.config.k_max, table.num_rows());
+            request.config.k_max, table->num_rows());
         constraints.push_back(
             {p, StepFunction::Constant(std::ceil(floor_at_kmax))});
       }
@@ -491,19 +576,19 @@ int RunAudit(const Args& args) {
     // (audit the file again with `--rank-by repaired_rank
     // --ascending`).
     Result<Table> reordered = [&]() -> Result<Table> {
-      Schema schema = table.schema();
+      Schema schema = table->schema();
       FAIRTOPK_RETURN_IF_ERROR(schema.AddNumeric("repaired_rank"));
       FAIRTOPK_ASSIGN_OR_RETURN(Table out, Table::Create(schema));
-      std::vector<Cell> row(table.num_attributes() + 1);
+      std::vector<Cell> row(table->num_attributes() + 1);
       double rank = 1.0;
       for (uint32_t r : repair->ranking) {
-        for (size_t c = 0; c < table.num_attributes(); ++c) {
-          row[c] = table.schema().attribute(c).type ==
+        for (size_t c = 0; c < table->num_attributes(); ++c) {
+          row[c] = table->schema().attribute(c).type ==
                            AttributeType::kCategorical
-                       ? Cell::Code(table.CodeAt(r, c))
-                       : Cell::Value(table.ValueAt(r, c));
+                       ? Cell::Code(table->CodeAt(r, c))
+                       : Cell::Value(table->ValueAt(r, c));
         }
-        row[table.num_attributes()] = Cell::Value(rank);
+        row[table->num_attributes()] = Cell::Value(rank);
         rank += 1.0;
         FAIRTOPK_RETURN_IF_ERROR(out.AppendRow(row));
       }
@@ -530,13 +615,20 @@ int RunAudit(const Args& args) {
       std::fprintf(stderr, "nothing to explain at k=%d\n", k);
       return 0;
     }
-    auto ranking = ranker.Rank(table);
+    if (rank_by.empty()) {
+      std::fprintf(stderr,
+                   "--explain needs a ranking column (this snapshot "
+                   "carries explicit scores)\n");
+      return 1;
+    }
+    AttributeRanker ranker({{rank_by, ascending}});
+    auto ranking = ranker.Rank(*table);
     if (!ranking.ok()) {
       std::fprintf(stderr, "%s\n", ranking.status().ToString().c_str());
       return 1;
     }
     auto explainer =
-        GroupExplainer::Create(table, *ranking, ExplainerOptions{});
+        GroupExplainer::Create(*table, *ranking, ExplainerOptions{});
     if (!explainer.ok()) {
       std::fprintf(stderr, "%s\n", explainer.status().ToString().c_str());
       return 1;

@@ -4,6 +4,14 @@
 // Usage:
 //   fairtopk_serve --csv data.csv --rank-by score [options] < requests.jsonl
 //   fairtopk_serve --csv data.csv --rank-by score --listen 7070
+//   fairtopk_serve --data-dir state/ --csv data.csv --rank-by score  # 1st run
+//   fairtopk_serve --data-dir state/ --listen 7070                   # restarts
+//
+// With --data-dir the "default" session is durable: the first start
+// cold-starts from the CSV and writes a snapshot, every maintenance op
+// is appended to an op log, and SIGTERM compacts the log into a fresh
+// snapshot generation — later starts skip the CSV entirely and reopen
+// from disk (README.md, "Persistence").
 //
 // Startup mirrors fairtopk_audit: the CSV is loaded, every numeric
 // column except the ranking column is bucketized so it can join group
@@ -26,6 +34,7 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -39,6 +48,7 @@
 #include "service/jsonl_service.h"
 #include "service/net/metrics_http.h"
 #include "service/net/socket_server.h"
+#include "service/persistence.h"
 #include "service/session_catalog.h"
 #include "service/table_loader.h"
 
@@ -48,6 +58,9 @@ namespace {
 struct Args {
   std::string csv;
   std::string rank_by;
+  std::string data_dir;  // empty = in-memory only
+  bool mmap = false;
+  bool fsync_always = false;
   bool ascending = false;
   int k_min = 10;
   int k_max = 49;
@@ -102,6 +115,18 @@ void PrintUsage(std::FILE* out) {
       "  --bins N               buckets per numeric attribute\n"
       "                         (default 4)\n"
       "  --drop col1,col2       columns to ignore (ids, names, ...)\n"
+      "  --data-dir DIR         durable session state: open DIR's\n"
+      "                         snapshot and replay its op log when\n"
+      "                         present (skipping the CSV load), cold\n"
+      "                         start from --csv and save the initial\n"
+      "                         snapshot otherwise; update/append ops\n"
+      "                         are logged, op=save compacts, and\n"
+      "                         shutdown compacts automatically\n"
+      "  --mmap                 open snapshots via mmap instead of\n"
+      "                         read()\n"
+      "  --fsync-always         fsync the op log after every\n"
+      "                         maintenance op (durable to the power\n"
+      "                         cord, slower updates)\n"
       "  --rebuild-threshold X  patch the index in place while at most\n"
       "                         X*|D| rank positions changed row;\n"
       "                         rebuild beyond it (default 0.5)\n"
@@ -219,6 +244,14 @@ bool ParseArgs(int argc, char** argv, Args& args, bool& help) {
       const char* v = next("--drop");
       if (v == nullptr) return false;
       args.drop = Split(v, ',');
+    } else if (flag == "--data-dir") {
+      const char* v = next("--data-dir");
+      if (v == nullptr) return false;
+      args.data_dir = v;
+    } else if (flag == "--mmap") {
+      args.mmap = true;
+    } else if (flag == "--fsync-always") {
+      args.fsync_always = true;
     } else if (flag == "--listen") {
       if (!next_int("--listen", 0, 65535, args.listen_port)) return false;
     } else if (flag == "--host") {
@@ -243,7 +276,9 @@ bool ParseArgs(int argc, char** argv, Args& args, bool& help) {
       return false;
     }
   }
-  if (args.csv.empty() || args.rank_by.empty()) {
+  // --data-dir can start from an existing snapshot alone; every other
+  // mode (and a data-dir cold start, checked at open) needs the CSV.
+  if ((args.csv.empty() || args.rank_by.empty()) && args.data_dir.empty()) {
     PrintUsage(stderr);
     return false;
   }
@@ -256,19 +291,29 @@ int ResolveWorkers(int workers) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+/// On --data-dir shutdown: fold the accumulated op log into a fresh
+/// snapshot generation so the next start replays nothing.
+void CompactOnExit(SessionCatalog& catalog) {
+  std::shared_ptr<SessionCatalog::Entry> entry = catalog.Find("default");
+  if (entry == nullptr) return;
+  const SessionStorageInfo before = entry->session.storage_info();
+  if (!before.log_attached) return;
+  if (Status saved = entry->session.SaveSnapshot(); !saved.ok()) {
+    std::fprintf(stderr, "compaction failed (state persists in the op "
+                         "log): %s\n",
+                 saved.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "compacted %llu op(s) into snapshot generation %llu\n",
+               static_cast<unsigned long long>(before.log_records),
+               static_cast<unsigned long long>(
+                   entry->session.storage_info().generation));
+}
+
 int RunServe(const Args& args) {
   // Start the uptime clock before loading anything so the reported
   // uptime covers (almost) the whole process life.
   (void)metrics::UptimeSeconds();
-  Result<Table> loaded =
-      LoadAuditTable(args.csv, args.rank_by, args.bins, args.drop);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
-  Table table = std::move(loaded).value();
-
-  const int n = static_cast<int>(table.num_rows());
   SessionOptions session_options;
   session_options.rebuild_threshold = args.rebuild_threshold;
   session_options.cache_capacity = static_cast<size_t>(args.cache_capacity);
@@ -279,15 +324,62 @@ int RunServe(const Args& args) {
     session_options.batch_executor =
         std::make_shared<ThreadPool>(args.batch_workers);
   }
-  Result<AuditSession> session = AuditSession::Create(
-      std::move(table), args.rank_by, args.ascending, session_options);
-  if (!session.ok()) {
-    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
-    return 1;
+
+  auto cold_start = [&args,
+                     &session_options]() -> Result<AuditSession> {
+    if (args.csv.empty() || args.rank_by.empty()) {
+      return Status::InvalidArgument(
+          "--data-dir holds no snapshot yet: the first start needs "
+          "--csv and --rank-by to build one");
+    }
+    FAIRTOPK_ASSIGN_OR_RETURN(
+        Table table,
+        LoadAuditTable(args.csv, args.rank_by, args.bins, args.drop));
+    return AuditSession::Create(std::move(table), args.rank_by,
+                                args.ascending, session_options);
+  };
+
+  std::optional<AuditSession> session;
+  if (!args.data_dir.empty()) {
+    PersistentOpenOptions persist;
+    persist.mode = args.mmap ? storage::OpenMode::kMmap
+                             : storage::OpenMode::kRead;
+    persist.fsync = args.fsync_always ? storage::FsyncPolicy::kAlways
+                                      : storage::FsyncPolicy::kNever;
+    PersistentOpenReport report;
+    Result<AuditSession> opened = OpenPersistentSession(
+        args.data_dir, cold_start, session_options, persist, &report);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    session.emplace(std::move(opened).value());
+    if (report.cold_start) {
+      std::fprintf(stderr, "data dir %s: cold start from %s\n",
+                   args.data_dir.c_str(), args.csv.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "data dir %s: snapshot generation %llu, %zu op(s) "
+                   "replayed%s%s\n",
+                   args.data_dir.c_str(),
+                   static_cast<unsigned long long>(
+                       session->storage_info().generation),
+                   report.replayed_records,
+                   report.dropped_torn_tail ? ", torn tail dropped" : "",
+                   report.discarded_stale_log ? ", stale log discarded" : "");
+    }
+  } else {
+    Result<AuditSession> built = cold_start();
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    session.emplace(std::move(built).value());
   }
 
+  const int n = static_cast<int>(session->num_rows());
   ServeDefaults defaults;
-  defaults.dataset = args.csv;
+  defaults.dataset = args.data_dir.empty() ? args.csv : args.data_dir;
   defaults.config = MakeToolConfig(args.k_min, args.k_max, args.tau,
                                    args.threads, static_cast<size_t>(n));
   defaults.bounds.lower_fraction = args.lower_fraction;
@@ -297,7 +389,7 @@ int RunServe(const Args& args) {
   // startup CSV is "default", which plain requests route to.
   SessionCatalog catalog;
   const size_t attributes = session->space().num_attributes();
-  if (Status adopted = catalog.Adopt("default", std::move(session).value(),
+  if (Status adopted = catalog.Adopt("default", std::move(*session),
                                      std::move(defaults));
       !adopted.ok()) {
     std::fprintf(stderr, "%s\n", adopted.ToString().c_str());
@@ -344,6 +436,7 @@ int RunServe(const Args& args) {
                  n, attributes, serve_options.workers,
                  serve_options.ordered ? " (ordered)" : "");
     service.Serve(std::cin, std::cout, serve_options);
+    CompactOnExit(catalog);
     return 0;
   }
 
@@ -387,6 +480,9 @@ int RunServe(const Args& args) {
                server.connections_accepted());
   server.RequestShutdown();
   server.Wait();
+  // Requests are drained: the catalog's default session is quiescent,
+  // so this is the natural compaction point.
+  CompactOnExit(catalog);
   return 0;
 }
 
